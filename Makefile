@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench repro fuzz cover fmt vet
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+repro:
+	go run ./cmd/gcore-repro
+	go run ./cmd/gcore-repro -complexity
+
+fuzz:
+	go test -fuzz=FuzzParse -fuzztime=60s -run '^$$' .
+	go test -fuzz=FuzzEval -fuzztime=60s -run '^$$' .
+
+cover:
+	go test -coverprofile=cover.out ./...
+	go tool cover -func=cover.out | tail -1
+
+fmt:
+	gofmt -l .
+
+vet:
+	go vet ./...

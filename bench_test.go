@@ -1,0 +1,268 @@
+package gcore_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gcore"
+	"gcore/internal/parser"
+	"gcore/internal/repro"
+)
+
+// Benchmark harness: one benchmark per reproduced figure/table (the
+// experiment ids of DESIGN.md §3). Run with
+//
+//	go test -bench=. -benchmem
+//
+// FIG2   BenchmarkFig2Build
+// FIG3   BenchmarkFig3Generator
+// FIG4   BenchmarkGuidedTour/<line>
+// FIG5   BenchmarkFig5Views
+// TAB1   BenchmarkTable1Features
+// CPLX1  BenchmarkComplexityScalingMatch / Shortest / Construct
+// CPLX2  BenchmarkAblationSimplePath (walk vs simple-path baseline)
+// CPLX3  BenchmarkAllPathsProjection
+// CPLX4  BenchmarkWeightedShortest
+
+func benchEngine(b *testing.B) *gcore.Engine {
+	b.Helper()
+	eng, err := repro.NewEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkFig2Build measures constructing the Example 2.2 PPG.
+func BenchmarkFig2Build(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := gcore.SampleExampleGraph()
+		if g.NumPaths() != 1 {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+// BenchmarkFig3Generator measures SNB-schema data generation.
+func BenchmarkFig3Generator(b *testing.B) {
+	for _, persons := range []int{100, 400} {
+		b.Run(fmt.Sprintf("persons=%d", persons), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				social, _ := gcore.GenerateSNB(gcore.SNBConfig{Persons: persons, Seed: 1})
+				if social.NumNodes() == 0 {
+					b.Fatal("empty graph")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGuidedTour runs every guided-tour query of §3 (Figure 4)
+// on the toy database.
+func BenchmarkGuidedTour(b *testing.B) {
+	keys := []string{"L01", "L05", "L10", "L15", "L20", "L23", "L28", "L32", "L48", "L72", "L76", "L81"}
+	for _, key := range keys {
+		src := parser.PaperQueries[key]
+		b.Run(key, func(b *testing.B) {
+			eng := benchEngine(b)
+			stmt, err := gcore.Parse(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.EvalStatement(stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5Views measures the full view pipeline of Figure 5:
+// social_graph1 (OPTIONAL + aggregation) and social_graph2 (weighted
+// shortest paths, stored paths), then the stored-path analytics query.
+func BenchmarkFig5Views(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := benchEngine(b)
+		if _, err := eng.Eval(parser.PaperQueries["L39"]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Eval(parser.PaperQueries["L57"]); err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.Eval(repro.TourL67)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Graph.NumEdges() != 1 {
+			b.Fatal("wrong analytics result")
+		}
+	}
+}
+
+// BenchmarkTable1Features runs the whole Table 1 conformance matrix.
+func BenchmarkTable1Features(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, c := range repro.Table1() {
+			if !c.OK() {
+				b.Fatal(c.Err)
+			}
+		}
+	}
+}
+
+// CPLX1: fixed queries across growing graphs. The shape to read off:
+// time grows roughly with |V|+|E| (polynomial data complexity), not
+// exponentially.
+func BenchmarkComplexityScalingMatch(b *testing.B) {
+	for _, persons := range []int{50, 100, 200, 400} {
+		b.Run(fmt.Sprintf("persons=%d", persons), func(b *testing.B) {
+			eng := gcore.NewEngine()
+			social, _ := eng.GenerateSNB(gcore.SNBConfig{Persons: persons, Seed: 1})
+			if err := eng.RegisterGraph(social); err != nil {
+				b.Fatal(err)
+			}
+			stmt, err := gcore.Parse(repro.MatchQueryAt(social))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.EvalStatement(stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// CPLX1: single-source regular-path search across scales.
+func BenchmarkComplexityScalingShortest(b *testing.B) {
+	for _, persons := range []int{50, 100, 200} {
+		b.Run(fmt.Sprintf("persons=%d", persons), func(b *testing.B) {
+			eng := gcore.NewEngine()
+			social, _ := eng.GenerateSNB(gcore.SNBConfig{Persons: persons, Seed: 1})
+			if err := eng.RegisterGraph(social); err != nil {
+				b.Fatal(err)
+			}
+			q := fmt.Sprintf(`CONSTRUCT (m)
+MATCH (n:Person)-/<:knows*>/->(m:Person) ON %s
+WHERE n.anchor = TRUE`, social.Name())
+			stmt, err := gcore.Parse(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.EvalStatement(stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// CPLX1: grouped construction (the nr_messages view) across scales.
+func BenchmarkComplexityScalingConstruct(b *testing.B) {
+	for _, persons := range []int{50, 100, 200} {
+		b.Run(fmt.Sprintf("persons=%d", persons), func(b *testing.B) {
+			eng := gcore.NewEngine()
+			social, _ := eng.GenerateSNB(gcore.SNBConfig{Persons: persons, Seed: 1})
+			if err := eng.RegisterGraph(social); err != nil {
+				b.Fatal(err)
+			}
+			q := fmt.Sprintf(`CONSTRUCT (n)-[e]->(m) SET e.nr_messages := COUNT(*)
+MATCH (n)-[e:knows]->(m) ON %s
+WHERE (n:Person) AND (m:Person)
+OPTIONAL (n)<-[c1]-(msg1:Post|Comment),
+         (msg1)-[:reply_of]-(msg2),
+         (msg2:Post|Comment)-[c2]->(m)
+WHERE (c1:has_creator) AND (c2:has_creator)`, social.Name())
+			stmt, err := gcore.Parse(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.EvalStatement(stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// CPLX2: the ablation — G-CORE's walk semantics vs the NP-hard
+// simple-path baseline on grids. Read: Walk grows polynomially with
+// the grid, Simple explodes with the central binomial coefficient.
+func BenchmarkAblationSimplePath(b *testing.B) {
+	for _, w := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("Walk/width=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts, err := repro.AblationWalkOnly(w)
+				if err != nil || !pts {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Simple/width=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.AblationSimpleOnly(w, 10_000_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Trail/width=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.AblationTrailOnly(w, 10_000_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// CPLX3: ALL-paths answered as a graph projection — polynomial even
+// when the number of conforming paths is astronomical.
+func BenchmarkAllPathsProjection(b *testing.B) {
+	for _, w := range []int{4, 8, 12} {
+		b.Run(fmt.Sprintf("width=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := repro.AblationProjectionOnly(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// CPLX4: weighted shortest paths over PATH views (Dijkstra over the
+// view-segment product).
+func BenchmarkWeightedShortest(b *testing.B) {
+	for _, persons := range []int{50, 100} {
+		b.Run(fmt.Sprintf("persons=%d", persons), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.WeightedShortest([]int{persons}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParse measures parser throughput over all paper queries.
+func BenchmarkParse(b *testing.B) {
+	srcs := make([]string, 0, len(parser.PaperQueries))
+	for _, src := range parser.PaperQueries {
+		srcs = append(srcs, src)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, src := range srcs {
+			if _, err := gcore.Parse(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

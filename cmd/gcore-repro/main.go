@@ -1,0 +1,215 @@
+// Command gcore-repro regenerates the figures and tables of the
+// G-CORE paper (SIGMOD 2018) and prints paper-vs-measured reports.
+//
+// Usage:
+//
+//	gcore-repro [-checks] [-fig1] [-table1] [-tables] [-complexity] [-scales 20,40,80]
+//
+// Without flags everything except the (slower) complexity sweeps
+// runs. The outputs of this command are the source of EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"gcore/internal/repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gcore-repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gcore-repro", flag.ContinueOnError)
+	checks := fs.Bool("checks", false, "run the figure/table reproduction checks")
+	tables := fs.Bool("tables", false, "print the binding tables of §3 in the paper's layout")
+	fig1 := fs.Bool("fig1", false, "print the Figure 1 usage statistics with module mapping")
+	table1 := fs.Bool("table1", false, "print the Table 1 feature matrix")
+	complexity := fs.Bool("complexity", false, "run the complexity sweeps (CPLX1–CPLX4)")
+	scalesFlag := fs.String("scales", "20,40,80,160", "comma-separated person counts for the sweeps")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	all := !*checks && !*fig1 && !*table1 && !*complexity
+
+	if all || *fig1 {
+		printFig1(w)
+	}
+	if all || *checks {
+		if err := printChecks(w); err != nil {
+			return err
+		}
+	}
+	if all || *table1 {
+		printTable1(w)
+	}
+	if all || *tables {
+		if err := printBindingTables(w); err != nil {
+			return err
+		}
+	}
+	if *complexity {
+		scales, err := parseScales(*scalesFlag)
+		if err != nil {
+			return err
+		}
+		if err := printComplexity(w, scales); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseScales(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid scale %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func printFig1(w io.Writer) {
+	fmt.Fprintln(w, "== Figure 1: LDBC TUC usage statistics (survey data, reprinted) ==")
+	fmt.Fprintln(w, "Application fields:")
+	for _, r := range repro.Fig1Rows() {
+		if r.Kind == "field" {
+			fmt.Fprintf(w, "  %-24s %3d\n", r.Name, r.Count)
+		}
+	}
+	fmt.Fprintln(w, "Used features → serving module in this implementation:")
+	for _, r := range repro.Fig1Rows() {
+		if r.Kind == "feature" {
+			fmt.Fprintf(w, "  %-24s %3d   %s\n", r.Name, r.Count, r.Module)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func printChecks(w io.Writer) error {
+	fmt.Fprintln(w, "== Paper-vs-measured checks (Figures 2–5, guided tour, Appendix A) ==")
+	failures := 0
+	for _, c := range repro.RunAll() {
+		status := "PASS"
+		if !c.OK() {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(w, "[%s] %-10s %s\n", status, c.ID, c.Name)
+		if c.Paper != "" {
+			fmt.Fprintf(w, "       paper:    %s\n", c.Paper)
+		}
+		if c.Measured != "" {
+			fmt.Fprintf(w, "       measured: %s\n", c.Measured)
+		}
+		if c.Err != nil {
+			fmt.Fprintf(w, "       error:    %v\n", c.Err)
+		}
+	}
+	fmt.Fprintln(w)
+	if failures > 0 {
+		return fmt.Errorf("%d check(s) failed", failures)
+	}
+	return nil
+}
+
+func printTable1(w io.Writer) {
+	fmt.Fprintln(w, "== Table 1: feature overview (layout of the paper, executed end-to-end) ==")
+	section := ""
+	rows := repro.Table1Rows()
+	results := repro.Table1()
+	for i, r := range rows {
+		if r.Section != section {
+			section = r.Section
+			fmt.Fprintf(w, "%s\n", section)
+		}
+		status := "PASS"
+		if i < len(results) && !results[i].OK() {
+			status = "FAIL: " + results[i].Err.Error()
+		}
+		fmt.Fprintf(w, "  %-42s %-28s %s\n", r.Feature, r.Lines, status)
+	}
+	fmt.Fprintln(w)
+}
+
+func printComplexity(w io.Writer, scales []int) error {
+	fmt.Fprintln(w, "== CPLX1: fixed-query evaluation vs data size (polynomial data complexity) ==")
+	match, err := repro.ComplexityMatch(scales)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "MATCH 2-hop join:")
+	for _, p := range match {
+		fmt.Fprintf(w, "  persons=%-6d nodes=%-7d edges=%-7d rows=%-6d %12v\n", p.Scale, p.Nodes, p.Edges, p.Result, p.Duration)
+	}
+	short, err := repro.ComplexityShortest(scales)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Single-source shortest paths over <:knows*>:")
+	for _, p := range short {
+		fmt.Fprintf(w, "  persons=%-6d nodes=%-7d edges=%-7d paths=%-5d %12v\n", p.Scale, p.Nodes, p.Edges, p.Result, p.Duration)
+	}
+	cons, err := repro.ComplexityConstruct(scales)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Grouped CONSTRUCT (nr_messages view):")
+	for _, p := range cons {
+		fmt.Fprintf(w, "  persons=%-6d nodes=%-7d edges=%-7d out-edges=%-6d %12v\n", p.Scale, p.Nodes, p.Edges, p.Result, p.Duration)
+	}
+
+	fmt.Fprintln(w, "\n== CPLX2/CPLX3: walk semantics vs trail/simple-path semantics (grids, §6 comparison) ==")
+	ab, err := repro.AblationSimplePath([]int{3, 4, 5, 6, 7, 8}, 5_000_000)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  width   walk-search   simple-visits  simple-paths  trail-visits  trails  projection(nodes/edges)   proj-time")
+	for _, p := range ab {
+		budget := ""
+		if p.SimpleBudget {
+			budget = " (budget hit)"
+		}
+		fmt.Fprintf(w, "  %-6d  %-12v  %-13d  %-12d  %-12d  %-6d  %d/%d  %12v%s\n",
+			p.Size, p.WalkDuration, p.SimpleVisits, p.SimplePaths, p.TrailVisits, p.TrailPaths,
+			p.ProjNodes, p.ProjEdges, p.ProjDuration, budget)
+	}
+	fmt.Fprintln(w, "  (the grid is acyclic, so trails coincide with simple paths; both enumerate, walks do not)")
+
+	fmt.Fprintln(w, "\n== CPLX4: weighted shortest paths over PATH views (Dijkstra) ==")
+	wp, err := repro.WeightedShortest(scales)
+	if err != nil {
+		return err
+	}
+	for _, p := range wp {
+		fmt.Fprintf(w, "  persons=%-6d stored-paths=%-5d %12v\n", p.Persons, p.Paths, p.Duration)
+	}
+	return nil
+}
+
+func printBindingTables(w io.Writer) error {
+	fmt.Fprintln(w, "== Binding tables of §3 (recomputed on the toy database) ==")
+	eng, err := repro.NewEngine()
+	if err != nil {
+		return err
+	}
+	tbls, err := repro.BindingTables(eng)
+	if err != nil {
+		return err
+	}
+	for _, t := range tbls {
+		fmt.Fprintf(w, "%s (%d bindings):\n%s\n", t.Name, t.Len(), t.String())
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDefaultReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Figure 1", "graph reachability",
+		"Paper-vs-measured checks", "[PASS] FIG2",
+		"Table 1", "Matching k shortest paths",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(got, "FAIL") {
+		t.Errorf("report contains failures:\n%s", got)
+	}
+}
+
+func TestComplexityReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-complexity", "-scales", "20,30"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"CPLX1", "CPLX2", "CPLX4", "simple-visits"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("complexity report missing %q", want)
+		}
+	}
+}
+
+func TestScaleParsing(t *testing.T) {
+	if _, err := parseScales("10,20"); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []string{"", "x", "0", "10,-1"} {
+		if _, err := parseScales(bad); err == nil {
+			t.Errorf("parseScales(%q) should fail", bad)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-complexity", "-scales", "bogus"}, &out); err == nil {
+		t.Error("bad scales must fail")
+	}
+}
+
+func TestSelectiveFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "Paper-vs-measured") {
+		t.Error("-fig1 should not run the checks")
+	}
+	out.Reset()
+	if err := run([]string{"-table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Graph views") {
+		t.Error("-table1 output incomplete")
+	}
+}
+
+func TestBindingTablesReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-tables"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"equi-join", "20 bindings", `{"CWI", "MIT"}`, `"HAL"   "Celine"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("tables report missing %q", want)
+		}
+	}
+}

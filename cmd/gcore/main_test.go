@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gcore"
+)
+
+func TestRunSingleQuery(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sample", `CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme'`},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "2 nodes") {
+		t.Errorf("output = %q", got)
+	}
+	if !strings.Contains(got, `firstName: "John"`) {
+		t.Errorf("node rendering missing: %q", got)
+	}
+}
+
+func TestRunSelectQuery(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sample", `SELECT n.firstName AS name MATCH (n:Person) ORDER BY name LIMIT 2`},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "name") || !strings.Contains(out.String(), `"Alice"`) {
+		t.Errorf("table output = %q", out.String())
+	}
+}
+
+func TestRunJSONAndOut(t *testing.T) {
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "result.json")
+	var out bytes.Buffer
+	err := run([]string{"-sample", "-json", "-out", outFile,
+		`CONSTRUCT (n) MATCH (n:Person) WHERE n.firstName = 'John'`},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"nodes"`) {
+		t.Errorf("json output = %q", out.String())
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gcore.NewGraph("")
+	if err := g.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1 {
+		t.Errorf("saved graph has %d nodes", g.NumNodes())
+	}
+}
+
+func TestRunLoadGraphAndTable(t *testing.T) {
+	dir := t.TempDir()
+	gFile := filepath.Join(dir, "g.json")
+	fh, err := os.Create(gFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gcore.SampleSocialGraph().WriteJSON(fh); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	tFile := filepath.Join(dir, "orders.csv")
+	if err := os.WriteFile(tFile, []byte("custName,prodCode\nAda,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run([]string{"-graph", gFile, "-table", "orders=" + tFile, "-default", "social_graph",
+		`SELECT o.custName AS c MATCH (o) ON orders`},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"Ada"`) {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunScriptFile(t *testing.T) {
+	dir := t.TempDir()
+	sFile := filepath.Join(dir, "s.gcore")
+	script := `GRAPH VIEW acme AS (CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme');
+SELECT n.firstName AS name MATCH (n) ON acme ORDER BY name;`
+	if err := os.WriteFile(sFile, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-sample", "-script", sFile}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"Alice"`) {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "bad"}, strings.NewReader(""), &out); err == nil {
+		t.Error("bad table spec must fail")
+	}
+	if err := run([]string{"-graph", "/nonexistent.json"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing graph file must fail")
+	}
+	if err := run([]string{"-default", "nope"}, strings.NewReader(""), &out); err == nil {
+		t.Error("unknown default graph must fail")
+	}
+	if err := run([]string{"-sample", "-out", "/nonexistent/x.json", `SELECT 1 AS one MATCH (n:Tag)`}, strings.NewReader(""), &out); err == nil {
+		t.Error("-out with no graph result must fail")
+	}
+	if err := run([]string{"-sample", `CONSTRUCT (n) MATCH (n) ON nope`}, strings.NewReader(""), &out); err == nil {
+		t.Error("eval error must propagate")
+	}
+}
+
+func TestREPL(t *testing.T) {
+	input := strings.Join([]string{
+		`\help`,
+		`\graphs`,
+		`\tables`,
+		`\ast CONSTRUCT (n) MATCH (n:Person)`,
+		`\explain CONSTRUCT (n) MATCH (n:Person) WHERE n.firstName = 'John'`,
+		`\explain MATCH oops`,
+		`CONSTRUCT (n) MATCH (n:Person) WHERE n.firstName = 'John';`,
+		`\bogus`,
+		`CONSTRUCT (n) MATCH (n) ON nope;`,
+		`\quit`,
+	}, "\n")
+	var out bytes.Buffer
+	if err := run([]string{"-sample"}, strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"social_graph", "orders", "CONSTRUCT (n)", "node scan", "⊳ filter", "1 nodes", "unknown command", "error:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestREPLSave(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "g.json")
+	input := "\\save social_graph " + f + "\n\\save nope x\n\\save onlytwo\n\\quit\n"
+	var out bytes.Buffer
+	if err := run([]string{"-sample"}, strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(f); err != nil {
+		t.Errorf("saved file missing: %v", err)
+	}
+	if !strings.Contains(out.String(), "unknown graph") || !strings.Contains(out.String(), "usage:") {
+		t.Errorf("save error handling missing: %q", out.String())
+	}
+}
+
+func TestRunGuidedTourScript(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sample", "-script", "../../testdata/guided_tour.gcore"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"wagnerFriend", `"Doe, John"`, "path #", "bought"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("tour output missing %q", want)
+		}
+	}
+}
+
+func TestRunSaveAndLoadCatalog(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cat")
+	var out bytes.Buffer
+	// Define a view, save everything.
+	err := run([]string{"-sample", "-save", dir,
+		`GRAPH VIEW acme AS (CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme')`},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "saved catalog") {
+		t.Errorf("output = %q", out.String())
+	}
+	// Reload in a fresh process run and query the view.
+	out.Reset()
+	err = run([]string{"-load", dir, `SELECT n.firstName AS name MATCH (n) ON acme ORDER BY name`},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"Alice"`) {
+		t.Errorf("output = %q", out.String())
+	}
+	// Loading a bogus dir fails.
+	if err := run([]string{"-load", "/nonexistent-dir"}, strings.NewReader(""), &out); err == nil {
+		t.Error("bad -load must fail")
+	}
+}

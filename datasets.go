@@ -1,0 +1,59 @@
+package gcore
+
+import (
+	"gcore/internal/ppg"
+	"gcore/internal/snb"
+)
+
+// Bundled datasets: the paper's worked examples and a scalable
+// synthetic generator with the (simplified) LDBC SNB schema of
+// Figure 3. See internal/snb for the exact construction and the
+// substitution notes in DESIGN.md.
+
+// SampleSocialGraph returns the guided-tour instance of Figure 4
+// (social_graph): five persons, their knows/isLocatedIn/hasInterest
+// edges, and the Post/Comment message threads that drive the
+// nr_messages view of Figure 5.
+func SampleSocialGraph() *Graph { return snb.SocialGraph() }
+
+// SampleCompanyGraph returns the company_graph of the data
+// integration examples: unconnected Company nodes Acme, HAL, CWI, MIT.
+func SampleCompanyGraph() *Graph { return snb.CompanyGraph() }
+
+// SampleExampleGraph returns the Path Property Graph of Figure 2 /
+// Example 2.2, including the stored path 301 (:toWagner, trust 0.95).
+func SampleExampleGraph() *Graph { return snb.Fig2Graph() }
+
+// SampleOrdersTable returns the orders binding table of the §5
+// tabular-extension examples.
+func SampleOrdersTable() *Table {
+	cols, rows := snb.OrdersRows()
+	t := NewTable("orders", cols...)
+	for _, r := range rows {
+		if err := t.AddRow(r...); err != nil {
+			panic("gcore: building orders table: " + err.Error())
+		}
+	}
+	return t
+}
+
+// SNBConfig parameterises the synthetic SNB-schema generator.
+type SNBConfig = snb.Config
+
+// GenerateSNB builds a deterministic social graph (and companion
+// company graph) with the Figure 3 schema at the given scale, using
+// the engine's identifier generator so the result can be registered
+// alongside other graphs.
+func (e *Engine) GenerateSNB(cfg SNBConfig) (social, companies *Graph) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ds := snb.Generate(cfg, e.cat.IDs())
+	return ds.Social, ds.Companies
+}
+
+// GenerateSNB builds a standalone dataset with a private identifier
+// space starting at 1.
+func GenerateSNB(cfg SNBConfig) (social, companies *Graph) {
+	ds := snb.Generate(cfg, ppg.NewIDGen(1))
+	return ds.Social, ds.Companies
+}

@@ -1,0 +1,86 @@
+package gcore_test
+
+import (
+	"testing"
+
+	"gcore"
+	"gcore/internal/parser"
+	"gcore/internal/repro"
+)
+
+// Fuzz targets. Without -fuzz these run their seed corpus as ordinary
+// tests; with `go test -fuzz=FuzzParse .` they explore the grammar.
+// Invariants: the parser never panics and accepts its own output; the
+// evaluator never panics and every graph it returns satisfies the PPG
+// invariants.
+
+func parserSeeds() []string {
+	seeds := []string{
+		"",
+		";",
+		"CONSTRUCT",
+		"CONSTRUCT (n) MATCH (n)",
+		"CONSTRUCT (n)-[e:a|b {k = 1}]->(m) MATCH (n)",
+		"CONSTRUCT (n) MATCH (n)-/3 SHORTEST p <(:a|:b-)* !:C _> COST c/->(m) WHERE c > 0",
+		"SELECT n.a AS x MATCH (n) ORDER BY x DESC LIMIT 3",
+		"PATH w = (a)-[e]->(b) COST 1 / (1 + e.k) CONSTRUCT (n) MATCH (n)-/p<~w*>/->(m)",
+		"GRAPH VIEW v AS (CONSTRUCT (n) MATCH (n:A) WHERE EXISTS (CONSTRUCT () MATCH (n)-[:x]->()))",
+		"CONSTRUCT (x GROUP e :C {v := COUNT(*)}) WHEN x.v > 0 MATCH (n {employer=e})",
+		"CONSTRUCT a, (n) MATCH (n) ON g UNION CONSTRUCT (m) MATCH (m) MINUS h",
+		"CONSTRUCT (=n)-[=y]->(m) MATCH (n)-[y]->(m) OPTIONAL (n)-[:z]->(q) WHERE (q:L)",
+		"CONSTRUCT (n) MATCH (n) WHERE CASE n.x WHEN 1 THEN TRUE ELSE FALSE END",
+		"CONSTRUCT (n) FROM t",
+		"CONSTRUCT (n) MATCH (n) WHERE NOT 'a' IN n.b AND n.c SUBSET n.d",
+		"/* comment */ CONSTRUCT (n) # more\nMATCH (n)",
+		"CONSTRUCT (n) MATCH (n) WHERE n.a = DATE '1/12/2014'",
+		"CONSTRUCT (n) MATCH (n)-/@p:l {t = 0.5}/->(m)",
+	}
+	for _, q := range parser.PaperQueries {
+		seeds = append(seeds, q)
+	}
+	return seeds
+}
+
+func FuzzParse(f *testing.F) {
+	for _, s := range parserSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := gcore.Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		printed := stmt.String()
+		again, err := gcore.Parse(printed)
+		if err != nil {
+			t.Fatalf("parser rejects its own output:\ninput: %q\nprinted: %q\nerr: %v", src, printed, err)
+		}
+		if again.String() != printed {
+			t.Fatalf("printing is not a fixpoint:\nfirst: %q\nsecond: %q", printed, again.String())
+		}
+	})
+}
+
+func FuzzEval(f *testing.F) {
+	for _, s := range parserSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		eng, err := repro.NewEngine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bound adversarial cartesian products: the engine must reject
+		// them with an error, not hang.
+		eng.SetMaxBindings(200_000)
+		res, err := eng.Eval(src)
+		if err != nil {
+			return // evaluation errors are fine; panics and invalid graphs are not
+		}
+		if res.Graph != nil {
+			if verr := res.Graph.Validate(); verr != nil {
+				t.Fatalf("query produced an invalid graph:\nquery: %q\nviolation: %v", src, verr)
+			}
+		}
+	})
+}

@@ -1,0 +1,297 @@
+// Package gcore is a Go implementation of G-CORE, the graph query
+// language designed by the LDBC Graph Query Language Task Force
+// ("G-CORE: A Core for Future Graph Query Languages", SIGMOD 2018).
+//
+// G-CORE is a closed language over Path Property Graphs: every query
+// takes graphs as input and returns a graph, and paths are first-class
+// citizens with identity, labels and properties. This package exposes
+// the engine:
+//
+//	eng := gcore.NewEngine()
+//	g := gcore.NewGraph("social_graph")
+//	// … add nodes and edges, or load JSON …
+//	_ = eng.RegisterGraph(g)
+//	res, err := eng.Eval(`
+//	    CONSTRUCT (n)
+//	    MATCH (n:Person) ON social_graph
+//	    WHERE n.employer = 'Acme'`)
+//	// res.Graph is a new Path Property Graph.
+//
+// The full surface language of the paper is supported: MATCH with
+// multi-graph ON, WHERE with implicit and explicit existential
+// subqueries, OPTIONAL blocks, regular path expressions with
+// reachability / (k-)shortest / ALL semantics, stored paths (@p),
+// weighted shortest paths over PATH views, CONSTRUCT with grouping,
+// GROUP, SET/REMOVE, WHEN, copy forms, graph UNION/INTERSECT/MINUS,
+// GRAPH and GRAPH VIEW, and the §5 tabular extensions (SELECT, FROM,
+// tables as graphs).
+package gcore
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"gcore/internal/ast"
+	"gcore/internal/catalog"
+	"gcore/internal/core"
+	"gcore/internal/parser"
+	"gcore/internal/ppg"
+	"gcore/internal/table"
+	"gcore/internal/value"
+)
+
+// Re-exported data model types. A Graph is a Path Property Graph
+// G = (N, E, P, ρ, δ, λ, σ): nodes, edges and *stored paths*, each
+// with identity, labels and multi-valued properties.
+type (
+	// Graph is a Path Property Graph.
+	Graph = ppg.Graph
+	// Node is an element of N.
+	Node = ppg.Node
+	// Edge is an element of E with ρ(e) = (Src, Dst).
+	Edge = ppg.Edge
+	// Path is a stored path: an element of P with δ(p) alternating
+	// nodes and adjacent edges.
+	Path = ppg.Path
+	// NodeID identifies a node.
+	NodeID = ppg.NodeID
+	// EdgeID identifies an edge.
+	EdgeID = ppg.EdgeID
+	// PathID identifies a stored path.
+	PathID = ppg.PathID
+	// Labels is a sorted label set (λ values).
+	Labels = ppg.Labels
+	// Properties maps property keys to finite value sets (σ values).
+	Properties = ppg.Properties
+	// Value is a literal, collection or graph-object reference.
+	Value = value.Value
+	// Table is a tabular result (SELECT) or input (FROM).
+	Table = table.Table
+	// Statement is a parsed G-CORE statement.
+	Statement = ast.Statement
+)
+
+// NewGraph creates an empty Path Property Graph with the given name.
+func NewGraph(name string) *Graph { return ppg.New(name) }
+
+// NewLabels builds a normalised label set.
+func NewLabels(names ...string) Labels { return ppg.NewLabels(names...) }
+
+// NewProperties builds a property map; scalar values become singleton
+// sets per the data model.
+func NewProperties(kv map[string]Value) Properties { return ppg.NewProperties(kv) }
+
+// NewTable creates an empty table with the given columns.
+func NewTable(name string, cols ...string) *Table { return table.New(name, cols...) }
+
+// ReadTableCSV loads a table from CSV (header row required).
+func ReadTableCSV(name string, r io.Reader) (*Table, error) { return table.ReadCSV(name, r) }
+
+// Value constructors.
+var (
+	// Null is the absent value.
+	Null = value.Null
+	// True and False are the boolean literals.
+	True  = value.True
+	False = value.False
+)
+
+// Int returns an integer literal.
+func Int(i int64) Value { return value.Int(i) }
+
+// Float returns a real-number literal.
+func Float(f float64) Value { return value.Float(f) }
+
+// Str returns a string literal.
+func Str(s string) Value { return value.Str(s) }
+
+// Bool returns a boolean literal.
+func Bool(b bool) Value { return value.Bool(b) }
+
+// Date parses a date literal in day/month/year form ("1/12/2014").
+func Date(s string) (Value, error) { return value.ParseDate(s) }
+
+// SetOf returns a set value (deduplicated, canonical order).
+func SetOf(elems ...Value) Value { return value.Set(elems...) }
+
+// ListOf returns a list value.
+func ListOf(elems ...Value) Value { return value.List(elems...) }
+
+// Result is the outcome of evaluating one statement: exactly one of
+// Graph and Table is non-nil (Table only for the SELECT extension).
+type Result = core.Result
+
+// Engine is a G-CORE engine: a catalog of named graphs, views and
+// tables plus the evaluator. Safe for concurrent use; statements are
+// serialised.
+type Engine struct {
+	mu  sync.Mutex
+	cat *catalog.Catalog
+	ev  *core.Evaluator
+}
+
+// NewEngine creates an empty engine.
+func NewEngine() *Engine {
+	cat := catalog.New()
+	return &Engine{cat: cat, ev: core.New(cat)}
+}
+
+// RegisterGraph adds a named graph to the catalog. The first
+// registered graph becomes the default graph used when MATCH omits ON.
+func (e *Engine) RegisterGraph(g *Graph) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("gcore: invalid graph: %w", err)
+	}
+	return e.cat.RegisterGraph(g)
+}
+
+// RegisterTable adds a named binding table (usable with FROM and as a
+// node-graph via ON).
+func (e *Engine) RegisterTable(t *Table) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cat.RegisterTable(t)
+}
+
+// SetMaxBindings bounds the size of intermediate binding tables per
+// statement: a query whose evaluation would exceed the bound fails
+// with a clear error instead of exhausting memory (useful when
+// evaluating untrusted queries — an adversarial cartesian product can
+// otherwise be made arbitrarily large). Zero (the default) means
+// unlimited.
+func (e *Engine) SetMaxBindings(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ev.SetMaxBindings(n)
+}
+
+// SetDefaultGraph selects the graph used when MATCH omits ON.
+func (e *Engine) SetDefaultGraph(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cat.SetDefault(name)
+}
+
+// Graph returns a registered graph (or materialised view) by name.
+func (e *Engine) Graph(name string) (*Graph, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cat.Graph(name)
+}
+
+// GraphNames lists the registered graph and view names, sorted.
+func (e *Engine) GraphNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cat.GraphNames()
+}
+
+// TableNames lists the registered table names, sorted.
+func (e *Engine) TableNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cat.TableNames()
+}
+
+// Parse parses one statement without evaluating it.
+func Parse(src string) (*Statement, error) { return parser.Parse(src) }
+
+// Eval parses and evaluates one statement. GRAPH VIEW definitions
+// register their materialised graph in the engine's catalog.
+func (e *Engine) Eval(src string) (*Result, error) {
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.EvalStatement(stmt)
+}
+
+// EvalStatement evaluates an already-parsed statement.
+func (e *Engine) EvalStatement(stmt *Statement) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ev.EvalStatement(stmt)
+}
+
+// Explain returns the static evaluation plan of a statement: the
+// MATCH join tree with predicate-pushdown placement, path-search
+// strategies, OPTIONAL left-joins and CONSTRUCT grouping phases.
+// Nothing is evaluated.
+func (e *Engine) Explain(src string) (string, error) {
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ev.Explain(stmt)
+}
+
+// EvalScript evaluates a script of semicolon-separated statements and
+// returns one result per statement.
+func (e *Engine) EvalScript(src string) ([]*Result, error) {
+	stmts, err := parser.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(stmts))
+	for i, stmt := range stmts {
+		res, err := e.EvalStatement(stmt)
+		if err != nil {
+			return out, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// LoadGraphJSON reads a graph from its JSON interchange form and
+// registers it under the name embedded in the document.
+func (e *Engine) LoadGraphJSON(r io.Reader) (*Graph, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, err := ppg.ReadJSON(r, e.cat.IDs())
+	if err != nil {
+		return nil, err
+	}
+	if err := e.cat.RegisterGraph(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// NextNodeID, NextEdgeID and NextPathID hand out engine-unique
+// identifiers for programmatic graph building.
+func (e *Engine) NextNodeID() NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cat.IDs().NextNode()
+}
+
+// NextEdgeID hands out a fresh edge identifier.
+func (e *Engine) NextEdgeID() EdgeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cat.IDs().NextEdge()
+}
+
+// NextPathID hands out a fresh path identifier.
+func (e *Engine) NextPathID() PathID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cat.IDs().NextPath()
+}
+
+// GraphUnion, GraphIntersect and GraphMinus are the §A.5 set
+// operations on Path Property Graphs, exposed for programmatic use;
+// queries reach them through UNION / INTERSECT / MINUS.
+func GraphUnion(name string, a, b *Graph) *Graph { return ppg.Union(name, a, b) }
+
+// GraphIntersect computes a ∩ b.
+func GraphIntersect(name string, a, b *Graph) *Graph { return ppg.Intersect(name, a, b) }
+
+// GraphMinus computes a ∖ b (no dangling edges).
+func GraphMinus(name string, a, b *Graph) *Graph { return ppg.Minus(name, a, b) }

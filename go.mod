@@ -1,0 +1,3 @@
+module gcore
+
+go 1.22

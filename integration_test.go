@@ -1,0 +1,263 @@
+package gcore_test
+
+import (
+	"os"
+	"testing"
+
+	"gcore"
+	"gcore/internal/repro"
+	"gcore/internal/snb"
+	"gcore/internal/value"
+)
+
+// TestGuidedTourScript runs the complete §3 guided tour as one script
+// (testdata/guided_tour.gcore) through the public API and spot-checks
+// the narrative's key outcomes end-to-end: the views accumulate in
+// the catalog and the final analytics lands on John→Peter with
+// score 2.
+func TestGuidedTourScript(t *testing.T) {
+	data, err := os.ReadFile("testdata/guided_tour.gcore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := eng.EvalScript(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 14 {
+		t.Fatalf("statements evaluated = %d, want 14", len(results))
+	}
+	// Every graph result satisfies the model invariants.
+	for i, res := range results {
+		if res.Graph != nil {
+			if err := res.Graph.Validate(); err != nil {
+				t.Errorf("statement %d: %v", i+1, err)
+			}
+		}
+	}
+	// The views persist in the catalog.
+	for _, view := range []string{"social_graph1", "social_graph2"} {
+		if _, ok := eng.Graph(view); !ok {
+			t.Errorf("view %s not registered", view)
+		}
+	}
+	g2, _ := eng.Graph("social_graph2")
+	if g2.NumPaths() != 2 {
+		t.Errorf("social_graph2 stored paths = %d, want 2", g2.NumPaths())
+	}
+	// Statement 11 (index 10) is the wagnerFriend analytics.
+	analytics := results[10].Graph
+	found := false
+	for _, id := range analytics.EdgeIDs() {
+		e, _ := analytics.Edge(id)
+		if e.Labels.Has("wagnerFriend") {
+			found = true
+			if e.Src != snb.John || e.Dst != snb.Peter {
+				t.Errorf("wagnerFriend edge = %d→%d", e.Src, e.Dst)
+			}
+			if !value.Equal(e.Props.Get("score").Scalarize(), value.Int(2)) {
+				t.Errorf("score = %v", e.Props.Get("score"))
+			}
+		}
+	}
+	if !found {
+		t.Error("wagnerFriend edge missing")
+	}
+	// Statement 12 (index 11) is the friendName table.
+	tbl := results[11].Table
+	if tbl == nil || tbl.Len() != 5 {
+		t.Fatalf("friendName table = %v", tbl)
+	}
+	if v, _ := tbl.Rows[0][0].Scalarize().AsString(); v != "Doe, John" {
+		t.Errorf("first friend = %q", v)
+	}
+}
+
+// TestClosureChain exercises deep composition: the output of each
+// query feeds the next via local GRAPH bindings — five levels deep.
+func TestClosureChain(t *testing.T) {
+	eng, err := repro.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Eval(`
+GRAPH g1 AS (CONSTRUCT (n) MATCH (n:Person))
+GRAPH g2 AS (CONSTRUCT (n) MATCH (n) ON g1 WHERE size(n.employer) > 0)
+GRAPH g3 AS (CONSTRUCT (n) MATCH (n) ON g2 WHERE NOT 'Acme' IN n.employer)
+GRAPH g4 AS (CONSTRUCT (=n :Leaf) MATCH (n) ON g3)
+SELECT n.firstName AS name MATCH (n:Leaf) ON g4 ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persons with an employer that is not Acme: Celine and Frank.
+	if res.Table.Len() != 2 {
+		t.Fatalf("rows = %d\n%s", res.Table.Len(), res.Table)
+	}
+	if v, _ := res.Table.Rows[0][0].Scalarize().AsString(); v != "Celine" {
+		t.Errorf("first = %q", v)
+	}
+}
+
+// TestScaleIntegration runs a representative query mix over a larger
+// generated graph end-to-end.
+func TestScaleIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	eng := gcore.NewEngine()
+	social, companies := eng.GenerateSNB(gcore.SNBConfig{Persons: 300, Seed: 5})
+	if err := eng.RegisterGraph(social); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterGraph(companies); err != nil {
+		t.Fatal(err)
+	}
+	// View + weighted search + stored-path analytics on scale.
+	if _, err := eng.Eval(`GRAPH VIEW wv AS (
+CONSTRUCT (n)-[e]->(m) SET e.w := 1 + COUNT(*)
+MATCH (n:Person)-[e:knows]->(m:Person))`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Eval(`PATH wk = (x)-[e:knows]->(y) COST 1 / e.w
+CONSTRUCT (n)-/@p:cheap {c := c}/->(m)
+MATCH (n:Person)-/p<~wk*> COST c/->(m:Person) ON wv
+WHERE n.anchor = TRUE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumPaths() != 300 {
+		t.Fatalf("stored paths = %d, want 300 (one per reachable person)", res.Graph.NumPaths())
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every stored path's cost property is positive (except the empty
+	// path to the anchor itself, cost 0).
+	zero := 0
+	for _, pid := range res.Graph.PathIDs() {
+		p, _ := res.Graph.Path(pid)
+		c, _ := p.Props.Get("c").Scalarize().AsFloat()
+		if c == 0 {
+			zero++
+		}
+		if c < 0 {
+			t.Errorf("negative cost %v", c)
+		}
+	}
+	if zero != 1 {
+		t.Errorf("zero-cost paths = %d, want 1 (the anchor's empty path)", zero)
+	}
+}
+
+// TestSoakLargeGraph runs the full pipeline — generation, schema
+// check, views, weighted stored paths, stored-path analytics, save and
+// reload — on a 1000-person graph.
+func TestSoakLargeGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	eng := gcore.NewEngine()
+	social, companies := eng.GenerateSNB(gcore.SNBConfig{Persons: 1000, Seed: 99})
+	if err := snb.CheckSchema(social); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterGraph(social); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterGraph(companies); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Eval(`GRAPH VIEW weighted AS (
+CONSTRUCT (n)-[e]->(m) SET e.w := 1 + COUNT(*)
+MATCH (n:Person)-[e:knows]->(m:Person))`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Eval(`PATH wk = (x)-[e:knows]->(y) COST 1 / e.w
+CONSTRUCT (n)-/@p:cheap/->(m)
+MATCH (n:Person)-/p<~wk*>/->(m:Person) ON weighted
+WHERE n.anchor = TRUE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	if g.NumPaths() != 1000 {
+		t.Fatalf("stored paths = %d", g.NumPaths())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g.SetName("cheap_paths")
+	if err := eng.RegisterGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	// Analytics over a thousand stored paths.
+	res, err = eng.Eval(`SELECT COUNT(*) AS n, MAX(length(p)) AS longest
+MATCH ()-/@p:cheap/->() ON cheap_paths`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Table.Rows[0][0].AsInt(); v != 1000 {
+		t.Fatalf("path count = %d", v)
+	}
+	// Round-trip the whole catalog.
+	dir := t.TempDir()
+	if err := eng.SaveCatalog(dir); err != nil {
+		t.Fatal(err)
+	}
+	eng2 := gcore.NewEngine()
+	if err := eng2.LoadCatalog(dir); err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng2.Eval(`SELECT COUNT(*) AS n MATCH ()-/@p:cheap/->() ON cheap_paths`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Table.Rows[0][0].AsInt(); v != 1000 {
+		t.Fatalf("paths after reload = %d", v)
+	}
+}
+
+// TestDeterministicEvaluation: two engines built identically produce
+// byte-identical results for the whole guided tour — identifiers,
+// iteration orders and path tie-breaking are all deterministic.
+func TestDeterministicEvaluation(t *testing.T) {
+	data, err := os.ReadFile("testdata/guided_tour.gcore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() string {
+		eng, err := repro.NewEngine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := eng.EvalScript(string(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, res := range results {
+			if res.Graph != nil {
+				j, err := res.Graph.MarshalJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				out += string(j) + "\n"
+			}
+			if res.Table != nil {
+				out += res.Table.String() + "\n"
+			}
+		}
+		return out
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Error("evaluation is not deterministic across identical engines")
+	}
+	if len(a) == 0 {
+		t.Error("empty rendering")
+	}
+}

@@ -1,0 +1,293 @@
+// Package ast defines the abstract syntax of G-CORE following the
+// top-down grammar of §4 of the paper:
+//
+//	query          ::= headClause fullGraphQuery
+//	headClause     ::= ε | pathClause headClause | graphClause headClause
+//	fullGraphQuery ::= basicGraphQuery | (fullGraphQuery setOp fullGraphQuery)
+//	setOp          ::= UNION | INTERSECT | MINUS
+//	basicGraphQuery::= constructClause matchClause
+//
+// plus the tabular extensions of §5 (SELECT projection, FROM binding
+// table import). Nodes carry source positions for error reporting.
+package ast
+
+import "gcore/internal/lexer"
+
+// Statement is one complete input: optional head clauses (PATH
+// definitions, GRAPH/GRAPH VIEW definitions) followed by an optional
+// full graph query. A statement consisting only of definitions (the
+// paper's lines 39–47 and 57–66 wrap whole queries in GRAPH VIEW) is
+// legal.
+type Statement struct {
+	Paths  []*PathClause
+	Graphs []*GraphClause
+	Query  Query // nil for definition-only statements
+}
+
+// Query is a full graph query: a basic query or a set operation.
+type Query interface{ queryNode() }
+
+// SetOp is one of the graph set operations of §A.5.
+type SetOp uint8
+
+// The set operations.
+const (
+	SetUnion SetOp = iota
+	SetIntersect
+	SetMinus
+)
+
+func (op SetOp) String() string {
+	switch op {
+	case SetUnion:
+		return "UNION"
+	case SetIntersect:
+		return "INTERSECT"
+	case SetMinus:
+		return "MINUS"
+	}
+	return "?"
+}
+
+// SetQuery combines two queries with a set operation.
+type SetQuery struct {
+	Op          SetOp
+	Left, Right Query
+}
+
+// BasicQuery is CONSTRUCT…MATCH… (or the SELECT/FROM extensions).
+// Exactly one of Construct and Select is set. Match may be nil for a
+// pure construction over the unit binding table; From names a binding
+// table imported instead of matching (§5).
+type BasicQuery struct {
+	Construct *ConstructClause
+	Select    *SelectClause
+	Match     *MatchClause
+	From      string
+	P         lexer.Pos
+}
+
+func (*SetQuery) queryNode()   {}
+func (*BasicQuery) queryNode() {}
+
+// PathClause is PATH name = pattern [WHERE cond] [COST expr] (§A.4):
+// a weighted path-view definition usable in regular path expressions
+// as ~name. The pattern may be non-linear: the first graph pattern
+// carries the start and end node of the segment, further
+// comma-separated patterns join context (footnote 3 of the paper).
+type PathClause struct {
+	Name     string
+	Patterns []*GraphPattern
+	Where    Expr
+	Cost     Expr
+	P        lexer.Pos
+}
+
+// GraphClause is GRAPH name AS (query) — a query-local binding — or
+// GRAPH VIEW name AS (query) — a persistent view (§A.6). The body is
+// a full statement: the paper's social_graph2 view (line 57) wraps a
+// PATH clause together with the query.
+type GraphClause struct {
+	Name string
+	Body *Statement
+	View bool
+	P    lexer.Pos
+}
+
+// MatchClause is MATCH fullGraphPattern [WHERE cond] optional* (§A.2).
+type MatchClause struct {
+	Patterns  []*LocatedPattern
+	Where     Expr
+	Optionals []*OptionalBlock
+	P         lexer.Pos
+}
+
+// OptionalBlock is one OPTIONAL fullGraphPattern [WHERE cond]; blocks
+// apply top-to-bottom as left-outer joins.
+type OptionalBlock struct {
+	Patterns []*LocatedPattern
+	Where    Expr
+	P        lexer.Pos
+}
+
+// LocatedPattern is a basic graph pattern with an optional ON
+// location: a graph identifier or a subquery.
+type LocatedPattern struct {
+	Pattern *GraphPattern
+	OnGraph string // graph identifier, "" if none
+	OnQuery Query  // ON (subquery), nil if none
+}
+
+// GraphPattern is a chain (n0) link0 (n1) link1 … (nk): alternating
+// node patterns and links, where each link is an edge or path pattern.
+type GraphPattern struct {
+	Nodes []*NodePattern // len = len(Links)+1
+	Links []Link
+	P     lexer.Pos
+}
+
+// Link is an edge or path pattern between two node patterns.
+type Link interface{ linkNode() }
+
+// Direction of an edge or path pattern relative to the chain.
+type Direction uint8
+
+// Directions: (a)-[e]->(b), (a)<-[e]-(b), (a)-[e]-(b).
+const (
+	DirOut Direction = iota
+	DirIn
+	DirBoth
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirOut:
+		return "->"
+	case DirIn:
+		return "<-"
+	case DirBoth:
+		return "--"
+	}
+	return "?"
+}
+
+// LabelSpec is a label predicate: a conjunction of disjunctions, e.g.
+// ":Post|Comment" is one disjunction {Post, Comment}; ":A:B" would be
+// two conjuncts. In CONSTRUCT position every mentioned label is
+// attached to the created object.
+type LabelSpec [][]string
+
+// PropMode distinguishes the three uses of {…} property maps.
+type PropMode uint8
+
+// Property map entry modes.
+const (
+	PropFilter PropMode = iota // {name = 'Wagner'}: match values
+	PropBind                   // {employer = e}: bind (and unroll) values
+	PropAssign                 // {name := expr}: CONSTRUCT assignment
+)
+
+// PropSpec is one entry of a property map.
+type PropSpec struct {
+	Key  string
+	Mode PropMode
+	Var  string // PropBind: variable receiving the value
+	Expr Expr   // PropFilter / PropAssign: compared / assigned expression
+	P    lexer.Pos
+}
+
+// NodePattern is (v :L1|L2 {props}), optionally with a GROUP clause in
+// CONSTRUCT position or the copy form (=v).
+type NodePattern struct {
+	Var    string // "" = anonymous
+	Copy   bool   // (=v): copy labels/properties into a fresh identity
+	Labels LabelSpec
+	Props  []*PropSpec
+	Group  []Expr // CONSTRUCT: explicit grouping set (GROUP e, …)
+	P      lexer.Pos
+}
+
+// EdgePattern is -[v :L {props}]-> and its direction variants.
+type EdgePattern struct {
+	Var    string
+	Copy   bool // [=v]
+	Labels LabelSpec
+	Props  []*PropSpec
+	Group  []Expr // CONSTRUCT: explicit grouping set
+	Dir    Direction
+	P      lexer.Pos
+}
+
+// PathMode selects the path-evaluation semantics of §3.
+type PathMode uint8
+
+// Path modes: k-shortest (the default, k=1), ALL-paths (legal only for
+// graph projection), and plain reachability (no variable bound).
+const (
+	PathShortest PathMode = iota
+	PathAll
+	PathReach
+)
+
+// PathPattern is -/ … /-> in MATCH and CONSTRUCT position:
+//
+//	-/<:knows*>/->                 reachability test (PathReach)
+//	-/p <:knows*>/->               shortest path bound to p
+//	-/3 SHORTEST p <:knows*> COST c/->  k-shortest with cost variable
+//	-/ALL p <:knows*>/->           all-paths (projection only)
+//	-/@p:toWagner/->               stored-path match (members of P)
+//	-/@p:label {d := c}/->         CONSTRUCT: store path p with label
+//	-/p/->                         CONSTRUCT: project path p's elements
+type PathPattern struct {
+	Var     string
+	Stored  bool // @p: stored path (match) / store the path (construct)
+	Mode    PathMode
+	K       int // k SHORTEST; 0 means the default of 1
+	Labels  LabelSpec
+	Props   []*PropSpec
+	Regex   *Regex // nil for bare stored-path references
+	CostVar string // COST c; "" if absent
+	Dir     Direction
+	P       lexer.Pos
+}
+
+func (*EdgePattern) linkNode() {}
+func (*PathPattern) linkNode() {}
+
+// ConstructClause is CONSTRUCT with a comma-separated list of basic
+// constructs (§A.3). A plain graph name in the list unions gr(gid)
+// into the result (the shorthand of the paper's line 20).
+type ConstructClause struct {
+	Items []*ConstructItem
+	P     lexer.Pos
+}
+
+// ConstructItem is one basic construct: a graph name or a construct
+// pattern with optional SET/REMOVE sub-clauses and a WHEN condition.
+type ConstructItem struct {
+	GraphName string // exclusive with Pattern
+	Pattern   *GraphPattern
+	Sets      []*SetItem
+	Removes   []*RemoveItem
+	When      Expr
+	P         lexer.Pos
+}
+
+// SetItem is SET x.k := expr or SET x:Label.
+type SetItem struct {
+	Var   string
+	Key   string // property assignment if non-empty
+	Label string // label addition if non-empty
+	Expr  Expr
+	P     lexer.Pos
+}
+
+// RemoveItem is REMOVE x.k or REMOVE x:Label.
+type RemoveItem struct {
+	Var   string
+	Key   string
+	Label string
+	P     lexer.Pos
+}
+
+// SelectClause is the §5 tabular projection extension.
+type SelectClause struct {
+	Distinct bool
+	Items    []*SelectItem
+	OrderBy  []*OrderItem
+	Limit    int // -1 if absent
+	P        lexer.Pos
+}
+
+// SelectItem is expr [AS name].
+type SelectItem struct {
+	Expr Expr
+	As   string
+	P    lexer.Pos
+}
+
+// OrderItem is expr [ASC|DESC].
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}

@@ -1,0 +1,196 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"gcore/internal/ast"
+	"gcore/internal/lexer"
+	"gcore/internal/parser"
+	"gcore/internal/value"
+)
+
+// TestPrintAllPaperQueries drives the canonical printer over every
+// paper query's AST (the parser tests check re-parse stability; this
+// checks printer coverage and shape).
+func TestPrintAllPaperQueries(t *testing.T) {
+	for key, src := range parser.PaperQueries {
+		stmt, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		printed := stmt.String()
+		if printed == "" {
+			t.Errorf("%s: empty rendering", key)
+		}
+		if strings.Contains(printed, "?") && !strings.Contains(src, "?") {
+			t.Errorf("%s: rendering contains placeholder '?':\n%s", key, printed)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if ast.SetUnion.String() != "UNION" || ast.SetIntersect.String() != "INTERSECT" ||
+		ast.SetMinus.String() != "MINUS" || ast.SetOp(9).String() != "?" {
+		t.Error("SetOp strings wrong")
+	}
+	if ast.DirOut.String() != "->" || ast.DirIn.String() != "<-" ||
+		ast.DirBoth.String() != "--" || ast.Direction(9).String() != "?" {
+		t.Error("Direction strings wrong")
+	}
+	if ast.OpNot.String() != "NOT" || ast.OpNeg.String() != "-" {
+		t.Error("UnaryOp strings wrong")
+	}
+	binOps := map[ast.BinaryOp]string{
+		ast.OpOr: "OR", ast.OpAnd: "AND", ast.OpEq: "=", ast.OpNeq: "<>",
+		ast.OpLt: "<", ast.OpLe: "<=", ast.OpGt: ">", ast.OpGe: ">=",
+		ast.OpIn: "IN", ast.OpSubset: "SUBSET", ast.OpAdd: "+",
+		ast.OpSub: "-", ast.OpMul: "*", ast.OpDiv: "/", ast.OpMod: "%",
+	}
+	for op, want := range binOps {
+		if op.String() != want {
+			t.Errorf("op %d = %q, want %q", op, op.String(), want)
+		}
+	}
+	if ast.BinaryOp(99).String() != "?" {
+		t.Error("unknown binary op")
+	}
+}
+
+func TestRegexStringAndViews(t *testing.T) {
+	rx := &ast.Regex{Op: ast.RxConcat, Subs: []*ast.Regex{
+		{Op: ast.RxLabel, Label: "a"},
+		{Op: ast.RxStar, Subs: []*ast.Regex{{Op: ast.RxAlt, Subs: []*ast.Regex{
+			{Op: ast.RxInvLabel, Label: "b"},
+			{Op: ast.RxView, Label: "v"},
+			{Op: ast.RxNodeLabel, Label: "P"},
+			{Op: ast.RxAnyEdge},
+			{Op: ast.RxAnyInv},
+		}}}},
+		{Op: ast.RxPlus, Subs: []*ast.Regex{{Op: ast.RxEps}}},
+		{Op: ast.RxOpt, Subs: []*ast.Regex{{Op: ast.RxLabel, Label: "c"}}},
+	}}
+	s := rx.String()
+	for _, frag := range []string{":a", ":b-", "~v", "!:P", "_", "_-", "()", "(:c)?"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("regex rendering %q missing %q", s, frag)
+		}
+	}
+	views := rx.Views()
+	if len(views) != 1 || views[0] != "v" {
+		t.Errorf("Views = %v", views)
+	}
+	if (&ast.Regex{Op: ast.RegexOp(99)}).String() != "?" {
+		t.Error("unknown regex op must render as ?")
+	}
+	if (&ast.Regex{Op: ast.RxEps}).Views() != nil {
+		t.Error("eps has no views")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	pos := lexer.Pos{Line: 1, Col: 1}
+	cases := map[string]ast.Expr{
+		"'it''s'":     &ast.Literal{Val: value.Str("it's"), P: pos},
+		"42":          &ast.Literal{Val: value.Int(42), P: pos},
+		"x":           &ast.VarRef{Name: "x", P: pos},
+		"x.k":         &ast.PropAccess{Var: "x", Key: "k", P: pos},
+		"(x:A|B)":     &ast.LabelTest{Var: "x", Labels: []string{"A", "B"}, P: pos},
+		"NOT x":       &ast.Unary{Op: ast.OpNot, X: &ast.VarRef{Name: "x", P: pos}, P: pos},
+		"-x":          &ast.Unary{Op: ast.OpNeg, X: &ast.VarRef{Name: "x", P: pos}, P: pos},
+		"(x + 1)":     &ast.Binary{Op: ast.OpAdd, L: &ast.VarRef{Name: "x", P: pos}, R: &ast.Literal{Val: value.Int(1), P: pos}, P: pos},
+		"COUNT(*)":    &ast.FuncCall{Name: "count", Star: true, P: pos},
+		"nodes(p)":    &ast.FuncCall{Name: "nodes", Args: []ast.Expr{&ast.VarRef{Name: "p", P: pos}}, P: pos},
+		"nodes(p)[1]": &ast.Index{Base: &ast.FuncCall{Name: "nodes", Args: []ast.Expr{&ast.VarRef{Name: "p", P: pos}}, P: pos}, Idx: &ast.Literal{Val: value.Int(1), P: pos}, P: pos},
+	}
+	for want, e := range cases {
+		if got := ast.ExprString(e); got != want {
+			t.Errorf("ExprString = %q, want %q", got, want)
+		}
+		if e.Pos() != pos {
+			t.Errorf("%q: position lost", want)
+		}
+	}
+	if ast.ExprString(nil) != "" {
+		t.Error("nil expr renders empty")
+	}
+	// CASE with operand and ELSE.
+	c := &ast.Case{
+		Operand: &ast.VarRef{Name: "x", P: pos},
+		Whens:   []ast.CaseWhen{{Cond: &ast.Literal{Val: value.Int(1), P: pos}, Then: &ast.Literal{Val: value.Str("a"), P: pos}}},
+		Else:    &ast.Literal{Val: value.Str("b"), P: pos},
+		P:       pos,
+	}
+	if got := ast.ExprString(c); got != "CASE x WHEN 1 THEN 'a' ELSE 'b' END" {
+		t.Errorf("case rendering = %q", got)
+	}
+}
+
+func TestStatementStringShapes(t *testing.T) {
+	stmt, err := parser.Parse(`PATH w = (a)-[e:knows]->(b) WHERE e.x = 1 COST 2
+GRAPH g AS (CONSTRUCT (n) MATCH (n:Person))
+CONSTRUCT (n) MATCH (n) ON g
+UNION
+CONSTRUCT (m) MATCH (m) ON (CONSTRUCT (q) MATCH (q:Tag))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stmt.String()
+	for _, frag := range []string{"PATH w =", "WHERE", "COST", "GRAPH g AS", "UNION", "ON ("} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("statement rendering missing %q:\n%s", frag, s)
+		}
+	}
+	// SELECT with all trimmings.
+	stmt2, err := parser.Parse(`SELECT DISTINCT n.a AS x MATCH (n:P) ORDER BY x DESC LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := stmt2.String()
+	for _, frag := range []string{"DISTINCT", "AS x", "ORDER BY", "DESC", "LIMIT 5"} {
+		if !strings.Contains(s2, frag) {
+			t.Errorf("select rendering missing %q:\n%s", frag, s2)
+		}
+	}
+	// Construct decorations.
+	stmt3, err := parser.Parse(`CONSTRUCT (=n :L {a := 1}) SET n.b := 2 SET n:M REMOVE n.c REMOVE n:N WHEN n.b > 0
+MATCH (n:Person)
+OPTIONAL (n)-[:x]->(y) WHERE (y:Q)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3 := stmt3.String()
+	for _, frag := range []string{"(=n", "SET n.b := 2", "SET n:M", "REMOVE n.c", "REMOVE n:N", "WHEN", "OPTIONAL"} {
+		if !strings.Contains(s3, frag) {
+			t.Errorf("construct rendering missing %q:\n%s", frag, s3)
+		}
+	}
+}
+
+func TestLabelSpecString(t *testing.T) {
+	ls := ast.LabelSpec{{"Post", "Comment"}, {"Message"}}
+	if got := ls.String(); got != ":Post|Comment:Message" {
+		t.Errorf("LabelSpec = %q", got)
+	}
+}
+
+func TestStringLiteralQuotingRoundTrip(t *testing.T) {
+	// Found by FuzzParse: backslashes and control characters must
+	// survive print→parse.
+	for _, s := range []string{`\`, `\\`, `a\'b`, "line\nbreak", "tab\there", `it's`, `''`} {
+		e := &ast.Literal{Val: value.Str(s)}
+		printed := ast.ExprString(e)
+		back, err := parser.ParseExpr(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (printed %q): %v", s, printed, err)
+		}
+		lit, ok := back.(*ast.Literal)
+		if !ok {
+			t.Fatalf("reparse of %q gave %T", s, back)
+		}
+		got, _ := lit.Val.AsString()
+		if got != s {
+			t.Errorf("round trip changed %q to %q (printed %q)", s, got, printed)
+		}
+	}
+}

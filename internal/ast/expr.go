@@ -1,0 +1,205 @@
+package ast
+
+import (
+	"gcore/internal/lexer"
+	"gcore/internal/value"
+)
+
+// Expr is an expression of §A.1:
+//
+//	ξ ::= x | x.k | x:ℓ | ⋄ξ | ξ ⊙ ξ | f(ξ,…) | Σ(ξ) | EXISTS q
+//
+// extended with CASE, list indexing (nodes(p)[1]) and implicit
+// existential graph patterns in WHERE position.
+type Expr interface {
+	exprNode()
+	Pos() lexer.Pos
+}
+
+// Literal is a constant: integer, float, string, boolean, date, null.
+type Literal struct {
+	Val value.Value
+	P   lexer.Pos
+}
+
+// VarRef references a bound variable x.
+type VarRef struct {
+	Name string
+	P    lexer.Pos
+}
+
+// PropAccess is x.k — σ(µ(x), k).
+type PropAccess struct {
+	Var string
+	Key string
+	P   lexer.Pos
+}
+
+// LabelTest is x:ℓ (in WHERE, written (x:Person)); Labels is a
+// disjunction: (msg:Post|Comment) holds if any label matches.
+type LabelTest struct {
+	Var    string
+	Labels []string
+	P      lexer.Pos
+}
+
+// UnaryOp names a unary operator.
+type UnaryOp uint8
+
+// Unary operators.
+const (
+	OpNot UnaryOp = iota
+	OpNeg
+)
+
+func (op UnaryOp) String() string {
+	if op == OpNot {
+		return "NOT"
+	}
+	return "-"
+}
+
+// Unary applies a unary operator.
+type Unary struct {
+	Op UnaryOp
+	X  Expr
+	P  lexer.Pos
+}
+
+// BinaryOp names a binary operator.
+type BinaryOp uint8
+
+// Binary operators.
+const (
+	OpOr BinaryOp = iota
+	OpAnd
+	OpEq
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpIn
+	OpSubset
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+func (op BinaryOp) String() string {
+	switch op {
+	case OpOr:
+		return "OR"
+	case OpAnd:
+		return "AND"
+	case OpEq:
+		return "="
+	case OpNeq:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpIn:
+		return "IN"
+	case OpSubset:
+		return "SUBSET"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	}
+	return "?"
+}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinaryOp
+	L, R Expr
+	P    lexer.Pos
+}
+
+// FuncCall is a built-in function application f(ξ,…): labels, nodes,
+// edges, size/length, cost, id, type casts — or an aggregation
+// (COUNT/SUM/MIN/MAX/AVG/COLLECT) in CONSTRUCT position. Star marks
+// COUNT(*).
+type FuncCall struct {
+	Name string // lower-cased
+	Args []Expr
+	Star bool
+	P    lexer.Pos
+}
+
+// Index is base[i] — 0-based list indexing (nodes(p)[1] is the second
+// node of p, §3).
+type Index struct {
+	Base Expr
+	Idx  Expr
+	P    lexer.Pos
+}
+
+// CaseWhen is one WHEN cond THEN result arm.
+type CaseWhen struct {
+	Cond Expr
+	Then Expr
+}
+
+// Case is CASE [operand] WHEN … THEN … [ELSE …] END; the paper's
+// CASE expressions "coalesce missing data into other values".
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []CaseWhen
+	Else    Expr // nil means NULL
+	P       lexer.Pos
+}
+
+// Exists is EXISTS (query): true iff the subquery evaluates to a
+// non-empty graph.
+type Exists struct {
+	Query Query
+	P     lexer.Pos
+}
+
+// PatternPred is a graph pattern used as a boolean expression in
+// WHERE — the implicit existential quantification of §3.
+type PatternPred struct {
+	Pattern *GraphPattern
+	P       lexer.Pos
+}
+
+func (*Literal) exprNode()     {}
+func (*VarRef) exprNode()      {}
+func (*PropAccess) exprNode()  {}
+func (*LabelTest) exprNode()   {}
+func (*Unary) exprNode()       {}
+func (*Binary) exprNode()      {}
+func (*FuncCall) exprNode()    {}
+func (*Index) exprNode()       {}
+func (*Case) exprNode()        {}
+func (*Exists) exprNode()      {}
+func (*PatternPred) exprNode() {}
+
+// Pos implementations.
+func (e *Literal) Pos() lexer.Pos     { return e.P }
+func (e *VarRef) Pos() lexer.Pos      { return e.P }
+func (e *PropAccess) Pos() lexer.Pos  { return e.P }
+func (e *LabelTest) Pos() lexer.Pos   { return e.P }
+func (e *Unary) Pos() lexer.Pos       { return e.P }
+func (e *Binary) Pos() lexer.Pos      { return e.P }
+func (e *FuncCall) Pos() lexer.Pos    { return e.P }
+func (e *Index) Pos() lexer.Pos       { return e.P }
+func (e *Case) Pos() lexer.Pos        { return e.P }
+func (e *Exists) Pos() lexer.Pos      { return e.P }
+func (e *PatternPred) Pos() lexer.Pos { return e.P }

@@ -1,0 +1,461 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"gcore/internal/value"
+)
+
+// String renders the statement in canonical surface syntax. The
+// rendering is parseable again (modulo whitespace), which the parser
+// tests use as a round-trip check.
+func (s *Statement) String() string {
+	var sb strings.Builder
+	for _, p := range s.Paths {
+		sb.WriteString(p.String())
+		sb.WriteByte('\n')
+	}
+	for _, g := range s.Graphs {
+		sb.WriteString(g.String())
+		sb.WriteByte('\n')
+	}
+	if s.Query != nil {
+		writeQuery(&sb, s.Query)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+func writeQuery(sb *strings.Builder, q Query) {
+	switch x := q.(type) {
+	case *SetQuery:
+		writeQuery(sb, x.Left)
+		sb.WriteByte('\n')
+		sb.WriteString(x.Op.String())
+		sb.WriteByte('\n')
+		writeQuery(sb, x.Right)
+	case *BasicQuery:
+		sb.WriteString(x.String())
+	}
+}
+
+// String renders a PATH clause.
+func (p *PathClause) String() string {
+	var sb strings.Builder
+	sb.WriteString("PATH ")
+	sb.WriteString(p.Name)
+	sb.WriteString(" = ")
+	for i, gp := range p.Patterns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(gp.String())
+	}
+	if p.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(ExprString(p.Where))
+	}
+	if p.Cost != nil {
+		sb.WriteString(" COST ")
+		sb.WriteString(ExprString(p.Cost))
+	}
+	return sb.String()
+}
+
+// String renders a GRAPH / GRAPH VIEW clause.
+func (g *GraphClause) String() string {
+	var sb strings.Builder
+	if g.View {
+		sb.WriteString("GRAPH VIEW ")
+	} else {
+		sb.WriteString("GRAPH ")
+	}
+	sb.WriteString(g.Name)
+	sb.WriteString(" AS (\n")
+	sb.WriteString(g.Body.String())
+	sb.WriteString("\n)")
+	return sb.String()
+}
+
+// String renders a basic query.
+func (b *BasicQuery) String() string {
+	var sb strings.Builder
+	if b.Select != nil {
+		sb.WriteString(b.Select.String())
+	}
+	if b.Construct != nil {
+		sb.WriteString(b.Construct.String())
+	}
+	if b.From != "" {
+		sb.WriteString("\nFROM ")
+		sb.WriteString(b.From)
+	}
+	if b.Match != nil {
+		sb.WriteByte('\n')
+		sb.WriteString(b.Match.String())
+	}
+	return strings.TrimLeft(sb.String(), "\n")
+}
+
+// String renders a MATCH clause.
+func (m *MatchClause) String() string {
+	var sb strings.Builder
+	sb.WriteString("MATCH ")
+	for i, lp := range m.Patterns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(lp.String())
+	}
+	if m.Where != nil {
+		sb.WriteString("\nWHERE ")
+		sb.WriteString(ExprString(m.Where))
+	}
+	for _, o := range m.Optionals {
+		sb.WriteByte('\n')
+		sb.WriteString(o.String())
+	}
+	return sb.String()
+}
+
+// String renders an OPTIONAL block.
+func (o *OptionalBlock) String() string {
+	var sb strings.Builder
+	sb.WriteString("OPTIONAL ")
+	for i, lp := range o.Patterns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(lp.String())
+	}
+	if o.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(ExprString(o.Where))
+	}
+	return sb.String()
+}
+
+// String renders a located pattern.
+func (lp *LocatedPattern) String() string {
+	s := lp.Pattern.String()
+	if lp.OnGraph != "" {
+		s += " ON " + lp.OnGraph
+	}
+	if lp.OnQuery != nil {
+		var sb strings.Builder
+		writeQuery(&sb, lp.OnQuery)
+		s += " ON (" + sb.String() + ")"
+	}
+	return s
+}
+
+// String renders a graph pattern chain.
+func (g *GraphPattern) String() string {
+	var sb strings.Builder
+	sb.WriteString(g.Nodes[0].String())
+	for i, l := range g.Links {
+		switch x := l.(type) {
+		case *EdgePattern:
+			sb.WriteString(x.String())
+		case *PathPattern:
+			sb.WriteString(x.String())
+		}
+		sb.WriteString(g.Nodes[i+1].String())
+	}
+	return sb.String()
+}
+
+func (ls LabelSpec) String() string {
+	var sb strings.Builder
+	for _, conj := range ls {
+		sb.WriteByte(':')
+		sb.WriteString(strings.Join(conj, "|"))
+	}
+	return sb.String()
+}
+
+func propsString(props []*PropSpec) string {
+	if len(props) == 0 {
+		return ""
+	}
+	parts := make([]string, len(props))
+	for i, p := range props {
+		switch p.Mode {
+		case PropFilter:
+			parts[i] = fmt.Sprintf("%s = %s", p.Key, ExprString(p.Expr))
+		case PropBind:
+			parts[i] = fmt.Sprintf("%s = %s", p.Key, p.Var)
+		case PropAssign:
+			parts[i] = fmt.Sprintf("%s := %s", p.Key, ExprString(p.Expr))
+		}
+	}
+	return " {" + strings.Join(parts, ", ") + "}"
+}
+
+func groupString(group []Expr) string {
+	if len(group) == 0 {
+		return ""
+	}
+	parts := make([]string, len(group))
+	for i, e := range group {
+		parts[i] = ExprString(e)
+	}
+	return " GROUP " + strings.Join(parts, ", ")
+}
+
+// String renders a node pattern.
+func (n *NodePattern) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	if n.Copy {
+		sb.WriteByte('=')
+	}
+	sb.WriteString(n.Var)
+	sb.WriteString(groupString(n.Group))
+	if len(n.Labels) > 0 {
+		if n.Var != "" || len(n.Group) > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(n.Labels.String())
+	}
+	sb.WriteString(propsString(n.Props))
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// String renders an edge pattern with its direction arrows.
+func (e *EdgePattern) String() string {
+	var sb strings.Builder
+	if e.Dir == DirIn {
+		sb.WriteString("<-[")
+	} else {
+		sb.WriteString("-[")
+	}
+	if e.Copy {
+		sb.WriteByte('=')
+	}
+	sb.WriteString(e.Var)
+	sb.WriteString(groupString(e.Group))
+	if len(e.Labels) > 0 {
+		if e.Var != "" || len(e.Group) > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(e.Labels.String())
+	}
+	sb.WriteString(propsString(e.Props))
+	if e.Dir == DirOut {
+		sb.WriteString("]->")
+	} else {
+		sb.WriteString("]-")
+	}
+	return sb.String()
+}
+
+// String renders a path pattern with its slashes.
+func (p *PathPattern) String() string {
+	var sb strings.Builder
+	if p.Dir == DirIn {
+		sb.WriteString("<-/")
+	} else {
+		sb.WriteString("-/")
+	}
+	switch {
+	case p.Mode == PathAll:
+		sb.WriteString("ALL ")
+	case p.K > 1:
+		fmt.Fprintf(&sb, "%d SHORTEST ", p.K)
+	}
+	if p.Stored {
+		sb.WriteByte('@')
+	}
+	sb.WriteString(p.Var)
+	if len(p.Labels) > 0 {
+		sb.WriteString(p.Labels.String())
+	}
+	sb.WriteString(propsString(p.Props))
+	if p.Regex != nil {
+		if p.Var != "" {
+			sb.WriteByte(' ')
+		}
+		sb.WriteByte('<')
+		sb.WriteString(p.Regex.String())
+		sb.WriteByte('>')
+	}
+	if p.CostVar != "" {
+		sb.WriteString(" COST ")
+		sb.WriteString(p.CostVar)
+	}
+	if p.Dir == DirOut {
+		sb.WriteString("/->")
+	} else {
+		sb.WriteString("/-")
+	}
+	return sb.String()
+}
+
+// String renders a CONSTRUCT clause.
+func (c *ConstructClause) String() string {
+	var sb strings.Builder
+	sb.WriteString("CONSTRUCT ")
+	for i, item := range c.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(item.String())
+	}
+	return sb.String()
+}
+
+// String renders one construct item.
+func (ci *ConstructItem) String() string {
+	if ci.GraphName != "" {
+		return ci.GraphName
+	}
+	var sb strings.Builder
+	sb.WriteString(ci.Pattern.String())
+	for _, s := range ci.Sets {
+		sb.WriteString(" SET ")
+		if s.Key != "" {
+			fmt.Fprintf(&sb, "%s.%s := %s", s.Var, s.Key, ExprString(s.Expr))
+		} else {
+			fmt.Fprintf(&sb, "%s:%s", s.Var, s.Label)
+		}
+	}
+	for _, r := range ci.Removes {
+		sb.WriteString(" REMOVE ")
+		if r.Key != "" {
+			fmt.Fprintf(&sb, "%s.%s", r.Var, r.Key)
+		} else {
+			fmt.Fprintf(&sb, "%s:%s", r.Var, r.Label)
+		}
+	}
+	if ci.When != nil {
+		sb.WriteString(" WHEN ")
+		sb.WriteString(ExprString(ci.When))
+	}
+	return sb.String()
+}
+
+// String renders a SELECT clause.
+func (s *SelectClause) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(ExprString(it.Expr))
+		if it.As != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(it.As)
+		}
+	}
+	for i, o := range s.OrderBy {
+		if i == 0 {
+			sb.WriteString(" ORDER BY ")
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(ExprString(o.Expr))
+		if o.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", s.Limit)
+	}
+	return sb.String()
+}
+
+// quoteString renders a string literal so that it re-lexes to the
+// same value: backslashes and control characters use backslash
+// escapes, quotes are doubled.
+func quoteString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('\'')
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\'':
+			sb.WriteString("''")
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	sb.WriteByte('\'')
+	return sb.String()
+}
+
+// ExprString renders an expression in surface syntax.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *Literal:
+		if s, ok := x.Val.AsString(); ok {
+			return quoteString(s)
+		}
+		if x.Val.Kind() == value.KindDate {
+			return "DATE '" + x.Val.String() + "'"
+		}
+		return x.Val.String()
+	case *VarRef:
+		return x.Name
+	case *PropAccess:
+		return x.Var + "." + x.Key
+	case *LabelTest:
+		return "(" + x.Var + ":" + strings.Join(x.Labels, "|") + ")"
+	case *Unary:
+		if x.Op == OpNot {
+			return "NOT " + ExprString(x.X)
+		}
+		return "-" + ExprString(x.X)
+	case *Binary:
+		return "(" + ExprString(x.L) + " " + x.Op.String() + " " + ExprString(x.R) + ")"
+	case *FuncCall:
+		if x.Star {
+			return strings.ToUpper(x.Name) + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *Index:
+		return ExprString(x.Base) + "[" + ExprString(x.Idx) + "]"
+	case *Case:
+		var sb strings.Builder
+		sb.WriteString("CASE")
+		if x.Operand != nil {
+			sb.WriteByte(' ')
+			sb.WriteString(ExprString(x.Operand))
+		}
+		for _, w := range x.Whens {
+			sb.WriteString(" WHEN ")
+			sb.WriteString(ExprString(w.Cond))
+			sb.WriteString(" THEN ")
+			sb.WriteString(ExprString(w.Then))
+		}
+		if x.Else != nil {
+			sb.WriteString(" ELSE ")
+			sb.WriteString(ExprString(x.Else))
+		}
+		sb.WriteString(" END")
+		return sb.String()
+	case *Exists:
+		var sb strings.Builder
+		writeQuery(&sb, x.Query)
+		return "EXISTS (" + sb.String() + ")"
+	case *PatternPred:
+		return x.Pattern.String()
+	}
+	return "?"
+}

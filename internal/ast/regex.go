@@ -1,0 +1,103 @@
+package ast
+
+// Regex is a regular path expression (§A.1):
+//
+//	r ::= _ | ℓ | ℓ⁻ | !ℓ | (r + r) | (r r) | (r)*
+//
+// In the surface syntax, regular expressions appear between angle
+// brackets inside path patterns:
+//
+//	<:knows*>        Kleene star over the edge label knows
+//	<:knows->        inverse edge (ℓ⁻): traversed against direction
+//	<!:Person>       node label test (!ℓ)
+//	<_>              any single edge (wildcard)
+//	<~wKnows*>       reference to a PATH view (weighted segments)
+//	<:a :b | :c+>    concatenation, alternation, plus, optional (?)
+type Regex struct {
+	Op    RegexOp
+	Label string   // RxLabel, RxInvLabel, RxNodeLabel, RxView
+	Subs  []*Regex // RxConcat, RxAlt (n-ary); RxStar/RxPlus/RxOpt (1)
+}
+
+// RegexOp discriminates regex nodes.
+type RegexOp uint8
+
+// Regex node kinds.
+const (
+	RxEps       RegexOp = iota // ε, the empty word
+	RxAnyEdge                  // _: any edge, either label
+	RxLabel                    // :ℓ  — forward edge with label ℓ
+	RxInvLabel                 // :ℓ- — backward edge with label ℓ (ℓ⁻)
+	RxAnyInv                   // _-  — any edge traversed backwards
+	RxNodeLabel                // !:ℓ — node label test (consumes no edge)
+	RxView                     // ~v  — PATH view segment
+	RxConcat                   // r1 r2 …
+	RxAlt                      // r1 | r2 | …
+	RxStar                     // r*
+	RxPlus                     // r+
+	RxOpt                      // r?
+)
+
+// String renders the regex in surface syntax.
+func (r *Regex) String() string {
+	switch r.Op {
+	case RxEps:
+		return "()"
+	case RxAnyEdge:
+		return "_"
+	case RxAnyInv:
+		return "_-"
+	case RxLabel:
+		return ":" + r.Label
+	case RxInvLabel:
+		return ":" + r.Label + "-"
+	case RxNodeLabel:
+		return "!:" + r.Label
+	case RxView:
+		return "~" + r.Label
+	case RxConcat:
+		s := ""
+		for i, sub := range r.Subs {
+			if i > 0 {
+				s += " "
+			}
+			s += sub.String()
+		}
+		return s
+	case RxAlt:
+		s := "("
+		for i, sub := range r.Subs {
+			if i > 0 {
+				s += "|"
+			}
+			s += sub.String()
+		}
+		return s + ")"
+	case RxStar:
+		return "(" + r.Subs[0].String() + ")*"
+	case RxPlus:
+		return "(" + r.Subs[0].String() + ")+"
+	case RxOpt:
+		return "(" + r.Subs[0].String() + ")?"
+	}
+	return "?"
+}
+
+// Views returns the names of all PATH views referenced by the regex.
+func (r *Regex) Views() []string {
+	var out []string
+	var walk func(*Regex)
+	walk = func(x *Regex) {
+		if x == nil {
+			return
+		}
+		if x.Op == RxView {
+			out = append(out, x.Label)
+		}
+		for _, s := range x.Subs {
+			walk(s)
+		}
+	}
+	walk(r)
+	return out
+}

@@ -1,0 +1,455 @@
+// Package bindings implements the variable-binding machinery of
+// G-CORE's semantics (§A.1 of the paper): bindings µ are partial
+// functions from variables to graph objects and literals, and binding
+// tables Ω are finite sets of bindings on which the evaluator applies
+// the operators ∪ (union), ⋈ (join), ⋉ (semijoin), ∖ (antijoin) and
+// the left-outer join ⟕ used by OPTIONAL.
+package bindings
+
+import (
+	"sort"
+	"strings"
+
+	"gcore/internal/value"
+)
+
+// Binding is a binding µ: a partial function from variable names to
+// values (node/edge/path references or literals). A variable that is
+// absent from the map is unbound.
+type Binding map[string]value.Value
+
+// Empty is the binding µ∅ with empty domain; it is compatible with
+// every binding and is the unit of the join.
+func Empty() Binding { return Binding{} }
+
+// Clone returns an independent copy of the binding.
+func (b Binding) Clone() Binding {
+	cp := make(Binding, len(b))
+	for k, v := range b {
+		cp[k] = v
+	}
+	return cp
+}
+
+// Vars returns the bound variable names (dom µ) in sorted order.
+func (b Binding) Vars() []string {
+	vs := make([]string, 0, len(b))
+	for v := range b {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// Compatible reports µ1 ∼ µ2: agreement on every shared variable.
+func Compatible(a, b Binding) bool {
+	// Probe the smaller map.
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; ok && !value.Equal(va, vb) {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns µ1 ∪ µ2 for compatible bindings.
+func Merge(a, b Binding) Binding {
+	out := make(Binding, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Key returns a canonical string for the binding restricted to vars;
+// unbound variables contribute a distinguished marker. Equal
+// restrictions yield equal keys.
+func (b Binding) Key(vars []string) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		if val, ok := b[v]; ok {
+			sb.WriteString(val.Key())
+		} else {
+			sb.WriteByte('?')
+		}
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// String renders the binding as {x↦v, ...} in variable order.
+func (b Binding) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, v := range b.Vars() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v)
+		sb.WriteString("->")
+		sb.WriteString(b[v].String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Table is a binding table Ω: a set of bindings together with the
+// variables that may occur in them (its schema). The schema is the
+// union of the variables of the contributing patterns; individual
+// rows may leave schema variables unbound (OPTIONAL).
+type Table struct {
+	vars []string // sorted
+	rows []Binding
+}
+
+// NewTable creates a table with the given schema and rows.
+func NewTable(vars []string, rows ...Binding) *Table {
+	t := &Table{vars: normVars(vars)}
+	t.rows = append(t.rows, rows...)
+	return t
+}
+
+// Unit returns the table {µ∅}: one row binding nothing. It is the
+// starting Ω′ of a top-level MATCH (§A.5).
+func Unit() *Table { return &Table{rows: []Binding{Empty()}} }
+
+// EmptyTable returns a table with no rows.
+func EmptyTable(vars ...string) *Table { return &Table{vars: normVars(vars)} }
+
+func normVars(vars []string) []string {
+	vs := append([]string(nil), vars...)
+	sort.Strings(vs)
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || vs[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Vars returns the table's schema in sorted order.
+func (t *Table) Vars() []string { return t.vars }
+
+// HasVar reports whether v is part of the schema.
+func (t *Table) HasVar(v string) bool {
+	i := sort.SearchStrings(t.vars, v)
+	return i < len(t.vars) && t.vars[i] == v
+}
+
+// Rows returns the rows; the slice must not be modified.
+func (t *Table) Rows() []Binding { return t.rows }
+
+// Len returns |Ω|.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Add appends a row.
+func (t *Table) Add(b Binding) { t.rows = append(t.rows, b) }
+
+// sharedVars returns the schema intersection of two tables.
+func sharedVars(a, b *Table) []string {
+	out := []string{}
+	for _, v := range a.vars {
+		if b.HasVar(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func unionVars(a, b *Table) []string {
+	return normVars(append(append([]string(nil), a.vars...), b.vars...))
+}
+
+// Union returns Ω1 ∪ Ω2 (duplicate rows are collapsed: Ω is a set).
+func Union(a, b *Table) *Table {
+	out := &Table{vars: unionVars(a, b)}
+	seen := map[string]bool{}
+	for _, t := range []*Table{a, b} {
+		for _, r := range t.rows {
+			k := r.Key(out.vars)
+			if !seen[k] {
+				seen[k] = true
+				out.rows = append(out.rows, r)
+			}
+		}
+	}
+	return out
+}
+
+// boundAll reports whether r binds every variable in vars.
+func boundAll(r Binding, vars []string) bool {
+	for _, v := range vars {
+		if _, ok := r[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// matcher indexes the rows of a table for compatibility probes on the
+// shared variables with another table. Rows that bind all shared
+// variables go into hash buckets; rows with unbound shared variables
+// must be checked pairwise and are kept in a loose list.
+type matcher struct {
+	shared  []string
+	buckets map[string][]Binding
+	loose   []Binding
+}
+
+func newMatcher(t *Table, shared []string) *matcher {
+	m := &matcher{shared: shared, buckets: map[string][]Binding{}}
+	for _, r := range t.rows {
+		if boundAll(r, shared) {
+			k := r.Key(shared)
+			m.buckets[k] = append(m.buckets[k], r)
+		} else {
+			m.loose = append(m.loose, r)
+		}
+	}
+	return m
+}
+
+// candidates yields the rows possibly compatible with l; each still
+// needs a Compatible check (bucket equality only covers shared vars
+// bound on both sides).
+func (m *matcher) candidates(l Binding) []Binding {
+	if boundAll(l, m.shared) {
+		out := m.buckets[l.Key(m.shared)]
+		if len(m.loose) == 0 {
+			return out
+		}
+		return append(append([]Binding(nil), out...), m.loose...)
+	}
+	// l leaves a shared variable unbound: every row may match.
+	all := make([]Binding, 0, len(m.loose)+len(m.buckets))
+	all = append(all, m.loose...)
+	keys := make([]string, 0, len(m.buckets))
+	for k := range m.buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		all = append(all, m.buckets[k]...)
+	}
+	return all
+}
+
+// Join returns Ω1 ⋈ Ω2 = {µ1 ∪ µ2 | µ1 ∼ µ2}.
+func Join(a, b *Table) *Table {
+	out, _ := JoinLimited(a, b, 0)
+	return out
+}
+
+// JoinLimited is Join with a row budget: materialisation stops as
+// soon as the output exceeds max rows (0 = unlimited) and the second
+// result reports the overflow. Stopping *inside* the join matters:
+// an adversarial cartesian product must not be allocated before a
+// caller-side check can reject it.
+func JoinLimited(a, b *Table, max int) (*Table, bool) {
+	out := &Table{vars: unionVars(a, b)}
+	m := newMatcher(b, sharedVars(a, b))
+	for _, l := range a.rows {
+		for _, r := range m.candidates(l) {
+			if Compatible(l, r) {
+				out.rows = append(out.rows, Merge(l, r))
+				if max > 0 && len(out.rows) > max {
+					return out, true
+				}
+			}
+		}
+	}
+	return out, false
+}
+
+// SemiJoin returns Ω1 ⋉ Ω2 = {µ1 | ∃µ2 ∈ Ω2 : µ1 ∼ µ2}.
+func SemiJoin(a, b *Table) *Table {
+	out := &Table{vars: a.vars}
+	m := newMatcher(b, sharedVars(a, b))
+	for _, l := range a.rows {
+		for _, r := range m.candidates(l) {
+			if Compatible(l, r) {
+				out.rows = append(out.rows, l)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AntiJoin returns Ω1 ∖ Ω2 = {µ1 | ∄µ2 ∈ Ω2 : µ1 ∼ µ2}.
+func AntiJoin(a, b *Table) *Table {
+	out := &Table{vars: a.vars}
+	m := newMatcher(b, sharedVars(a, b))
+outer:
+	for _, l := range a.rows {
+		for _, r := range m.candidates(l) {
+			if Compatible(l, r) {
+				continue outer
+			}
+		}
+		out.rows = append(out.rows, l)
+	}
+	return out
+}
+
+// LeftJoin returns Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 ∖ Ω2): the operator the
+// paper writes as the overlined join and uses for OPTIONAL.
+func LeftJoin(a, b *Table) *Table {
+	out, _ := LeftJoinLimited(a, b, 0)
+	return out
+}
+
+// LeftJoinLimited is LeftJoin with the same row budget semantics as
+// JoinLimited.
+func LeftJoinLimited(a, b *Table, max int) (*Table, bool) {
+	out := &Table{vars: unionVars(a, b)}
+	m := newMatcher(b, sharedVars(a, b))
+	for _, l := range a.rows {
+		matched := false
+		for _, r := range m.candidates(l) {
+			if Compatible(l, r) {
+				matched = true
+				out.rows = append(out.rows, Merge(l, r))
+				if max > 0 && len(out.rows) > max {
+					return out, true
+				}
+			}
+		}
+		if !matched {
+			out.rows = append(out.rows, l)
+			if max > 0 && len(out.rows) > max {
+				return out, true
+			}
+		}
+	}
+	return out, false
+}
+
+// Filter keeps the rows for which pred returns true; the first error
+// aborts.
+func (t *Table) Filter(pred func(Binding) (bool, error)) (*Table, error) {
+	out := &Table{vars: t.vars}
+	for _, r := range t.rows {
+		ok, err := pred(r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out, nil
+}
+
+// Project restricts every row (and the schema) to vars.
+func (t *Table) Project(vars []string) *Table {
+	keep := normVars(vars)
+	out := &Table{vars: keep}
+	for _, r := range t.rows {
+		nr := Binding{}
+		for _, v := range keep {
+			if val, ok := r[v]; ok {
+				nr[v] = val
+			}
+		}
+		out.rows = append(out.rows, nr)
+	}
+	return out
+}
+
+// Distinct collapses duplicate rows.
+func (t *Table) Distinct() *Table {
+	out := &Table{vars: t.vars}
+	seen := map[string]bool{}
+	for _, r := range t.rows {
+		k := r.Key(t.vars)
+		if !seen[k] {
+			seen[k] = true
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out
+}
+
+// Sorted returns a copy whose rows are in canonical order (by the
+// binding keys over the schema), for deterministic output.
+func (t *Table) Sorted() *Table {
+	out := &Table{vars: t.vars, rows: append([]Binding(nil), t.rows...)}
+	sort.SliceStable(out.rows, func(i, j int) bool {
+		return out.rows[i].Key(out.vars) < out.rows[j].Key(out.vars)
+	})
+	return out
+}
+
+// Group is one equivalence class of grp(Ω, g) (§A.3): the rows of Ω
+// that agree on the grouping variables, with Key the projection
+// Ω′(Γ).
+type Group struct {
+	Key  Binding
+	Rows []Binding
+}
+
+// GroupBy partitions the table by the grouping set Γ. Groups are
+// returned in canonical key order. Rows that leave a grouping variable
+// unbound group under the unbound marker, mirroring how Ω′(x) may be
+// undefined in §A.3.
+func (t *Table) GroupBy(gamma []string) []Group {
+	gs := normVars(gamma)
+	idx := map[string]int{}
+	groups := []Group{}
+	for _, r := range t.rows {
+		k := r.Key(gs)
+		i, ok := idx[k]
+		if !ok {
+			key := Binding{}
+			for _, v := range gs {
+				if val, bound := r[v]; bound {
+					key[v] = val
+				}
+			}
+			i = len(groups)
+			idx[k] = i
+			groups = append(groups, Group{Key: key})
+		}
+		groups[i].Rows = append(groups[i].Rows, r)
+	}
+	sort.SliceStable(groups, func(i, j int) bool {
+		return groups[i].Key.Key(gs) < groups[j].Key.Key(gs)
+	})
+	return groups
+}
+
+// AddVars widens the schema (used when the evaluator introduces
+// variables such as construct variables).
+func (t *Table) AddVars(vars ...string) {
+	t.vars = normVars(append(t.vars, vars...))
+}
+
+// String renders the table for diagnostics: header then rows in
+// current order.
+func (t *Table) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.vars, "\t"))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		for i, v := range t.vars {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			if val, ok := r[v]; ok {
+				sb.WriteString(val.String())
+			} else {
+				sb.WriteString("·")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

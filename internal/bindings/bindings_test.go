@@ -1,0 +1,362 @@
+package bindings
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gcore/internal/value"
+)
+
+func row(kv ...any) Binding {
+	b := Binding{}
+	for i := 0; i < len(kv); i += 2 {
+		b[kv[i].(string)] = kv[i+1].(value.Value)
+	}
+	return b
+}
+
+func TestCompatibleAndMerge(t *testing.T) {
+	a := row("x", value.NodeRef(1), "y", value.Int(2))
+	b := row("y", value.Int(2), "z", value.Str("s"))
+	c := row("y", value.Int(3))
+	if !Compatible(a, b) || Compatible(a, c) {
+		t.Fatal("compatibility misjudged")
+	}
+	if !Compatible(a, Empty()) || !Compatible(Empty(), a) {
+		t.Fatal("µ∅ is compatible with everything")
+	}
+	m := Merge(a, b)
+	if len(m) != 3 || !value.Equal(m["z"], value.Str("s")) {
+		t.Fatalf("merge = %v", m)
+	}
+	cl := a.Clone()
+	cl["x"] = value.NodeRef(9)
+	if value.Equal(a["x"], cl["x"]) {
+		t.Error("Clone must be independent")
+	}
+	if got := a.Vars(); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("Vars = %v", got)
+	}
+}
+
+func TestBindingKeyAndString(t *testing.T) {
+	a := row("x", value.Int(1))
+	b := row("x", value.Int(1), "y", value.Int(2))
+	if a.Key([]string{"x"}) != b.Key([]string{"x"}) {
+		t.Error("keys over same restriction must agree")
+	}
+	if a.Key([]string{"x", "y"}) == b.Key([]string{"x", "y"}) {
+		t.Error("unbound var must be distinguished in key")
+	}
+	if !strings.Contains(b.String(), "y->2") {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+// The worked example of §A.2: three pattern tables joined to a single
+// binding {x↦105, y↦102, w↦106, z↦301}.
+func TestJoinPaperExample(t *testing.T) {
+	t1 := NewTable([]string{"x", "w"},
+		row("x", value.NodeRef(105), "w", value.NodeRef(106)),
+		row("x", value.NodeRef(102), "w", value.NodeRef(106)))
+	t2 := NewTable([]string{"y", "w"},
+		row("y", value.NodeRef(102), "w", value.NodeRef(106)),
+		row("y", value.NodeRef(105), "w", value.NodeRef(106)))
+	t3 := NewTable([]string{"z", "x", "y"},
+		row("z", value.PathRef(301), "x", value.NodeRef(105), "y", value.NodeRef(102)))
+
+	j12 := Join(t1, t2)
+	if j12.Len() != 4 {
+		t.Fatalf("t1 ⋈ t2 has %d rows, want 4 (cartesian on shared w)", j12.Len())
+	}
+	j := Join(j12, t3)
+	if j.Len() != 1 {
+		t.Fatalf("final join has %d rows, want 1", j.Len())
+	}
+	got := j.Rows()[0]
+	want := row("x", value.NodeRef(105), "y", value.NodeRef(102), "w", value.NodeRef(106), "z", value.PathRef(301))
+	if !Compatible(got, want) || len(got) != 4 {
+		t.Fatalf("join row = %v", got)
+	}
+}
+
+func TestJoinDisjointIsCartesian(t *testing.T) {
+	a := NewTable([]string{"a"}, row("a", value.Int(1)), row("a", value.Int(2)))
+	b := NewTable([]string{"b"}, row("b", value.Int(3)), row("b", value.Int(4)))
+	j := Join(a, b)
+	if j.Len() != 4 {
+		t.Fatalf("cartesian product has %d rows", j.Len())
+	}
+}
+
+func TestUnionDedups(t *testing.T) {
+	a := NewTable([]string{"x"}, row("x", value.Int(1)))
+	b := NewTable([]string{"x"}, row("x", value.Int(1)), row("x", value.Int(2)))
+	u := Union(a, b)
+	if u.Len() != 2 {
+		t.Fatalf("union has %d rows", u.Len())
+	}
+}
+
+func TestSemiAntiLeftJoin(t *testing.T) {
+	people := NewTable([]string{"n"},
+		row("n", value.NodeRef(1)), row("n", value.NodeRef(2)), row("n", value.NodeRef(3)))
+	works := NewTable([]string{"n", "c"},
+		row("n", value.NodeRef(1), "c", value.Str("Acme")),
+		row("n", value.NodeRef(1), "c", value.Str("HAL")),
+		row("n", value.NodeRef(2), "c", value.Str("CWI")))
+
+	if got := SemiJoin(people, works); got.Len() != 2 {
+		t.Errorf("semijoin = %d rows", got.Len())
+	}
+	anti := AntiJoin(people, works)
+	if anti.Len() != 1 || !value.Equal(anti.Rows()[0]["n"], value.NodeRef(3)) {
+		t.Errorf("antijoin = %v", anti.Rows())
+	}
+	lj := LeftJoin(people, works)
+	if lj.Len() != 4 {
+		t.Fatalf("leftjoin = %d rows, want 4", lj.Len())
+	}
+	// Node 3 keeps a row with c unbound.
+	found := false
+	for _, r := range lj.Rows() {
+		if value.Equal(r["n"], value.NodeRef(3)) {
+			if _, bound := r["c"]; bound {
+				t.Error("unmatched row must leave optional var unbound")
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("left join lost the unmatched left row")
+	}
+}
+
+// OPTIONAL semantics corner case: a right row that leaves a shared
+// variable unbound is compatible with every left row.
+func TestJoinWithUnboundSharedVars(t *testing.T) {
+	a := NewTable([]string{"x"}, row("x", value.Int(1)), row("x", value.Int(2)))
+	b := NewTable([]string{"x", "y"},
+		row("y", value.Int(10)),                    // x unbound: compatible with both
+		row("x", value.Int(1), "y", value.Int(20))) // only with x=1
+	j := Join(a, b)
+	if j.Len() != 3 {
+		t.Fatalf("join = %d rows, want 3\n%s", j.Len(), j)
+	}
+	// And symmetric: left row missing the shared var probes everything.
+	j2 := Join(b, a)
+	if j2.Len() != 3 {
+		t.Fatalf("reverse join = %d rows, want 3\n%s", j2.Len(), j2)
+	}
+}
+
+func TestFilterProjectDistinctSorted(t *testing.T) {
+	tbl := NewTable([]string{"x", "y"},
+		row("x", value.Int(2), "y", value.Str("b")),
+		row("x", value.Int(1), "y", value.Str("a")),
+		row("x", value.Int(2), "y", value.Str("c")))
+	f, err := tbl.Filter(func(b Binding) (bool, error) {
+		i, _ := b["x"].AsInt()
+		return i == 2, nil
+	})
+	if err != nil || f.Len() != 2 {
+		t.Fatalf("filter = %v, %v", f, err)
+	}
+	p := f.Project([]string{"x"})
+	if p.Len() != 2 || len(p.Vars()) != 1 {
+		t.Fatalf("project = %v", p)
+	}
+	d := p.Distinct()
+	if d.Len() != 1 {
+		t.Fatalf("distinct = %d rows", d.Len())
+	}
+	s := tbl.Sorted()
+	if i, _ := s.Rows()[0]["x"].AsInt(); i != 1 {
+		t.Error("sorted order wrong")
+	}
+	if !tbl.HasVar("x") || tbl.HasVar("z") {
+		t.Error("HasVar misbehaves")
+	}
+}
+
+func TestFilterError(t *testing.T) {
+	tbl := NewTable([]string{"x"}, row("x", value.Int(1)))
+	_, err := tbl.Filter(func(Binding) (bool, error) { return false, errBoom })
+	if err == nil {
+		t.Error("filter must propagate errors")
+	}
+}
+
+var errBoom = &value.TypeError{Op: "boom", Kind: value.KindBool}
+
+func TestGroupBy(t *testing.T) {
+	tbl := NewTable([]string{"e", "n"},
+		row("e", value.Str("MIT"), "n", value.NodeRef(1)),
+		row("e", value.Str("CWI"), "n", value.NodeRef(1)),
+		row("e", value.Str("MIT"), "n", value.NodeRef(2)),
+		row("n", value.NodeRef(3))) // e unbound
+	gs := tbl.GroupBy([]string{"e"})
+	if len(gs) != 3 {
+		t.Fatalf("groups = %d, want 3 (MIT, CWI, unbound)", len(gs))
+	}
+	sizes := map[string]int{}
+	for _, g := range gs {
+		if v, ok := g.Key["e"]; ok {
+			s, _ := v.AsString()
+			sizes[s] = len(g.Rows)
+		} else {
+			sizes["<unbound>"] = len(g.Rows)
+		}
+	}
+	if sizes["MIT"] != 2 || sizes["CWI"] != 1 || sizes["<unbound>"] != 1 {
+		t.Errorf("group sizes = %v", sizes)
+	}
+	// Grouping by nothing puts every row in one group.
+	all := tbl.GroupBy(nil)
+	if len(all) != 1 || len(all[0].Rows) != 4 {
+		t.Errorf("group by ∅ = %v", all)
+	}
+}
+
+func TestUnitAndEmpty(t *testing.T) {
+	u := Unit()
+	if u.Len() != 1 || len(u.Rows()[0]) != 0 {
+		t.Error("Unit must hold exactly µ∅")
+	}
+	e := EmptyTable("x")
+	if e.Len() != 0 || !e.HasVar("x") {
+		t.Error("EmptyTable misbehaves")
+	}
+	// Joining with Unit is the identity on rows.
+	tbl := NewTable([]string{"x"}, row("x", value.Int(1)))
+	if j := Join(u, tbl); j.Len() != 1 {
+		t.Error("Unit ⋈ Ω must equal Ω")
+	}
+	// µ∅ semijoin keeps everything; antijoin with Unit removes all.
+	if s := SemiJoin(tbl, u); s.Len() != 1 {
+		t.Error("Ω ⋉ {µ∅} = Ω")
+	}
+	if a := AntiJoin(tbl, u); a.Len() != 0 {
+		t.Error("Ω ∖ {µ∅} = ∅ (µ∅ is compatible with all)")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl := NewTable([]string{"x", "y"}, row("x", value.Int(1)))
+	s := tbl.String()
+	if !strings.Contains(s, "x\ty") || !strings.Contains(s, "·") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// randTable builds a random table over vars drawn from a tiny domain,
+// so the property tests hit collisions and unbound vars.
+func randTable(r *rand.Rand, vars []string) *Table {
+	t := EmptyTable(vars...)
+	n := r.Intn(8)
+	for i := 0; i < n; i++ {
+		b := Binding{}
+		for _, v := range vars {
+			switch r.Intn(3) {
+			case 0:
+				b[v] = value.Int(int64(r.Intn(3)))
+			case 1:
+				b[v] = value.Str("s")
+			}
+			// case 2: leave unbound
+		}
+		t.Add(b)
+	}
+	return t
+}
+
+// TestQuickLeftJoinDecomposition checks Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 ∖ Ω2)
+// and the semijoin/antijoin partition of Ω1.
+func TestQuickLeftJoinDecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randTable(r, []string{"x", "y"})
+		b := randTable(r, []string{"y", "z"})
+
+		lj := LeftJoin(a, b)
+		dec := Union(Join(a, b), AntiJoin(a, b))
+		if lj.Distinct().Sorted().String() != dec.Distinct().Sorted().String() {
+			return false
+		}
+		// ⋉ and ∖ partition Ω1 (as sets of rows).
+		part := Union(SemiJoin(a, b), AntiJoin(a, b))
+		return part.Distinct().Sorted().String() == a.Distinct().Sorted().String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickJoinCommutes checks Ω1 ⋈ Ω2 = Ω2 ⋈ Ω1 as sets.
+func TestQuickJoinCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randTable(r, []string{"x", "y"})
+		b := randTable(r, []string{"y", "z"})
+		ab := Join(a, b).Distinct().Sorted()
+		ba := Join(b, a).Distinct().Sorted()
+		return ab.String() == ba.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickJoinMatchesNestedLoop validates the hybrid hash join against
+// the obviously correct nested-loop definition.
+func TestQuickJoinMatchesNestedLoop(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randTable(r, []string{"x", "y"})
+		b := randTable(r, []string{"y", "z"})
+		naive := EmptyTable("x", "y", "z")
+		for _, l := range a.Rows() {
+			for _, rr := range b.Rows() {
+				if Compatible(l, rr) {
+					naive.Add(Merge(l, rr))
+				}
+			}
+		}
+		return Join(a, b).Distinct().Sorted().String() == naive.Distinct().Sorted().String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinLimited(t *testing.T) {
+	a := EmptyTable("x")
+	b := EmptyTable("y")
+	for i := 0; i < 50; i++ {
+		a.Add(Binding{"x": value.Int(int64(i))})
+		b.Add(Binding{"y": value.Int(int64(i))})
+	}
+	// Cartesian would be 2500 rows; the limit aborts early.
+	out, over := JoinLimited(a, b, 100)
+	if !over {
+		t.Fatal("overflow not reported")
+	}
+	if out.Len() > 101 {
+		t.Fatalf("materialised %d rows past the limit", out.Len())
+	}
+	// Under the limit: identical to Join.
+	out, over = JoinLimited(a, b, 10_000)
+	if over || out.Len() != 2500 {
+		t.Fatalf("join = %d rows, over=%v", out.Len(), over)
+	}
+	lj, over := LeftJoinLimited(a, b, 100)
+	if !over || lj.Len() > 101 {
+		t.Fatalf("left join limit: %d rows, over=%v", lj.Len(), over)
+	}
+	// Zero means unlimited.
+	if out, over := JoinLimited(a, b, 0); over || out.Len() != 2500 {
+		t.Fatal("zero limit must be unlimited")
+	}
+}

@@ -1,0 +1,189 @@
+// Package catalog manages the named objects of one G-CORE engine:
+// graphs (the gr(gid) function of §A.2), persistent graph views
+// (GRAPH VIEW, §A.6), binding tables (§5), and the engine-wide
+// identifier generator that keeps N, E and P disjoint across graphs.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"gcore/internal/ppg"
+	"gcore/internal/table"
+	"gcore/internal/value"
+)
+
+// Catalog is the name registry of an engine. It is not safe for
+// concurrent mutation; engines serialise access.
+type Catalog struct {
+	graphs      map[string]*ppg.Graph
+	tables      map[string]*table.Table
+	tableGraphs map[string]*ppg.Graph // tables-as-graphs cache (§5)
+	defaultName string
+	ids         *ppg.IDGen
+}
+
+// New creates an empty catalog. Generated identifiers start at 1000
+// so small hand-assigned identifiers in loaded graphs stay readable.
+func New() *Catalog {
+	return &Catalog{
+		graphs:      map[string]*ppg.Graph{},
+		tables:      map[string]*table.Table{},
+		tableGraphs: map[string]*ppg.Graph{},
+		ids:         ppg.NewIDGen(1000),
+	}
+}
+
+// IDs returns the engine-wide identifier generator.
+func (c *Catalog) IDs() *ppg.IDGen { return c.ids }
+
+// RegisterGraph stores g under its name and reserves its identifiers.
+// The first registered graph becomes the default graph.
+func (c *Catalog) RegisterGraph(g *ppg.Graph) error {
+	name := g.Name()
+	if name == "" {
+		return fmt.Errorf("catalog: graph needs a name")
+	}
+	if _, dup := c.tables[name]; dup {
+		return fmt.Errorf("catalog: %q already names a table", name)
+	}
+	c.graphs[name] = g
+	for _, id := range g.NodeIDs() {
+		c.ids.Reserve(uint64(id))
+	}
+	for _, id := range g.EdgeIDs() {
+		c.ids.Reserve(uint64(id))
+	}
+	for _, id := range g.PathIDs() {
+		c.ids.Reserve(uint64(id))
+	}
+	if c.defaultName == "" {
+		c.defaultName = name
+	}
+	return nil
+}
+
+// RegisterTable stores a binding table under its name.
+func (c *Catalog) RegisterTable(t *table.Table) error {
+	if t.Name == "" {
+		return fmt.Errorf("catalog: table needs a name")
+	}
+	if _, dup := c.graphs[t.Name]; dup {
+		return fmt.Errorf("catalog: %q already names a graph", t.Name)
+	}
+	c.tables[t.Name] = t
+	delete(c.tableGraphs, t.Name)
+	return nil
+}
+
+// Graph resolves a graph name.
+func (c *Catalog) Graph(name string) (*ppg.Graph, bool) {
+	g, ok := c.graphs[name]
+	return g, ok
+}
+
+// Table resolves a table name.
+func (c *Catalog) Table(name string) (*table.Table, bool) {
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// SetDefault selects the graph MATCH uses when ON is omitted.
+func (c *Catalog) SetDefault(name string) error {
+	if _, ok := c.graphs[name]; !ok {
+		return fmt.Errorf("catalog: unknown graph %q", name)
+	}
+	c.defaultName = name
+	return nil
+}
+
+// Default returns the default graph, or nil if none is set.
+func (c *Catalog) Default() *ppg.Graph {
+	if c.defaultName == "" {
+		return nil
+	}
+	return c.graphs[c.defaultName]
+}
+
+// DefaultName returns the default graph's name ("" if unset).
+func (c *Catalog) DefaultName() string { return c.defaultName }
+
+// GraphNames lists registered graph names, sorted.
+func (c *Catalog) GraphNames() []string {
+	names := make([]string, 0, len(c.graphs))
+	for n := range c.graphs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TableNames lists registered table names, sorted.
+func (c *Catalog) TableNames() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TableAsGraph interprets a registered table as a graph of isolated
+// nodes — one node per row, columns as properties (§5, lines 81–85).
+// The conversion is cached so node identities are stable across
+// queries of one engine.
+func (c *Catalog) TableAsGraph(name string) (*ppg.Graph, error) {
+	if g, ok := c.tableGraphs[name]; ok {
+		return g, nil
+	}
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	g := ppg.New(name)
+	for _, row := range t.Rows {
+		props := ppg.Properties{}
+		for i, col := range t.Cols {
+			if !row[i].IsNull() {
+				props.Set(col, row[i])
+			}
+		}
+		n := &ppg.Node{ID: c.ids.NextNode(), Props: props}
+		if err := g.AddNode(n); err != nil {
+			return nil, err
+		}
+	}
+	c.tableGraphs[name] = g
+	return g, nil
+}
+
+// Resolve finds a name as a graph first, then as a table-as-graph.
+func (c *Catalog) Resolve(name string) (*ppg.Graph, error) {
+	if g, ok := c.graphs[name]; ok {
+		return g, nil
+	}
+	if _, ok := c.tables[name]; ok {
+		return c.TableAsGraph(name)
+	}
+	return nil, fmt.Errorf("catalog: unknown graph %q (known graphs: %v)", name, c.GraphNames())
+}
+
+// BindingTable converts a registered table into variable bindings for
+// the FROM clause (§5, lines 76–80): column names become variables.
+func (c *Catalog) BindingTable(name string) ([]map[string]value.Value, []string, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("catalog: unknown binding table %q", name)
+	}
+	rows := make([]map[string]value.Value, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		b := map[string]value.Value{}
+		for i, col := range t.Cols {
+			if !row[i].IsNull() {
+				b[col] = row[i]
+			}
+		}
+		rows = append(rows, b)
+	}
+	return rows, append([]string(nil), t.Cols...), nil
+}

@@ -1,0 +1,318 @@
+// Package core implements the evaluator of G-CORE — the paper's
+// primary contribution: a closed query language over Path Property
+// Graphs in which every query returns a graph (§3), paths are
+// first-class citizens, and evaluation follows the denotational
+// semantics of Appendix A:
+//
+//	MATCH   → a binding table Ω (§A.2), via pattern matching under
+//	          homomorphism semantics, joins, OPTIONAL left-outer
+//	          joins and WHERE filters;
+//	CONSTRUCT → a new PPG built from Ω by identity-respecting,
+//	          grouped object construction (§A.3);
+//	PATH    → weighted path views usable in regular path expressions
+//	          (§A.4);
+//	UNION / INTERSECT / MINUS → the graph set operations (§A.5);
+//	GRAPH / GRAPH VIEW → named query results (§A.6);
+//	SELECT / FROM / tables ON → the tabular extensions (§5).
+package core
+
+import (
+	"fmt"
+
+	"gcore/internal/ast"
+	"gcore/internal/bindings"
+	"gcore/internal/catalog"
+	"gcore/internal/ppg"
+	"gcore/internal/table"
+)
+
+// Evaluator evaluates statements against a catalog.
+type Evaluator struct {
+	cat     *catalog.Catalog
+	maxRows int // 0 = unlimited
+}
+
+// New creates an evaluator over the given catalog.
+func New(cat *catalog.Catalog) *Evaluator { return &Evaluator{cat: cat} }
+
+// Catalog returns the evaluator's catalog.
+func (ev *Evaluator) Catalog() *catalog.Catalog { return ev.cat }
+
+// SetMaxBindings bounds the size of intermediate binding tables; a
+// query whose evaluation would exceed the bound fails with a clear
+// error instead of exhausting memory (resource governance for
+// adversarial cartesian products). Zero means unlimited.
+func (ev *Evaluator) SetMaxBindings(n int) { ev.maxRows = n }
+
+// checkBudget enforces the binding-table bound.
+func (c *evalCtx) checkBudget(tbl *bindings.Table) error {
+	if limit := c.ev.maxRows; limit > 0 && tbl.Len() > limit {
+		return c.budgetErr()
+	}
+	return nil
+}
+
+func (c *evalCtx) budgetErr() error {
+	return errf("evaluation exceeded the binding limit (%d rows); narrow the patterns or raise the limit", c.ev.maxRows)
+}
+
+// joinBudget joins two tables under the binding budget, aborting the
+// materialisation as soon as it overflows.
+func (c *evalCtx) joinBudget(a, b *bindings.Table) (*bindings.Table, error) {
+	out, over := bindings.JoinLimited(a, b, c.ev.maxRows)
+	if over {
+		return nil, c.budgetErr()
+	}
+	return out, nil
+}
+
+// leftJoinBudget is joinBudget for the OPTIONAL left-outer join.
+func (c *evalCtx) leftJoinBudget(a, b *bindings.Table) (*bindings.Table, error) {
+	out, over := bindings.LeftJoinLimited(a, b, c.ev.maxRows)
+	if over {
+		return nil, c.budgetErr()
+	}
+	return out, nil
+}
+
+// Result is the outcome of a statement: a graph (the normal, closed
+// case) or a table (the SELECT extension).
+type Result struct {
+	Graph *ppg.Graph
+	Table *table.Table
+}
+
+// Error is an evaluation error.
+type Error struct{ Msg string }
+
+func (e *Error) Error() string { return "eval error: " + e.Msg }
+
+func errf(format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}
+
+// scope resolves names visible at one point of evaluation: query-local
+// GRAPH bindings and PATH views, chaining to the enclosing scope and
+// finally the catalog.
+type scope struct {
+	parent *scope
+	graphs map[string]*ppg.Graph
+	paths  map[string]*ast.PathClause
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, graphs: map[string]*ppg.Graph{}, paths: map[string]*ast.PathClause{}}
+}
+
+func (s *scope) lookupGraph(name string) (*ppg.Graph, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if g, ok := cur.graphs[name]; ok {
+			return g, true
+		}
+	}
+	return nil, false
+}
+
+func (s *scope) lookupPath(name string) (*ast.PathClause, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if pc, ok := cur.paths[name]; ok {
+			return pc, true
+		}
+	}
+	return nil, false
+}
+
+// tempPath is a computed (not yet stored) path bound during MATCH: a
+// fresh path identifier associated with a walk of some source graph
+// (§A.2, the x –w in r→ y case), or an ALL-paths projection.
+type tempPath struct {
+	path       *ppg.Path
+	src        *ppg.Graph
+	projection bool
+	cost       float64
+}
+
+// evalCtx carries the per-statement mutable state.
+type evalCtx struct {
+	ev        *Evaluator
+	tempPaths map[ppg.PathID]*tempPath
+	anonSeq   int
+}
+
+func (ev *Evaluator) newCtx() *evalCtx {
+	return &evalCtx{
+		ev:        ev,
+		tempPaths: map[ppg.PathID]*tempPath{},
+	}
+}
+
+func (c *evalCtx) freshAnon() string {
+	c.anonSeq++
+	return fmt.Sprintf("@anon%d", c.anonSeq)
+}
+
+// EvalStatement evaluates one statement: PATH and GRAPH definitions
+// first, then the query. A definition-only statement returns the last
+// defined graph (or an empty graph for pure PATH definitions).
+func (ev *Evaluator) EvalStatement(stmt *ast.Statement) (*Result, error) {
+	if err := analyzeStatement(stmt); err != nil {
+		return nil, err
+	}
+	ctx := ev.newCtx()
+	return ctx.evalStatement(newScope(nil), stmt)
+}
+
+func (c *evalCtx) evalStatement(s *scope, stmt *ast.Statement) (*Result, error) {
+	for _, pc := range stmt.Paths {
+		if _, dup := s.paths[pc.Name]; dup {
+			return nil, errf("duplicate PATH view %q", pc.Name)
+		}
+		s.paths[pc.Name] = pc
+	}
+	var lastGraph *ppg.Graph
+	for _, gc := range stmt.Graphs {
+		child := newScope(s)
+		res, err := c.evalStatement(child, gc.Body)
+		if err != nil {
+			return nil, err
+		}
+		if res.Graph == nil {
+			return nil, errf("GRAPH %s AS (...): body is not a graph query", gc.Name)
+		}
+		g := res.Graph
+		g.SetName(gc.Name)
+		if gc.View {
+			if err := c.ev.cat.RegisterGraph(g); err != nil {
+				return nil, errf("registering view %s: %v", gc.Name, err)
+			}
+		} else {
+			s.graphs[gc.Name] = g
+		}
+		lastGraph = g
+	}
+	if stmt.Query == nil {
+		if lastGraph == nil {
+			lastGraph = ppg.New("")
+		}
+		return &Result{Graph: lastGraph}, nil
+	}
+	return c.evalQuery(s, stmt.Query, bindings.Unit())
+}
+
+// evalQuery evaluates a full graph query given the outer binding
+// table (the Ω′ of §A.5; {µ∅} at the top level, the outer row for
+// correlated EXISTS subqueries).
+func (c *evalCtx) evalQuery(s *scope, q ast.Query, outer *bindings.Table) (*Result, error) {
+	switch x := q.(type) {
+	case *ast.SetQuery:
+		left, err := c.evalQuery(s, x.Left, outer)
+		if err != nil {
+			return nil, err
+		}
+		right, err := c.evalQuery(s, x.Right, outer)
+		if err != nil {
+			return nil, err
+		}
+		if left.Graph == nil || right.Graph == nil {
+			return nil, errf("set operations require graph operands (SELECT queries cannot be combined with %s)", x.Op)
+		}
+		var g *ppg.Graph
+		switch x.Op {
+		case ast.SetUnion:
+			g = ppg.Union("", left.Graph, right.Graph)
+		case ast.SetIntersect:
+			g = ppg.Intersect("", left.Graph, right.Graph)
+		case ast.SetMinus:
+			g = ppg.Minus("", left.Graph, right.Graph)
+		}
+		return &Result{Graph: g}, nil
+	case *ast.BasicQuery:
+		return c.evalBasic(s, x, outer)
+	}
+	return nil, errf("unknown query node %T", q)
+}
+
+func (c *evalCtx) evalBasic(s *scope, bq *ast.BasicQuery, outer *bindings.Table) (*Result, error) {
+	var (
+		tbl    *bindings.Table
+		graphs []*ppg.Graph
+		err    error
+	)
+	switch {
+	case bq.From != "":
+		tbl, err = c.fromTable(bq.From)
+		if err != nil {
+			return nil, err
+		}
+		tbl = bindings.Join(tbl, outer)
+	case bq.Match != nil:
+		tbl, graphs, err = c.evalMatch(s, bq.Match, outer)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		tbl = outer
+	}
+	if bq.Select != nil {
+		t, err := c.evalSelect(s, bq.Select, tbl, graphs)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Table: t}, nil
+	}
+	g, err := c.evalConstruct(s, bq.Construct, tbl, graphs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Graph: g}, nil
+}
+
+// resolveLocation finds the graph a located pattern matches on.
+func (c *evalCtx) resolveLocation(s *scope, lp *ast.LocatedPattern) (*ppg.Graph, error) {
+	switch {
+	case lp.OnQuery != nil:
+		res, err := c.evalQuery(s, lp.OnQuery, bindings.Unit())
+		if err != nil {
+			return nil, err
+		}
+		if res.Graph == nil {
+			return nil, errf("ON (subquery) must yield a graph")
+		}
+		return res.Graph, nil
+	case lp.OnGraph != "":
+		return c.resolveGraphName(s, lp.OnGraph)
+	default:
+		if g := c.ev.cat.Default(); g != nil {
+			return g, nil
+		}
+		return nil, errf("no default graph: use ON or register a graph first")
+	}
+}
+
+func (c *evalCtx) resolveGraphName(s *scope, name string) (*ppg.Graph, error) {
+	if g, ok := s.lookupGraph(name); ok {
+		return g, nil
+	}
+	g, err := c.ev.cat.Resolve(name)
+	if err != nil {
+		return nil, errf("%v", err)
+	}
+	return g, nil
+}
+
+// fromTable imports a binding table for the FROM clause (§5).
+func (c *evalCtx) fromTable(name string) (*bindings.Table, error) {
+	rows, cols, err := c.ev.cat.BindingTable(name)
+	if err != nil {
+		return nil, errf("%v", err)
+	}
+	tbl := bindings.EmptyTable(cols...)
+	for _, r := range rows {
+		b := bindings.Binding{}
+		for k, v := range r {
+			b[k] = v
+		}
+		tbl.Add(b)
+	}
+	return tbl, nil
+}

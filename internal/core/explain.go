@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gcore/internal/ast"
+)
+
+// Explain renders the evaluation plan of a statement: head clauses,
+// the join tree of each MATCH with the points where WHERE conjuncts
+// are applied (predicate pushdown), the path-search strategies, the
+// OPTIONAL left-joins, and the CONSTRUCT phases. The plan is purely
+// static — nothing is evaluated — and mirrors exactly what the
+// evaluator will do, because both share the conjunct analysis.
+func (ev *Evaluator) Explain(stmt *ast.Statement) (string, error) {
+	if err := analyzeStatement(stmt); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	explainStatement(&sb, stmt, "")
+	return sb.String(), nil
+}
+
+func explainStatement(sb *strings.Builder, stmt *ast.Statement, indent string) {
+	for _, pc := range stmt.Paths {
+		fmt.Fprintf(sb, "%sPATH VIEW %s\n", indent, pc.Name)
+		fmt.Fprintf(sb, "%s  segment: %s", indent, pc.Patterns[0].String())
+		if len(pc.Patterns) > 1 {
+			fmt.Fprintf(sb, "  (+%d joined context pattern(s))", len(pc.Patterns)-1)
+		}
+		sb.WriteByte('\n')
+		if pc.Where != nil {
+			fmt.Fprintf(sb, "%s  filter: %s\n", indent, ast.ExprString(pc.Where))
+		}
+		if pc.Cost != nil {
+			fmt.Fprintf(sb, "%s  cost:   %s (must be > 0)\n", indent, ast.ExprString(pc.Cost))
+		} else {
+			fmt.Fprintf(sb, "%s  cost:   1 (hop count)\n", indent)
+		}
+	}
+	for _, gc := range stmt.Graphs {
+		kind := "GRAPH (query-local)"
+		if gc.View {
+			kind = "GRAPH VIEW (registered in the catalog)"
+		}
+		fmt.Fprintf(sb, "%s%s %s\n", indent, kind, gc.Name)
+		explainStatement(sb, gc.Body, indent+"  ")
+	}
+	if stmt.Query != nil {
+		explainQuery(sb, stmt.Query, indent)
+	}
+}
+
+func explainQuery(sb *strings.Builder, q ast.Query, indent string) {
+	switch x := q.(type) {
+	case *ast.SetQuery:
+		fmt.Fprintf(sb, "%sGRAPH %s (identity-wise, §A.5)\n", indent, x.Op)
+		explainQuery(sb, x.Left, indent+"  ")
+		explainQuery(sb, x.Right, indent+"  ")
+	case *ast.BasicQuery:
+		explainBasic(sb, x, indent)
+	}
+}
+
+func explainBasic(sb *strings.Builder, bq *ast.BasicQuery, indent string) {
+	boundVars := map[string]bool{}
+	boundKnown := true
+	switch {
+	case bq.From != "":
+		fmt.Fprintf(sb, "%sFROM %s (import binding table)\n", indent, bq.From)
+		boundKnown = false // columns are only known at run time
+	case bq.Match != nil:
+		explainMatch(sb, bq.Match, indent)
+		for _, lp := range bq.Match.Patterns {
+			collectVars(lp.Pattern, boundVars)
+		}
+		for _, ob := range bq.Match.Optionals {
+			for _, lp := range ob.Patterns {
+				collectVars(lp.Pattern, boundVars)
+			}
+		}
+	default:
+		fmt.Fprintf(sb, "%sunit bindings {µ∅}\n", indent)
+	}
+	switch {
+	case bq.Select != nil:
+		fmt.Fprintf(sb, "%sSELECT %d column(s)", indent, len(bq.Select.Items))
+		if bq.Select.Distinct {
+			sb.WriteString(" DISTINCT")
+		}
+		if len(bq.Select.OrderBy) > 0 {
+			fmt.Fprintf(sb, ", ORDER BY %d key(s)", len(bq.Select.OrderBy))
+		}
+		if bq.Select.Limit >= 0 {
+			fmt.Fprintf(sb, ", LIMIT %d", bq.Select.Limit)
+		}
+		sb.WriteString(" → table\n")
+	case bq.Construct != nil:
+		explainConstruct(sb, bq.Construct, indent, boundVars, boundKnown)
+	}
+}
+
+func explainMatch(sb *strings.Builder, mc *ast.MatchClause, indent string) {
+	fmt.Fprintf(sb, "%sMATCH\n", indent)
+	conjs := prepareConjuncts(mc.Where)
+	// Track which conjuncts each chain will absorb, mirroring
+	// applyReady's schema test as variables become bound.
+	for pi, lp := range mc.Patterns {
+		loc := "default graph"
+		if lp.OnGraph != "" {
+			loc = "ON " + lp.OnGraph
+		}
+		if lp.OnQuery != nil {
+			loc = "ON (subquery)"
+		}
+		joiner := "scan"
+		if pi > 0 {
+			joiner = "hash-join with"
+		}
+		fmt.Fprintf(sb, "%s  %s pattern %d (%s)\n", indent, joiner, pi+1, loc)
+		explainChain(sb, lp.Pattern, conjs, indent+"    ")
+	}
+	var residual []string
+	for _, cj := range conjs {
+		if !cj.applied {
+			kind := ""
+			if !cj.pushable {
+				kind = " [subquery]"
+			}
+			residual = append(residual, ast.ExprString(cj.expr)+kind)
+		}
+	}
+	if len(residual) > 0 {
+		fmt.Fprintf(sb, "%s  residual filter: %s\n", indent, strings.Join(residual, " AND "))
+	}
+	for oi, ob := range mc.Optionals {
+		fmt.Fprintf(sb, "%s  left-outer-join OPTIONAL block %d\n", indent, oi+1)
+		bConjs := prepareConjuncts(ob.Where)
+		for _, lp := range ob.Patterns {
+			explainChain(sb, lp.Pattern, bConjs, indent+"    ")
+		}
+		var brest []string
+		for _, cj := range bConjs {
+			if !cj.applied {
+				brest = append(brest, ast.ExprString(cj.expr))
+			}
+		}
+		if len(brest) > 0 {
+			fmt.Fprintf(sb, "%s    block filter: %s\n", indent, strings.Join(brest, " AND "))
+		}
+	}
+}
+
+// explainChain walks one pattern chain, reporting each step and the
+// conjuncts that become applicable (and marks them applied, like
+// applyReady does, so later chains don't re-claim them).
+func explainChain(sb *strings.Builder, gp *ast.GraphPattern, conjs []*conjunct, indent string) {
+	bound := map[string]bool{}
+	claim := func() []string {
+		var out []string
+		for _, cj := range conjs {
+			if cj.applied || !cj.pushable {
+				continue
+			}
+			ok := len(cj.vars) > 0
+			for _, v := range cj.vars {
+				if !bound[v] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cj.applied = true
+				out = append(out, ast.ExprString(cj.expr))
+			}
+		}
+		return out
+	}
+	step := func(desc string) {
+		fmt.Fprintf(sb, "%s%s", indent, desc)
+		if pushed := claim(); len(pushed) > 0 {
+			fmt.Fprintf(sb, "  ⊳ filter: %s", strings.Join(pushed, " AND "))
+		}
+		sb.WriteByte('\n')
+	}
+	bindNode := func(np *ast.NodePattern) {
+		if np.Var != "" {
+			bound[np.Var] = true
+		}
+		for _, ps := range np.Props {
+			if ps.Mode == ast.PropBind {
+				bound[ps.Var] = true
+			}
+		}
+	}
+	bindNode(gp.Nodes[0])
+	step("node scan " + gp.Nodes[0].String())
+	for i, link := range gp.Links {
+		next := gp.Nodes[i+1]
+		switch x := link.(type) {
+		case *ast.EdgePattern:
+			if x.Var != "" {
+				bound[x.Var] = true
+			}
+			for _, ps := range x.Props {
+				if ps.Mode == ast.PropBind {
+					bound[ps.Var] = true
+				}
+			}
+			bindNode(next)
+			step("expand " + x.String() + next.String() + " (adjacency)")
+		case *ast.PathPattern:
+			if x.Var != "" {
+				bound[x.Var] = true
+			}
+			if x.CostVar != "" {
+				bound[x.CostVar] = true
+			}
+			bindNode(next)
+			step(pathStrategy(x) + " " + x.String() + next.String())
+		}
+	}
+}
+
+func pathStrategy(pp *ast.PathPattern) string {
+	switch {
+	case pp.Stored:
+		if pp.Regex != nil {
+			return "stored-path scan + conformance check"
+		}
+		return "stored-path scan"
+	case pp.Mode == ast.PathAll:
+		return "ALL-paths projection (product-graph summarisation)"
+	case pp.Mode == ast.PathReach:
+		return "reachability BFS (product automaton)"
+	default:
+		algo := "BFS"
+		if pp.Regex != nil && len(pp.Regex.Views()) > 0 {
+			algo = "Dijkstra over PATH-view segments"
+		}
+		if pp.K > 1 {
+			return fmt.Sprintf("%d-shortest search (%s)", pp.K, algo)
+		}
+		return "shortest-path search (" + algo + ")"
+	}
+}
+
+func explainConstruct(sb *strings.Builder, cc *ast.ConstructClause, indent string, bound map[string]bool, boundKnown bool) {
+	fmt.Fprintf(sb, "%sCONSTRUCT (identity-respecting, §A.3)\n", indent)
+	for _, item := range cc.Items {
+		if item.GraphName != "" {
+			fmt.Fprintf(sb, "%s  graph union with %s\n", indent, item.GraphName)
+			continue
+		}
+		gp := item.Pattern
+		for _, np := range gp.Nodes {
+			grouping := "by identity"
+			switch {
+			case np.Copy:
+				grouping = "copy (fresh identity per group)"
+			case len(np.Group) > 0:
+				parts := make([]string, len(np.Group))
+				for i, e := range np.Group {
+					parts[i] = ast.ExprString(e)
+				}
+				grouping = "GROUP " + strings.Join(parts, ", ")
+			case np.Var == "" || (boundKnown && !bound[np.Var]):
+				grouping = "per binding (skolem)"
+			case !boundKnown:
+				grouping = "by identity if bound, else per binding"
+			}
+			fmt.Fprintf(sb, "%s  node %s  [%s]\n", indent, np.String(), grouping)
+		}
+		for _, link := range gp.Links {
+			switch x := link.(type) {
+			case *ast.EdgePattern:
+				fmt.Fprintf(sb, "%s  edge %s  [grouped by endpoints]\n", indent, x.String())
+			case *ast.PathPattern:
+				kind := "path projection (constituents only)"
+				if x.Stored {
+					kind = "stored path"
+				}
+				fmt.Fprintf(sb, "%s  %s %s\n", indent, kind, x.String())
+			}
+		}
+		if item.When != nil {
+			fmt.Fprintf(sb, "%s  WHEN %s  [per-object filter, dangling-safe rebuild]\n", indent, ast.ExprString(item.When))
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"gcore/internal/snb"
+	"gcore/internal/value"
+)
+
+// Expression evaluation through the engine: each test projects an
+// expression with SELECT over a one-row binding and checks the value.
+
+// sel evaluates one expression over the binding (n = John, m = Peter,
+// p = the example graph's stored path where noted).
+func sel(t *testing.T, expr string) value.Value {
+	t.Helper()
+	ev := newToy(t)
+	res := run(t, ev, `SELECT `+expr+` AS v
+MATCH (n:Person), (m:Person)
+WHERE n.firstName = 'John' AND m.firstName = 'Peter'`)
+	if res.Table.Len() != 1 {
+		t.Fatalf("expected one row, got %d", res.Table.Len())
+	}
+	return res.Table.Rows[0][0]
+}
+
+func TestExprArithmeticAndComparison(t *testing.T) {
+	cases := map[string]value.Value{
+		`1 + 2 * 3`:                           value.Int(7),
+		`(1 + 2) * 3`:                         value.Int(9),
+		`7 % 3`:                               value.Int(1),
+		`-(2 - 5)`:                            value.Int(3),
+		`1 / 4`:                               value.Float(0.25),
+		`2 < 3`:                               value.True,
+		`2 >= 3`:                              value.False,
+		`'a' + 'b'`:                           value.Str("ab"),
+		`'a' <> 'b'`:                          value.True,
+		`NOT TRUE`:                            value.False,
+		`TRUE AND FALSE`:                      value.False,
+		`TRUE OR FALSE`:                       value.True,
+		`NULL`:                                value.Null,
+		`2.5 + 1`:                             value.Float(3.5),
+		`DATE '1/12/2014' < DATE '2/12/2014'`: value.True,
+	}
+	for expr, want := range cases {
+		got := sel(t, expr)
+		if !value.Equal(got, want) {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+}
+
+func TestExprPropertyAndLabels(t *testing.T) {
+	if got := sel(t, `n.firstName`); !value.Equal(got.Scalarize(), value.Str("John")) {
+		t.Errorf("n.firstName = %v", got)
+	}
+	// Absent property: empty set.
+	if got := sel(t, `size(m.employer)`); !value.Equal(got, value.Int(0)) {
+		t.Errorf("size of absent property = %v", got)
+	}
+	// labels(n) is a set of strings.
+	if got := sel(t, `labels(n)`); !value.Equal(got, value.Set(value.Str("Person"))) {
+		t.Errorf("labels(n) = %v", got)
+	}
+	// Label test in value position.
+	if got := sel(t, `(n:Person)`); !value.Equal(got, value.True) {
+		t.Errorf("(n:Person) = %v", got)
+	}
+	if got := sel(t, `(n:Tag)`); !value.Equal(got, value.False) {
+		t.Errorf("(n:Tag) = %v", got)
+	}
+	// id() of an element.
+	if got := sel(t, `id(n)`); !value.Equal(got, value.Int(int64(snb.John))) {
+		t.Errorf("id(n) = %v", got)
+	}
+}
+
+func TestExprSetOperations(t *testing.T) {
+	ev := newToy(t)
+	// Frank's employer is {CWI, MIT}.
+	res := run(t, ev, `SELECT size(f.employer) AS n,
+  'CWI' IN f.employer AS has_cwi,
+  'Acme' IN f.employer AS has_acme,
+  f.employer SUBSET f.employer AS refl
+MATCH (f:Person) WHERE f.firstName = 'Frank'`)
+	row := res.Table.Rows[0]
+	if !value.Equal(row[0], value.Int(2)) || !value.Equal(row[1], value.True) ||
+		!value.Equal(row[2], value.False) || !value.Equal(row[3], value.True) {
+		t.Errorf("set ops row = %v", row)
+	}
+	// Scalar = non-singleton set is FALSE (§3).
+	res = run(t, ev, `SELECT f.employer = 'CWI' AS eq
+MATCH (f:Person) WHERE f.firstName = 'Frank'`)
+	if !value.Equal(res.Table.Rows[0][0], value.False) {
+		t.Error(`{"CWI","MIT"} = 'CWI' must be FALSE`)
+	}
+}
+
+func TestExprStringFunctions(t *testing.T) {
+	cases := map[string]value.Value{
+		`upper('ab')`:        value.Str("AB"),
+		`lower('AB')`:        value.Str("ab"),
+		`trim('  x ')`:       value.Str("x"),
+		`tostring(42)`:       value.Str("42"),
+		`tointeger('x')`:     value.Null,
+		`tointeger(3.9)`:     value.Int(3),
+		`tofloat(2)`:         value.Float(2),
+		`size('abcd')`:       value.Int(4),
+		`upper(n.firstName)`: value.Str("JOHN"),
+	}
+	for expr, want := range cases {
+		got := sel(t, expr)
+		if !value.Equal(got, want) {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+}
+
+func TestExprPathFunctions(t *testing.T) {
+	ev := newToy(t)
+	res := run(t, ev, `SELECT size(nodes(p)) AS n, size(edges(p)) AS e,
+  length(p) AS hops, cost(p) AS c, id(nodes(p)[1]) AS mid
+MATCH ()-/@p:toWagner/->() ON example_graph`)
+	if res.Table.Len() != 1 {
+		t.Fatalf("rows = %d", res.Table.Len())
+	}
+	row := res.Table.Rows[0]
+	wants := []value.Value{value.Int(3), value.Int(2), value.Int(2), value.Int(2), value.Int(103)}
+	for i, w := range wants {
+		if !value.Equal(row[i].Scalarize(), w) {
+			t.Errorf("col %s = %v, want %v", res.Table.Cols[i], row[i], w)
+		}
+	}
+	// Out-of-range path indexing yields null.
+	res = run(t, ev, `SELECT nodes(p)[99] AS v
+MATCH ()-/@p:toWagner/->() ON example_graph`)
+	if !res.Table.Rows[0][0].IsNull() {
+		t.Error("out-of-range index must be null")
+	}
+}
+
+func TestExprCaseForms(t *testing.T) {
+	if got := sel(t, `CASE WHEN 1 < 2 THEN 'yes' ELSE 'no' END`); !value.Equal(got, value.Str("yes")) {
+		t.Errorf("searched case = %v", got)
+	}
+	if got := sel(t, `CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END`); !value.Equal(got, value.Str("two")) {
+		t.Errorf("operand case = %v", got)
+	}
+	// No matching arm and no ELSE: null.
+	if got := sel(t, `CASE 9 WHEN 1 THEN 'one' END`); !got.IsNull() {
+		t.Errorf("case without match = %v", got)
+	}
+	// CASE coalescing the empty set, as §3 suggests.
+	if got := sel(t, `CASE WHEN size(m.employer) = 0 THEN 'none' ELSE m.employer END`); !value.Equal(got, value.Str("none")) {
+		t.Errorf("coalesce = %v", got)
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	ev := newToy(t)
+	bad := []string{
+		`SELECT 1 / 0 AS v MATCH (n:Tag)`,
+		`SELECT 1 % 0 AS v MATCH (n:Tag)`,
+		`SELECT 1 + 'x' AS v MATCH (n:Tag)`,
+		`SELECT NOT 3 AS v MATCH (n:Tag)`,
+		`SELECT size(3) AS v MATCH (n:Tag)`,
+		`SELECT id(3) AS v MATCH (n:Tag)`,
+		`SELECT labels() AS v MATCH (n:Tag)`,
+		`SELECT nodes(n, n) AS v MATCH (n:Tag)`,
+		`SELECT nodes(p)['x'] AS v MATCH ()-/@p:toWagner/->() ON example_graph`,
+		`SELECT cost(n) AS v MATCH (n:Tag)`,
+	}
+	for _, src := range bad {
+		if err := runErr(t, ev, src); err == nil {
+			t.Errorf("no error for %s", src)
+		} else if strings.Contains(err.Error(), "panic") {
+			t.Errorf("panic-ish error for %s: %v", src, err)
+		}
+	}
+}
+
+func TestExprUnboundVariableIsAbsent(t *testing.T) {
+	// Unknown variables evaluate to the absent value: conditions drop,
+	// projections emit null.
+	ev := newToy(t)
+	res := run(t, ev, `SELECT ghost AS v MATCH (n:Tag)`)
+	if !res.Table.Rows[0][0].IsNull() {
+		t.Error("unbound variable must project null")
+	}
+	res = run(t, ev, `CONSTRUCT (n) MATCH (n:Person) WHERE ghost = 1`)
+	if res.Graph.NumNodes() != 0 {
+		t.Error("condition on unbound variable must drop all rows")
+	}
+}
+
+func TestAggregatesInConstruct(t *testing.T) {
+	ev := newToy(t)
+	g := run(t, ev, `CONSTRUCT (x GROUP 1 :Stats {
+    cnt := COUNT(*), mn := MIN(c), mx := MAX(c), sm := SUM(c),
+    av := AVG(c), all_ := COLLECT(n.firstName), nonnull := COUNT(n.employer)})
+MATCH (n:Person)-/SHORTEST q<:knows*> COST c/->(m:Person)
+WHERE m.firstName = 'Peter'`).Graph
+	if g.NumNodes() != 1 {
+		t.Fatalf("stats nodes = %d", g.NumNodes())
+	}
+	n, _ := g.Node(g.NodeIDs()[0])
+	// Hop counts to Peter: John 1, Peter 0, Celine 1, Alice 2, Frank 1.
+	checks := map[string]value.Value{
+		"cnt": value.Int(5),
+		"mn":  value.Int(0),
+		"mx":  value.Int(2),
+		"sm":  value.Int(5),
+		"av":  value.Float(1),
+	}
+	for k, want := range checks {
+		if got := n.Props.Get(k).Scalarize(); !value.Equal(got, want) {
+			t.Errorf("%s = %v, want %v", k, got, want)
+		}
+	}
+	if got := n.Props.Get("all_").Scalarize(); got.Len() != 5 {
+		t.Errorf("COLLECT = %v", got)
+	}
+	// COUNT(expr) skips absent values: Peter has no employer.
+	if got := n.Props.Get("nonnull").Scalarize(); !value.Equal(got, value.Int(4)) {
+		t.Errorf("COUNT(n.employer) = %v, want 4", got)
+	}
+}
+
+func TestGroupLiteralExpression(t *testing.T) {
+	ev := newToy(t)
+	// GROUP by a constant collapses everything into one group.
+	g := run(t, ev, `CONSTRUCT (x GROUP 1 :Totals {total := COUNT(*)})
+MATCH (n:Person)`).Graph
+	if g.NumNodes() != 1 {
+		t.Fatalf("groups = %d", g.NumNodes())
+	}
+	n, _ := g.Node(g.NodeIDs()[0])
+	if !value.Equal(n.Props.Get("total").Scalarize(), value.Int(5)) {
+		t.Errorf("total = %v", n.Props.Get("total"))
+	}
+}
+
+func TestExprExtendedBuiltins(t *testing.T) {
+	cases := map[string]value.Value{
+		`substring('abcdef', 1, 3)`:    value.Str("bcd"),
+		`substring('abcdef', 2)`:       value.Str("cdef"),
+		`substring('ab', 9)`:           value.Str(""),
+		`substring('abcdef', 4, 99)`:   value.Str("ef"),
+		`contains('abcdef', 'cde')`:    value.True,
+		`contains('abcdef', 'xyz')`:    value.False,
+		`startswith('abcdef', 'abc')`:  value.True,
+		`endswith('abcdef', 'def')`:    value.True,
+		`replace('a-b-c', '-', '+')`:   value.Str("a+b+c"),
+		`abs(0 - 5)`:                   value.Int(5),
+		`abs(0.0 - 2.5)`:               value.Float(2.5),
+		`floor(2.7)`:                   value.Int(2),
+		`ceil(2.1)`:                    value.Int(3),
+		`round(2.5)`:                   value.Int(3),
+		`sqrt(9)`:                      value.Float(3),
+		`contains(n.firstName, 'oh')`:  value.True,
+		`substring(n.firstName, 0, 2)`: value.Str("Jo"),
+	}
+	for expr, want := range cases {
+		got := sel(t, expr)
+		if !value.Equal(got, want) {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+	// Errors.
+	ev := newToy(t)
+	for _, src := range []string{
+		`SELECT sqrt(0 - 1) AS v MATCH (n:Tag)`,
+		`SELECT substring('a', 0 - 1) AS v MATCH (n:Tag)`,
+		`SELECT substring('a', 0, 0 - 1) AS v MATCH (n:Tag)`,
+		`SELECT substring('a') AS v MATCH (n:Tag)`,
+		`SELECT floor('x') AS v MATCH (n:Tag)`,
+	} {
+		runErr(t, ev, src)
+	}
+	// Non-string inputs yield absence, not errors.
+	if got := sel(t, `contains(1, 'x')`); !got.IsNull() {
+		t.Errorf("contains on non-string = %v", got)
+	}
+}

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"gcore/internal/ast"
+	"gcore/internal/bindings"
+	"gcore/internal/ppg"
+	"gcore/internal/value"
+)
+
+// evalMatch computes the binding table of a MATCH clause (§A.2):
+// located patterns are evaluated on their graphs and joined; the
+// result is correlated with the outer bindings, filtered by WHERE,
+// and extended by the OPTIONAL blocks as ordered left-outer joins.
+// It returns the table together with the graphs involved (used to
+// resolve element labels and properties in later expressions).
+func (c *evalCtx) evalMatch(s *scope, mc *ast.MatchClause, outer *bindings.Table) (*bindings.Table, []*ppg.Graph, error) {
+	var (
+		tbl    *bindings.Table
+		graphs []*ppg.Graph
+	)
+	// Pure conjuncts of WHERE are pushed into the pattern chains and
+	// applied as soon as their variables are bound — before expensive
+	// path searches — which is semantically transparent (§A.2: the
+	// filter is a per-row predicate over its own variables).
+	conjs := prepareConjuncts(mc.Where)
+	for _, lp := range mc.Patterns {
+		g, err := c.resolveLocation(s, lp)
+		if err != nil {
+			return nil, nil, err
+		}
+		graphs = append(graphs, g)
+		t, err := c.evalGraphPatternWith(s, lp.Pattern, g, conjs)
+		if err != nil {
+			return nil, nil, err
+		}
+		if tbl == nil {
+			tbl = t
+		} else {
+			tbl, err = c.joinBudget(tbl, t)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if tbl == nil {
+		tbl = bindings.Unit()
+	}
+	// Correlate with the outer query's bindings (Jγ0KΩ,G semantics).
+	var err error
+	tbl, err = c.joinBudget(tbl, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	patternGraph := c.ev.cat.Default()
+	if len(graphs) > 0 {
+		patternGraph = graphs[0]
+	}
+	if mc.Where != nil {
+		env := c.newEnv(s, graphs, patternGraph)
+		filtered, err := c.residualFilter(conjs, tbl, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		tbl = filtered
+	}
+	for _, ob := range mc.Optionals {
+		var bt *bindings.Table
+		bGraphs := []*ppg.Graph{}
+		bConjs := prepareConjuncts(ob.Where)
+		for _, lp := range ob.Patterns {
+			g, err := c.resolveLocation(s, lp)
+			if err != nil {
+				return nil, nil, err
+			}
+			bGraphs = append(bGraphs, g)
+			t, err := c.evalGraphPatternWith(s, lp.Pattern, g, bConjs)
+			if err != nil {
+				return nil, nil, err
+			}
+			if bt == nil {
+				bt = t
+			} else {
+				bt, err = c.joinBudget(bt, t)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		if bt == nil {
+			bt = bindings.Unit()
+		}
+		if ob.Where != nil {
+			bg := patternGraph
+			if len(bGraphs) > 0 {
+				bg = bGraphs[0]
+			}
+			env := c.newEnv(s, append(append([]*ppg.Graph{}, graphs...), bGraphs...), bg)
+			filtered, err := c.residualFilter(bConjs, bt, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			bt = filtered
+		}
+		graphs = append(graphs, bGraphs...)
+		tbl, err = c.leftJoinBudget(tbl, bt)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return tbl, graphs, nil
+}
+
+// evalGraphPattern evaluates one basic graph pattern chain on g,
+// producing the table of all homomorphic matches.
+func (c *evalCtx) evalGraphPattern(s *scope, gp *ast.GraphPattern, g *ppg.Graph) (*bindings.Table, error) {
+	return c.evalGraphPatternWith(s, gp, g, nil)
+}
+
+// evalGraphPatternWith additionally applies pushed-down WHERE
+// conjuncts as soon as their variables are bound along the chain.
+func (c *evalCtx) evalGraphPatternWith(s *scope, gp *ast.GraphPattern, g *ppg.Graph, conjs []*conjunct) (*bindings.Table, error) {
+	// Give anonymous elements fresh internal names so positions stay
+	// independent (homomorphism semantics: no implicit sharing).
+	names := c.patternVarNames(gp)
+
+	tbl, err := c.scanNodes(g, gp.Nodes[0], names.node[0])
+	if err != nil {
+		return nil, err
+	}
+	if tbl, err = c.applyReady(conjs, tbl, g); err != nil {
+		return nil, err
+	}
+	for i, link := range gp.Links {
+		switch x := link.(type) {
+		case *ast.EdgePattern:
+			tbl, err = c.extendEdge(g, tbl, names.node[i], x, names.link[i], gp.Nodes[i+1], names.node[i+1])
+		case *ast.PathPattern:
+			tbl, err = c.extendPath(s, g, tbl, names.node[i], x, names.link[i], gp.Nodes[i+1], names.node[i+1])
+		}
+		if err != nil {
+			return nil, err
+		}
+		if tbl, err = c.applyReady(conjs, tbl, g); err != nil {
+			return nil, err
+		}
+		if err := c.checkBudget(tbl); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// patternNames assigns a variable name to every element of a chain.
+type patternNames struct {
+	node []string
+	link []string
+}
+
+func (c *evalCtx) patternVarNames(gp *ast.GraphPattern) patternNames {
+	pn := patternNames{node: make([]string, len(gp.Nodes)), link: make([]string, len(gp.Links))}
+	for i, n := range gp.Nodes {
+		if n.Var != "" {
+			pn.node[i] = n.Var
+		} else {
+			pn.node[i] = c.freshAnon()
+		}
+	}
+	for i, l := range gp.Links {
+		var v string
+		switch x := l.(type) {
+		case *ast.EdgePattern:
+			v = x.Var
+		case *ast.PathPattern:
+			v = x.Var
+		}
+		if v == "" {
+			v = c.freshAnon()
+		}
+		pn.link[i] = v
+	}
+	return pn
+}
+
+// nodeMatches checks labels and filter properties of a node pattern.
+func (c *evalCtx) nodeMatches(g *ppg.Graph, n *ppg.Node, np *ast.NodePattern) (bool, error) {
+	if !labelSpecMatches(np.Labels, n.Labels) {
+		return false, nil
+	}
+	return c.propsMatch(g, n.Props, np.Props)
+}
+
+// labelSpecMatches: every conjunct needs at least one matching
+// disjunct (":Post|Comment" matches either label).
+func labelSpecMatches(spec ast.LabelSpec, ls ppg.Labels) bool {
+	for _, disj := range spec {
+		found := false
+		for _, l := range disj {
+			if ls.Has(l) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// propsMatch checks filter entries ({name='Wagner'}): the value must
+// be a member of the property's value set.
+func (c *evalCtx) propsMatch(g *ppg.Graph, props ppg.Properties, specs []*ast.PropSpec) (bool, error) {
+	for _, ps := range specs {
+		if ps.Mode != ast.PropFilter {
+			continue
+		}
+		env := c.newEnv(nil, []*ppg.Graph{g}, g)
+		env.row = bindings.Empty()
+		v, err := env.eval(ps.Expr)
+		if err != nil {
+			return false, err
+		}
+		got := props.Get(ps.Key)
+		if ok, _ := value.In(v, got).AsBool(); !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// bindProps unrolls binding entries ({employer=e}): one output row
+// per element of the property's value set; an absent property yields
+// no rows (§3: Peter, without employer, simply drops out).
+func bindProps(props ppg.Properties, specs []*ast.PropSpec, base bindings.Binding) []bindings.Binding {
+	rows := []bindings.Binding{base}
+	for _, ps := range specs {
+		if ps.Mode != ast.PropBind {
+			continue
+		}
+		vals := props.Get(ps.Key).Elems()
+		var next []bindings.Binding
+		for _, row := range rows {
+			for _, v := range vals {
+				if prev, bound := row[ps.Var]; bound {
+					if !value.Equal(prev, v) {
+						continue
+					}
+					next = append(next, row)
+					continue
+				}
+				nr := row.Clone()
+				nr[ps.Var] = v
+				next = append(next, nr)
+			}
+		}
+		rows = next
+	}
+	return rows
+}
+
+// scanNodes produces the binding table of a single node pattern.
+func (c *evalCtx) scanNodes(g *ppg.Graph, np *ast.NodePattern, varName string) (*bindings.Table, error) {
+	if np.Copy {
+		return nil, errf("the copy form (=%s) is only allowed in CONSTRUCT", np.Var)
+	}
+	vars := []string{varName}
+	for _, ps := range np.Props {
+		if ps.Mode == ast.PropBind {
+			vars = append(vars, ps.Var)
+		}
+	}
+	tbl := bindings.EmptyTable(vars...)
+	for _, id := range g.NodeIDs() {
+		n, _ := g.Node(id)
+		ok, err := c.nodeMatches(g, n, np)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		base := bindings.Binding{varName: value.NodeRef(uint64(id))}
+		for _, row := range bindProps(n.Props, np.Props, base) {
+			tbl.Add(row)
+		}
+	}
+	return tbl, nil
+}
+
+// extendEdge extends every row of tbl over one edge pattern to the
+// next node pattern.
+func (c *evalCtx) extendEdge(g *ppg.Graph, tbl *bindings.Table, leftVar string, ep *ast.EdgePattern, edgeVar string, rightNp *ast.NodePattern, rightVar string) (*bindings.Table, error) {
+	if ep.Copy {
+		return nil, errf("the copy form [=%s] is only allowed in CONSTRUCT", ep.Var)
+	}
+	vars := append(tbl.Vars(), edgeVar, rightVar)
+	for _, ps := range ep.Props {
+		if ps.Mode == ast.PropBind {
+			vars = append(vars, ps.Var)
+		}
+	}
+	for _, ps := range rightNp.Props {
+		if ps.Mode == ast.PropBind {
+			vars = append(vars, ps.Var)
+		}
+	}
+	out := bindings.EmptyTable(vars...)
+	for _, row := range tbl.Rows() {
+		uid, ok := nodeOf(row[leftVar])
+		if !ok {
+			continue
+		}
+		emit := func(e *ppg.Edge, other ppg.NodeID) error {
+			// Edge label/property tests.
+			if !labelSpecMatches(ep.Labels, e.Labels) {
+				return nil
+			}
+			if ok, err := c.propsMatch(g, e.Props, ep.Props); err != nil || !ok {
+				return err
+			}
+			// Pre-bound edge/node variables must agree.
+			if prev, bound := row[edgeVar]; bound && !value.Equal(prev, value.EdgeRef(uint64(e.ID))) {
+				return nil
+			}
+			if prev, bound := row[rightVar]; bound {
+				if pid, isNode := nodeOf(prev); !isNode || pid != other {
+					return nil
+				}
+			}
+			// Right node tests.
+			on, ok2 := g.Node(other)
+			if !ok2 {
+				return nil
+			}
+			if ok3, err := c.nodeMatches(g, on, rightNp); err != nil || !ok3 {
+				return err
+			}
+			base := row.Clone()
+			base[edgeVar] = value.EdgeRef(uint64(e.ID))
+			base[rightVar] = value.NodeRef(uint64(other))
+			rows := bindProps(e.Props, ep.Props, base)
+			var final []bindings.Binding
+			for _, r := range rows {
+				final = append(final, bindProps(on.Props, rightNp.Props, r)...)
+			}
+			for _, r := range final {
+				out.Add(r)
+			}
+			return nil
+		}
+		if ep.Dir == ast.DirOut || ep.Dir == ast.DirBoth {
+			for _, eid := range g.OutEdges(uid) {
+				e, _ := g.Edge(eid)
+				if err := emit(e, e.Dst); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if ep.Dir == ast.DirIn || ep.Dir == ast.DirBoth {
+			for _, eid := range g.InEdges(uid) {
+				e, _ := g.Edge(eid)
+				if ep.Dir == ast.DirBoth && e.Src == e.Dst {
+					continue // self-loop already emitted by the out pass
+				}
+				if err := emit(e, e.Src); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func nodeOf(v value.Value) (ppg.NodeID, bool) {
+	if v.Kind() != value.KindNode {
+		return 0, false
+	}
+	id, _ := v.RefID()
+	return ppg.NodeID(id), true
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"sort"
+
+	"gcore/internal/ast"
+	"gcore/internal/bindings"
+	"gcore/internal/ppg"
+	"gcore/internal/value"
+)
+
+// Predicate pushdown. The WHERE condition of a MATCH clause is a
+// filter over the binding table (§A.2) — its value on a row depends
+// only on the variables it mentions. The evaluator therefore splits
+// the condition into AND-conjuncts and applies each *pure* conjunct
+// as soon as every variable it mentions is bound, typically right
+// after a node scan and before expensive path searches. Conjuncts
+// containing subqueries (EXISTS, pattern predicates) or whose
+// variables never become bound are applied at the original point, so
+// results are identical to the naïve evaluation.
+
+// conjunct is one AND-factor of a WHERE condition.
+type conjunct struct {
+	expr     ast.Expr
+	vars     []string // sorted free variables
+	pushable bool     // no subqueries: safe to evaluate early
+	applied  bool
+}
+
+// prepareConjuncts splits a WHERE expression.
+func prepareConjuncts(e ast.Expr) []*conjunct {
+	var parts []ast.Expr
+	var split func(x ast.Expr)
+	split = func(x ast.Expr) {
+		if b, ok := x.(*ast.Binary); ok && b.Op == ast.OpAnd {
+			split(b.L)
+			split(b.R)
+			return
+		}
+		parts = append(parts, x)
+	}
+	if e != nil {
+		split(e)
+	}
+	out := make([]*conjunct, len(parts))
+	for i, p := range parts {
+		vars := map[string]bool{}
+		pushable := collectExprVars(p, vars)
+		vs := make([]string, 0, len(vars))
+		for v := range vars {
+			vs = append(vs, v)
+		}
+		sort.Strings(vs)
+		out[i] = &conjunct{expr: p, vars: vs, pushable: pushable}
+	}
+	return out
+}
+
+// collectExprVars gathers the free variables of an expression and
+// reports whether it is pushable (free of subqueries).
+func collectExprVars(e ast.Expr, into map[string]bool) bool {
+	switch x := e.(type) {
+	case nil, *ast.Literal:
+		return true
+	case *ast.VarRef:
+		into[x.Name] = true
+		return true
+	case *ast.PropAccess:
+		into[x.Var] = true
+		return true
+	case *ast.LabelTest:
+		into[x.Var] = true
+		return true
+	case *ast.Unary:
+		return collectExprVars(x.X, into)
+	case *ast.Binary:
+		l := collectExprVars(x.L, into)
+		r := collectExprVars(x.R, into)
+		return l && r
+	case *ast.FuncCall:
+		ok := true
+		for _, a := range x.Args {
+			if !collectExprVars(a, into) {
+				ok = false
+			}
+		}
+		if _, isAgg := aggName(x.Name); isAgg || x.Star {
+			ok = false // aggregates need the group context
+		}
+		return ok
+	case *ast.Index:
+		b := collectExprVars(x.Base, into)
+		i := collectExprVars(x.Idx, into)
+		return b && i
+	case *ast.Case:
+		ok := collectExprVars(x.Operand, into)
+		for _, w := range x.Whens {
+			if !collectExprVars(w.Cond, into) {
+				ok = false
+			}
+			if !collectExprVars(w.Then, into) {
+				ok = false
+			}
+		}
+		if !collectExprVars(x.Else, into) {
+			ok = false
+		}
+		return ok
+	case *ast.Exists:
+		// Correlated variables are not statically known; never push.
+		return false
+	case *ast.PatternPred:
+		return false
+	}
+	return false
+}
+
+// DisablePushdown turns eager conjunct application off, leaving every
+// conjunct to the residual filter. Results are identical either way
+// (the equivalence is tested); the knob exists only so the ablation
+// benchmarks can measure what the optimisation buys.
+var DisablePushdown bool
+
+// applyReady filters tbl by every pushable, not-yet-applied conjunct
+// whose variables are all in the table schema.
+func (c *evalCtx) applyReady(conjs []*conjunct, tbl *bindings.Table, g *ppg.Graph) (*bindings.Table, error) {
+	if len(conjs) == 0 || DisablePushdown {
+		return tbl, nil
+	}
+	var ready []*conjunct
+	for _, cj := range conjs {
+		if cj.applied || !cj.pushable {
+			continue
+		}
+		ok := true
+		for _, v := range cj.vars {
+			if !tbl.HasVar(v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ready = append(ready, cj)
+		}
+	}
+	if len(ready) == 0 {
+		return tbl, nil
+	}
+	env := c.newEnv(nil, []*ppg.Graph{g}, g)
+	out, err := tbl.Filter(func(b bindings.Binding) (bool, error) {
+		env.row = b
+		for _, cj := range ready {
+			v, err := env.eval(cj.expr)
+			if err != nil {
+				return false, err
+			}
+			keep, err := value.Truth(v)
+			if err != nil || !keep {
+				return false, err
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cj := range ready {
+		cj.applied = true
+	}
+	return out, nil
+}
+
+// residualFilter applies the remaining conjuncts with the full
+// environment (subqueries, cross-graph lookups).
+func (c *evalCtx) residualFilter(conjs []*conjunct, tbl *bindings.Table, env *env) (*bindings.Table, error) {
+	var rest []*conjunct
+	for _, cj := range conjs {
+		if !cj.applied {
+			rest = append(rest, cj)
+		}
+	}
+	if len(rest) == 0 {
+		return tbl, nil
+	}
+	return tbl.Filter(func(b bindings.Binding) (bool, error) {
+		env.row = b
+		for _, cj := range rest {
+			v, err := env.eval(cj.expr)
+			if err != nil {
+				return false, err
+			}
+			keep, err := value.Truth(v)
+			if err != nil || !keep {
+				return false, err
+			}
+		}
+		return true, nil
+	})
+}

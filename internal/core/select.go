@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sort"
+
+	"gcore/internal/ast"
+	"gcore/internal/bindings"
+	"gcore/internal/ppg"
+	"gcore/internal/table"
+	"gcore/internal/value"
+)
+
+// evalSelect implements the §5 tabular-projection extension: the
+// binding table of MATCH/FROM is projected through the select
+// expressions into a table. This makes the language multi-sorted (the
+// paper flags it as an extension precisely because of that); the
+// engine reports the result as a Table instead of a Graph.
+//
+// When the select list contains aggregates, rows group by the values
+// of the non-aggregate items and the aggregates fold per group — the
+// "aggregation" half of the extension the paper sketches.
+func (c *evalCtx) evalSelect(s *scope, sc *ast.SelectClause, tbl *bindings.Table, graphs []*ppg.Graph) (*table.Table, error) {
+	cols := make([]string, len(sc.Items))
+	for i, it := range sc.Items {
+		if it.As != "" {
+			cols[i] = it.As
+		} else {
+			cols[i] = ast.ExprString(it.Expr)
+		}
+	}
+	out := table.New("", cols...)
+	env := c.newEnv(s, graphs, firstGraph(graphs, c.ev.cat.Default()))
+	env.groupSchema = tbl.Vars()
+
+	// ORDER BY may reference select-list aliases (ORDER BY ln DESC).
+	alias := map[string]int{}
+	for i, it := range sc.Items {
+		if it.As != "" {
+			alias[it.As] = i
+		}
+	}
+
+	aggItem := make([]bool, len(sc.Items))
+	hasAgg := false
+	for i, it := range sc.Items {
+		aggItem[i] = exprHasAggregate(it.Expr)
+		hasAgg = hasAgg || aggItem[i]
+	}
+
+	// groups: one entry per output row — a representative binding and
+	// (when aggregating) the rows of its group.
+	type outGroup struct {
+		rep  bindings.Binding
+		rows []bindings.Binding
+	}
+	var groups []outGroup
+	sortedRows := tbl.Sorted().Rows()
+	if !hasAgg {
+		for _, b := range sortedRows {
+			groups = append(groups, outGroup{rep: b})
+		}
+	} else {
+		// Group rows by the evaluated values of the non-aggregate
+		// items (the implicit GROUP BY of SQL-style aggregation).
+		idx := map[string]int{}
+		for _, b := range sortedRows {
+			env.row = b
+			key := ""
+			for i, it := range sc.Items {
+				if aggItem[i] {
+					continue
+				}
+				v, err := env.eval(it.Expr)
+				if err != nil {
+					return nil, err
+				}
+				key += v.Key() + "|"
+			}
+			gi, ok := idx[key]
+			if !ok {
+				gi = len(groups)
+				idx[key] = gi
+				groups = append(groups, outGroup{rep: b})
+			}
+			groups[gi].rows = append(groups[gi].rows, b)
+		}
+		if len(sortedRows) == 0 && allAggregates(aggItem) {
+			// SELECT COUNT(*) over an empty match still yields one row
+			// (the aggregate of the empty group).
+			groups = append(groups, outGroup{rep: bindings.Empty(), rows: []bindings.Binding{}})
+		}
+	}
+
+	type rowWithKeys struct {
+		vals []value.Value
+		keys []value.Value
+	}
+	var rows []rowWithKeys
+	for _, g := range groups {
+		env.row = g.rep
+		env.groupRows = g.rows
+		vals := make([]value.Value, len(sc.Items))
+		for i, it := range sc.Items {
+			v, err := env.eval(it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		keys := make([]value.Value, len(sc.OrderBy))
+		for i, oi := range sc.OrderBy {
+			if vr, ok := oi.Expr.(*ast.VarRef); ok {
+				if col, isAlias := alias[vr.Name]; isAlias {
+					keys[i] = vals[col]
+					continue
+				}
+			}
+			v, err := env.eval(oi.Expr)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		rows = append(rows, rowWithKeys{vals, keys})
+	}
+	env.groupRows = nil
+
+	if len(sc.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k, oi := range sc.OrderBy {
+				d := value.Compare(rows[i].keys[k], rows[j].keys[k])
+				if oi.Desc {
+					d = -d
+				}
+				if d != 0 {
+					return d < 0
+				}
+			}
+			return false
+		})
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if sc.Distinct {
+			k := ""
+			for _, v := range r.vals {
+				k += v.Key() + "|"
+			}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		if sc.Limit >= 0 && out.Len() >= sc.Limit {
+			break
+		}
+		if err := out.AddRow(r.vals...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func allAggregates(aggItem []bool) bool {
+	for _, a := range aggItem {
+		if !a {
+			return false
+		}
+	}
+	return true
+}
+
+// exprHasAggregate reports whether an expression contains an
+// aggregation function call.
+func exprHasAggregate(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Unary:
+		return exprHasAggregate(x.X)
+	case *ast.Binary:
+		return exprHasAggregate(x.L) || exprHasAggregate(x.R)
+	case *ast.FuncCall:
+		if x.Star {
+			return true
+		}
+		if _, ok := aggName(x.Name); ok {
+			return true
+		}
+		for _, a := range x.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+		return false
+	case *ast.Index:
+		return exprHasAggregate(x.Base) || exprHasAggregate(x.Idx)
+	case *ast.Case:
+		if exprHasAggregate(x.Operand) || exprHasAggregate(x.Else) {
+			return true
+		}
+		for _, w := range x.Whens {
+			if exprHasAggregate(w.Cond) || exprHasAggregate(w.Then) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func firstGraph(graphs []*ppg.Graph, fallback *ppg.Graph) *ppg.Graph {
+	if len(graphs) > 0 {
+		return graphs[0]
+	}
+	return fallback
+}

@@ -1,0 +1,338 @@
+// Package lexer tokenises G-CORE's surface syntax: the ASCII-art
+// graph patterns of Cypher heritage ("(n)-[:worksAt]->(m)"), the
+// path-pattern slashes "-/ ... /-", regular path expressions in angle
+// brackets ("<:knows*>"), stored-path markers "@p", property maps with
+// binding "{employer=e}" and construction "{name:=e}" forms, and the
+// ordinary expression syntax of the WHERE clause.
+//
+// Keywords are case-insensitive and normalised to upper case;
+// identifiers (variables, labels, property keys, graph names) are
+// case-sensitive. Comments run from '#' or from '/*' to '*/'.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Keyword
+	String // quoted literal, Text holds the decoded content
+	Int
+	Float
+	Punct // one of the operator/punctuation lexemes, Text holds it
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of input"
+	case Ident:
+		return "identifier"
+	case Keyword:
+		return "keyword"
+	case String:
+		return "string"
+	case Int:
+		return "integer"
+	case Float:
+		return "float"
+	case Punct:
+		return "punctuation"
+	}
+	return "token"
+}
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme with its position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// Is reports whether the token is the given punctuation lexeme.
+func (t Token) Is(punct string) bool { return t.Kind == Punct && t.Text == punct }
+
+// IsKeyword reports whether the token is the given keyword.
+func (t Token) IsKeyword(kw string) bool { return t.Kind == Keyword && t.Text == kw }
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of input"
+	case String:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords of the language (§3–§5) in canonical upper case.
+var keywords = map[string]bool{
+	"CONSTRUCT": true, "MATCH": true, "WHERE": true, "ON": true,
+	"OPTIONAL": true, "UNION": true, "INTERSECT": true, "MINUS": true,
+	"GRAPH": true, "VIEW": true, "AS": true, "PATH": true, "COST": true,
+	"SHORTEST": true, "ALL": true, "EXISTS": true, "SET": true,
+	"REMOVE": true, "WHEN": true, "GROUP": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "SUBSET": true, "TRUE": true, "FALSE": true,
+	"NULL": true, "CASE": true, "THEN": true, "ELSE": true, "END": true,
+	"SELECT": true, "FROM": true, "DISTINCT": true, "DATE": true,
+	"ORDER": true, "BY": true, "LIMIT": true, "ASC": true, "DESC": true,
+}
+
+// multi-character punctuation, longest first.
+var compounds = []string{":=", "<>", "<=", ">="}
+
+const singles = "()[]{}<>,;:.|@~!*+-/%=?_&"
+
+// Error is a lexical error with its position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("lex error at %s: %s", e.Pos, e.Msg) }
+
+// Lex tokenises src completely. The returned slice always ends with an
+// EOF token carrying the final position.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+type lexer struct {
+	src       string
+	off       int
+	line, col int
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() (rune, int) {
+	if l.off >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.off:])
+}
+
+func (l *lexer) advance() rune {
+	r, w := l.peek()
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := l.pos()
+	r, _ := l.peek()
+	switch {
+	case l.off >= len(l.src):
+		return Token{Kind: EOF, Pos: start}, nil
+	case r == '\'' || r == '"':
+		return l.lexString(start)
+	case unicode.IsDigit(r):
+		return l.lexNumber(start)
+	case unicode.IsLetter(r) || r == '_':
+		return l.lexWord(start)
+	}
+	// Compound punctuation.
+	for _, c := range compounds {
+		if strings.HasPrefix(l.src[l.off:], c) {
+			for range c {
+				l.advance()
+			}
+			return Token{Kind: Punct, Text: c, Pos: start}, nil
+		}
+	}
+	if strings.ContainsRune(singles, r) {
+		l.advance()
+		return Token{Kind: Punct, Text: string(r), Pos: start}, nil
+	}
+	return Token{}, l.errf(start, "unexpected character %q", r)
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for {
+		r, _ := l.peek()
+		switch {
+		case l.off >= len(l.src):
+			return nil
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '#':
+			for l.off < len(l.src) {
+				if l.advance() == '\n' {
+					break
+				}
+			}
+		case r == '/' && strings.HasPrefix(l.src[l.off:], "/*"):
+			pos := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if strings.HasPrefix(l.src[l.off:], "*/") {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf(pos, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (l *lexer) lexString(start Pos) (Token, error) {
+	quote := l.advance()
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return Token{}, l.errf(start, "unterminated string literal")
+		}
+		r := l.advance()
+		switch {
+		case r == quote:
+			// Doubled quote is an escaped quote ('Acme''s').
+			if nr, _ := l.peek(); nr == quote {
+				l.advance()
+				sb.WriteRune(quote)
+				continue
+			}
+			return Token{Kind: String, Text: sb.String(), Pos: start}, nil
+		case r == '\\':
+			if l.off >= len(l.src) {
+				return Token{}, l.errf(start, "unterminated string escape")
+			}
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '\'', '"':
+				sb.WriteRune(esc)
+			default:
+				return Token{}, l.errf(start, "unknown string escape \\%c", esc)
+			}
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}
+
+func (l *lexer) lexNumber(start Pos) (Token, error) {
+	var sb strings.Builder
+	kind := Int
+	for {
+		r, _ := l.peek()
+		if unicode.IsDigit(r) {
+			sb.WriteRune(l.advance())
+			continue
+		}
+		break
+	}
+	// Fractional part: only if a digit follows the dot, so that
+	// "nodes(p)[1]." style property access on numbers stays intact
+	// and ranges like 1..2 would not be misread.
+	if r, _ := l.peek(); r == '.' {
+		rest := l.src[l.off+1:]
+		if len(rest) > 0 && rest[0] >= '0' && rest[0] <= '9' {
+			kind = Float
+			sb.WriteRune(l.advance())
+			for {
+				r, _ := l.peek()
+				if !unicode.IsDigit(r) {
+					break
+				}
+				sb.WriteRune(l.advance())
+			}
+		}
+	}
+	if r, _ := l.peek(); r == 'e' || r == 'E' {
+		rest := l.src[l.off+1:]
+		if len(rest) > 0 && (rest[0] == '+' || rest[0] == '-' || (rest[0] >= '0' && rest[0] <= '9')) {
+			kind = Float
+			sb.WriteRune(l.advance()) // e
+			if r, _ := l.peek(); r == '+' || r == '-' {
+				sb.WriteRune(l.advance())
+			}
+			saw := false
+			for {
+				r, _ := l.peek()
+				if !unicode.IsDigit(r) {
+					break
+				}
+				saw = true
+				sb.WriteRune(l.advance())
+			}
+			if !saw {
+				return Token{}, l.errf(start, "malformed exponent in number")
+			}
+		}
+	}
+	return Token{Kind: kind, Text: sb.String(), Pos: start}, nil
+}
+
+func (l *lexer) lexWord(start Pos) (Token, error) {
+	var sb strings.Builder
+	for {
+		r, _ := l.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			sb.WriteRune(l.advance())
+			continue
+		}
+		break
+	}
+	word := sb.String()
+	if word == "_" {
+		// Lone underscore is the wildcard punct (regex any-label).
+		return Token{Kind: Punct, Text: "_", Pos: start}, nil
+	}
+	if up := strings.ToUpper(word); keywords[up] {
+		return Token{Kind: Keyword, Text: up, Pos: start}, nil
+	}
+	return Token{Kind: Ident, Text: word, Pos: start}, nil
+}

@@ -1,0 +1,194 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	ks := make([]Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func texts(toks []Token) string {
+	parts := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.Kind == EOF {
+			break
+		}
+		parts = append(parts, t.Text)
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestLexFirstPaperQuery(t *testing.T) {
+	src := `CONSTRUCT (n)
+MATCH (n:Person)
+ON social_graph
+WHERE n.employer = 'Acme'`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "CONSTRUCT ( n ) MATCH ( n : Person ) ON social_graph WHERE n . employer = Acme"
+	if got := texts(toks); got != want {
+		t.Errorf("texts = %q\nwant    %q", got, want)
+	}
+	// Keywords normalise; identifiers keep case.
+	if toks[0].Kind != Keyword || toks[0].Text != "CONSTRUCT" {
+		t.Error("CONSTRUCT must be a keyword")
+	}
+	if toks[8].Kind != Ident || toks[8].Text != "Person" {
+		t.Errorf("label token = %v", toks[8])
+	}
+	last := toks[len(toks)-2]
+	if last.Kind != String || last.Text != "Acme" {
+		t.Errorf("string token = %v", last)
+	}
+}
+
+func TestLexPatternArt(t *testing.T) {
+	toks, err := Lex(`(c) <-[:worksAt]-(n) -/3 SHORTEST p<:knows*> COST c/->(m)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(toks)
+	want := "( c ) < - [ : worksAt ] - ( n ) - / 3 SHORTEST p < : knows * > COST c / - > ( m )"
+	if got != want {
+		t.Errorf("texts = %q\nwant    %q", got, want)
+	}
+}
+
+func TestLexCompounds(t *testing.T) {
+	toks, err := Lex(`{name := e} a <> b c <= d e >= f @p ~wKnows !x _`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var puncts []string
+	for _, tok := range toks {
+		if tok.Kind == Punct {
+			puncts = append(puncts, tok.Text)
+		}
+	}
+	want := []string{"{", ":=", "}", "<>", "<=", ">=", "@", "~", "!", "_"}
+	if strings.Join(puncts, ",") != strings.Join(want, ",") {
+		t.Errorf("puncts = %v, want %v", puncts, want)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex(`42 0.95 1e3 2.5E-2 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []Kind{Int, Float, Float, Float, Int, EOF}
+	got := kinds(toks)
+	for i, k := range wantKinds {
+		if got[i] != k {
+			t.Errorf("token %d kind = %v, want %v (%q)", i, got[i], k, toks[i].Text)
+		}
+	}
+	// A dot not followed by a digit is separate (property access).
+	toks, err = Lex(`nodes(p)[1]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if texts(toks) != "nodes ( p ) [ 1 ]" {
+		t.Errorf("texts = %q", texts(toks))
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex(`'John' "Doe" 'it''s' 'a\'b' 'x\ny'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"John", "Doe", "it's", "a'b", "x\ny"}
+	for i, w := range want {
+		if toks[i].Kind != String || toks[i].Text != w {
+			t.Errorf("string %d = %v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("a # line comment\n b /* block\ncomment */ c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if texts(toks) != "a b c" {
+		t.Errorf("texts = %q", texts(toks))
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		"'unterminated",
+		`'bad escape \q'`,
+		"/* unterminated",
+		"a $ b",
+		"1e+",
+		`'trailing \`,
+	}
+	for _, src := range cases {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Lex("a\n  bb\n ccc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []Pos{{1, 1}, {2, 3}, {3, 2}}
+	for i, w := range wants {
+		if toks[i].Pos != w {
+			t.Errorf("token %d pos = %v, want %v", i, toks[i].Pos, w)
+		}
+	}
+	if toks[0].Pos.String() != "1:1" {
+		t.Errorf("Pos.String = %q", toks[0].Pos.String())
+	}
+}
+
+func TestTokenHelpers(t *testing.T) {
+	toks, err := Lex(`( MATCH`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !toks[0].Is("(") || toks[0].Is(")") {
+		t.Error("Is misbehaves")
+	}
+	if !toks[1].IsKeyword("MATCH") || toks[1].IsKeyword("WHERE") {
+		t.Error("IsKeyword misbehaves")
+	}
+	if toks[0].String() == "" || toks[1].String() == "" {
+		t.Error("empty token string")
+	}
+	for _, k := range []Kind{EOF, Ident, Keyword, String, Int, Float, Punct} {
+		if k.String() == "" || k.String() == "token" {
+			t.Errorf("Kind(%d) has no name", k)
+		}
+	}
+	eof := Token{Kind: EOF}
+	if eof.String() != "end of input" {
+		t.Errorf("EOF string = %q", eof.String())
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Lex("construct Match wHeRe oPtIoNaL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"CONSTRUCT", "MATCH", "WHERE", "OPTIONAL"} {
+		if toks[i].Kind != Keyword || toks[i].Text != want {
+			t.Errorf("token %d = %v, want keyword %s", i, toks[i], want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package parser
+
+import (
+	"gcore/internal/ast"
+	"strings"
+	"testing"
+)
+
+// Systematic error-path coverage: every clause's failure modes produce
+// a positioned syntax error, never a panic or silent acceptance.
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("CONSTRUCT (n)\nMATCH (n:Person\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Pos.Line != 3 && perr.Pos.Line != 2 {
+		t.Errorf("error position = %v", perr.Pos)
+	}
+	if !strings.Contains(perr.Error(), "parse error at") {
+		t.Errorf("error text = %q", perr.Error())
+	}
+}
+
+func TestParseClauseErrors(t *testing.T) {
+	cases := map[string]string{
+		// Head clauses.
+		`PATH = (a)-[e]->(b) CONSTRUCT (n) MATCH (n)`: "path view name",
+		`PATH p (a)-[e]->(b) CONSTRUCT (n) MATCH (n)`: `"="`,
+		`GRAPH AS (CONSTRUCT (n) MATCH (n))`:          "graph name",
+		`GRAPH g (CONSTRUCT (n) MATCH (n))`:           "AS",
+		`GRAPH g AS CONSTRUCT (n) MATCH (n)`:          `"("`,
+		`GRAPH g AS (PATH p = (a)-[e]->(b))`:          "query body",
+		// MATCH / ON.
+		`CONSTRUCT (n) MATCH (n) ON 42`:          "graph name or (query)",
+		`CONSTRUCT (n) MATCH (n) ON (MATCH (m))`: "CONSTRUCT or SELECT",
+		// CONSTRUCT decorations.
+		`CONSTRUCT (n) SET MATCH (n)`:       "variable in SET",
+		`CONSTRUCT (n) SET n MATCH (n)`:     ".property or :label",
+		`CONSTRUCT (n) SET n. MATCH (n)`:    "property name",
+		`CONSTRUCT (n) SET n.k MATCH (n)`:   ":=",
+		`CONSTRUCT (n) SET n: MATCH (n)`:    "label in SET",
+		`CONSTRUCT (n) REMOVE MATCH (n)`:    "variable in REMOVE",
+		`CONSTRUCT (n) REMOVE n MATCH (n)`:  ".property or :label",
+		`CONSTRUCT (n) REMOVE n. MATCH (n)`: "property name",
+		`CONSTRUCT (n) REMOVE n: MATCH (n)`: "label in REMOVE",
+		// SELECT.
+		`SELECT n.x AS MATCH (n)`:                 "column alias",
+		`SELECT n.x AS a MATCH (n) ORDER x`:       "BY",
+		`SELECT n.x AS a MATCH (n) LIMIT x`:       "integer after LIMIT",
+		`SELECT n.x AS a MATCH (n) LIMIT 1 extra`: "unexpected",
+		// FROM.
+		`CONSTRUCT (n) FROM 42`: "binding table name",
+		// Patterns.
+		`CONSTRUCT (n) MATCH (n {k})`:              "= or :=",
+		`CONSTRUCT (n) MATCH (n {k =})`:            "expression",
+		`CONSTRUCT (n) MATCH (= )`:                 "variable after =",
+		`CONSTRUCT (n) MATCH (n)-[= ]->(m)`:        "variable after =",
+		`CONSTRUCT (n) MATCH (n)-[e GROUP x]->(m)`: "only allowed in CONSTRUCT",
+		`CONSTRUCT (n) MATCH (n GROUP x)`:          "only allowed in CONSTRUCT",
+		// Path bodies.
+		`CONSTRUCT (n) MATCH (n)-/@ 5/->(m)`:          "stored-path variable",
+		`CONSTRUCT (n) MATCH (n)-/p<:a> COST 5/->(m)`: "cost variable",
+		`CONSTRUCT (n) MATCH (n)-/p<~>/->(m)`:         "path view name",
+		`CONSTRUCT (n) MATCH (n)-/p<!>/->(m)`:         "node label",
+		`CONSTRUCT (n) MATCH (n)-/p<:>/->(m)`:         "edge label",
+		`CONSTRUCT (n) MATCH (n)-/p<(:a>/->(m)`:       `")"`,
+		`CONSTRUCT (n) MATCH (n)-/p<*>/->(m)`:         "atom",
+		// Expressions.
+		`CONSTRUCT (n) MATCH (n) WHERE n.`:                             "unexpected",
+		`CONSTRUCT (n) MATCH (n) WHERE 1 +`:                            "expression",
+		`CONSTRUCT (n) MATCH (n) WHERE nodes(p)[`:                      "expression",
+		`CONSTRUCT (n) MATCH (n) WHERE nodes(p)[1`:                     `"]"`,
+		`CONSTRUCT (n) MATCH (n) WHERE CASE WHEN 1 THEN`:               "expression",
+		`CONSTRUCT (n) MATCH (n) WHERE CASE WHEN 1 THEN 2`:             "END",
+		`CONSTRUCT (n) MATCH (n) WHERE EXISTS CONSTRUCT (m) MATCH (m)`: `"("`,
+		`CONSTRUCT (n) MATCH (n) WHERE labels(1).x = 1`:                "variable on the left",
+		`CONSTRUCT (n) MATCH (n) WHERE DATE 5 = 1`:                     "date string",
+		`CONSTRUCT (n) MATCH (n) WHERE DATE 'zzz' = 1`:                 "invalid date",
+	}
+	for src, wantFrag := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantFrag) {
+			t.Errorf("Parse(%q) error %q, want fragment %q", src, err.Error(), wantFrag)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	bad := []string{``, `1 +`, `(1`, `CASE END`, `foo(1)`, `NOT`}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", src)
+		}
+	}
+	// Trailing tokens after a complete expression.
+	if _, err := ParseExpr(`1 2`); err == nil {
+		t.Error("trailing tokens must fail")
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	good := []string{
+		`-1.5e2`,
+		`a <= b`,
+		`a >= b`,
+		`a SUBSET OF b`,
+		`a SUBSET b`,
+		`size(collect(a))`,
+		`cost(p) < 2`,
+		`tostring(1) + tostring(2.5)`,
+		`(1)`,
+		`((a))`,
+		`NOT NOT TRUE`,
+		`- - 1`,
+		`a % b % c`,
+	}
+	for _, src := range good {
+		if _, err := ParseExpr(src); err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseMiscForms(t *testing.T) {
+	good := []string{
+		// SET with '=' tolerated as ':='.
+		`CONSTRUCT (n) SET n.k = 1 MATCH (n)`,
+		// WHEN before SET order flexibility.
+		`CONSTRUCT (n) WHEN TRUE SET n.k := 1 MATCH (n)`,
+		// Bare CONSTRUCT without MATCH.
+		`CONSTRUCT (x :Singleton {v := 1})`,
+		// Set op with parenthesised right operand.
+		`CONSTRUCT (n) MATCH (n) UNION (CONSTRUCT (m) MATCH (m))`,
+		// Multiple labels (conjunctive) on a node.
+		`CONSTRUCT (n) MATCH (n:Person:Manager)`,
+		// Edge with property filter.
+		`CONSTRUCT (n) MATCH (n)-[e:knows {since = DATE '1/12/2014'}]->(m)`,
+		// Path with props on stored pattern.
+		`CONSTRUCT (n) MATCH (n)-/@p:toWagner {trust = 0.95}/->(m)`,
+		// Anonymous everything.
+		`CONSTRUCT () MATCH ()-[]->()`,
+		// Numeric property filter.
+		`CONSTRUCT (n) MATCH (n {age = 30})`,
+		// Semicolon-terminated statement.
+		`CONSTRUCT (n) MATCH (n);`,
+	}
+	for _, src := range good {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestTrailingOnDistributes(t *testing.T) {
+	stmt := mustParse(t, `CONSTRUCT (n) MATCH (n)-/@p:toWagner/->(), (m:Person) ON social_graph2`)
+	bq := stmt.Query.(*ast.BasicQuery)
+	if len(bq.Match.Patterns) != 2 {
+		t.Fatalf("patterns = %d", len(bq.Match.Patterns))
+	}
+	for i, lp := range bq.Match.Patterns {
+		if lp.OnGraph != "social_graph2" {
+			t.Errorf("pattern %d ON = %q, want social_graph2 (trailing ON distributes)", i, lp.OnGraph)
+		}
+	}
+	// Patterns with their own ON keep it.
+	stmt2 := mustParse(t, `CONSTRUCT (n) MATCH (a) ON g1, (b) ON g2`)
+	bq2 := stmt2.Query.(*ast.BasicQuery)
+	if bq2.Match.Patterns[0].OnGraph != "g1" || bq2.Match.Patterns[1].OnGraph != "g2" {
+		t.Error("per-pattern ON must not be overridden")
+	}
+	// A pattern after the last ON stays on the default graph.
+	stmt3 := mustParse(t, `CONSTRUCT (n) MATCH (a) ON g1, (b)`)
+	bq3 := stmt3.Query.(*ast.BasicQuery)
+	if bq3.Match.Patterns[1].OnGraph != "" {
+		t.Error("no following ON: default graph expected")
+	}
+}

@@ -1,0 +1,416 @@
+package parser
+
+import (
+	"strings"
+
+	"gcore/internal/ast"
+	"gcore/internal/lexer"
+	"gcore/internal/value"
+)
+
+// Expression grammar, loosest to tightest:
+//
+//	expr   := or
+//	or     := and (OR and)*
+//	and    := not (AND not)*
+//	not    := NOT not | cmp
+//	cmp    := add ((= | <> | < | <= | > | >= | IN | SUBSET) add)?
+//	add    := mul ((+|-) mul)*
+//	mul    := unary ((*|/|%) unary)*
+//	unary  := - unary | postfix
+//	postfix:= primary ([expr] | .key)*
+//	primary:= literal | CASE | EXISTS(q) | f(args) | var | (…)
+//
+// A parenthesis in primary position may open a graph pattern (the
+// implicit existential predicate of §3), a label test (n:Person), or
+// a grouped expression; parsePrimaryParen disambiguates with
+// backtracking.
+
+// ParseExpr parses a standalone expression (used by tests and tools).
+func ParseExpr(src string) (ast.Expr, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != lexer.EOF {
+		return nil, p.errf("unexpected %s after expression", p.cur())
+	}
+	return e, nil
+}
+
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (ast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().IsKeyword("OR") {
+		pos := p.next().Pos
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: ast.OpOr, L: l, R: r, P: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (ast.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().IsKeyword("AND") {
+		pos := p.next().Pos
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: ast.OpAnd, L: l, R: r, P: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (ast.Expr, error) {
+	if p.cur().IsKeyword("NOT") {
+		pos := p.next().Pos
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Op: ast.OpNot, X: x, P: pos}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (ast.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	var op ast.BinaryOp
+	switch {
+	case p.cur().Is("="):
+		op = ast.OpEq
+	case p.cur().Is("<>"):
+		op = ast.OpNeq
+	case p.cur().Is("<"):
+		op = ast.OpLt
+	case p.cur().Is("<="):
+		op = ast.OpLe
+	case p.cur().Is(">"):
+		op = ast.OpGt
+	case p.cur().Is(">="):
+		op = ast.OpGe
+	case p.cur().IsKeyword("IN"):
+		op = ast.OpIn
+	case p.cur().IsKeyword("SUBSET"):
+		op = ast.OpSubset
+	default:
+		return l, nil
+	}
+	pos := p.next().Pos
+	if op == ast.OpSubset && p.cur().Kind == lexer.Ident && strings.EqualFold(p.cur().Text, "of") {
+		p.next() // tolerate SUBSET OF
+	}
+	r, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Binary{Op: op, L: l, R: r, P: pos}, nil
+}
+
+func (p *parser) parseAdditive() (ast.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ast.BinaryOp
+		switch {
+		case p.cur().Is("+"):
+			op = ast.OpAdd
+		case p.cur().Is("-"):
+			op = ast.OpSub
+		default:
+			return l, nil
+		}
+		pos := p.next().Pos
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: op, L: l, R: r, P: pos}
+	}
+}
+
+func (p *parser) parseMultiplicative() (ast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ast.BinaryOp
+		switch {
+		case p.cur().Is("*"):
+			op = ast.OpMul
+		case p.cur().Is("/"):
+			op = ast.OpDiv
+		case p.cur().Is("%"):
+			op = ast.OpMod
+		default:
+			return l, nil
+		}
+		pos := p.next().Pos
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: op, L: l, R: r, P: pos}
+	}
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	if p.cur().Is("-") {
+		pos := p.next().Pos
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Op: ast.OpNeg, X: x, P: pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (ast.Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.cur().Is("["):
+			pos := p.next().Pos
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			e = &ast.Index{Base: e, Idx: idx, P: pos}
+		case p.cur().Is(".") && p.peek().Kind == lexer.Ident:
+			v, ok := e.(*ast.VarRef)
+			if !ok {
+				return nil, p.errf("property access requires a variable on the left of '.'")
+			}
+			pos := p.next().Pos
+			key := p.next().Text
+			e = &ast.PropAccess{Var: v.Name, Key: key, P: pos}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	tok := p.cur()
+	switch {
+	case tok.Kind == lexer.Int || tok.Kind == lexer.Float || tok.Kind == lexer.String:
+		p.next()
+		v, err := literalFromToken(tok)
+		if err != nil {
+			return nil, &Error{Pos: tok.Pos, Msg: err.Error()}
+		}
+		return &ast.Literal{Val: v, P: tok.Pos}, nil
+	case tok.IsKeyword("TRUE"):
+		p.next()
+		return &ast.Literal{Val: value.True, P: tok.Pos}, nil
+	case tok.IsKeyword("FALSE"):
+		p.next()
+		return &ast.Literal{Val: value.False, P: tok.Pos}, nil
+	case tok.IsKeyword("NULL"):
+		p.next()
+		return &ast.Literal{Val: value.Null, P: tok.Pos}, nil
+	case tok.IsKeyword("DATE"):
+		p.next()
+		if p.cur().Kind != lexer.String {
+			return nil, p.errf("expected date string after DATE, got %s", p.cur())
+		}
+		d, err := value.ParseDate(p.next().Text)
+		if err != nil {
+			return nil, &Error{Pos: tok.Pos, Msg: err.Error()}
+		}
+		return &ast.Literal{Val: d, P: tok.Pos}, nil
+	case tok.IsKeyword("COST") && p.peek().Is("("):
+		// cost(p) is a built-in function whose name collides with the
+		// COST keyword of path patterns and PATH clauses.
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &ast.FuncCall{Name: "cost", Args: []ast.Expr{arg}, P: tok.Pos}, nil
+	case tok.IsKeyword("CASE"):
+		return p.parseCase()
+	case tok.IsKeyword("EXISTS"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		q, err := p.parseFullQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &ast.Exists{Query: q, P: tok.Pos}, nil
+	case tok.Kind == lexer.Ident && p.peek().Is("("):
+		return p.parseFuncCall()
+	case tok.Kind == lexer.Ident:
+		p.next()
+		return &ast.VarRef{Name: tok.Text, P: tok.Pos}, nil
+	case tok.Is("("):
+		return p.parsePrimaryParen()
+	}
+	return nil, p.errf("expected expression, got %s", p.cur())
+}
+
+func (p *parser) parseFuncCall() (ast.Expr, error) {
+	tok := p.next() // name
+	name := tok.Text
+	if !validFuncName(name) {
+		return nil, &Error{Pos: tok.Pos, Msg: "unknown function " + name}
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	fc := &ast.FuncCall{Name: strings.ToLower(name), P: tok.Pos}
+	if p.cur().Is("*") {
+		p.next()
+		fc.Star = true
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.cur().Is(")") {
+		p.next()
+		return fc, nil
+	}
+	for {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, arg)
+		if p.cur().Is(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func (p *parser) parseCase() (ast.Expr, error) {
+	c := &ast.Case{P: p.cur().Pos}
+	p.next() // CASE
+	if !p.cur().IsKeyword("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.cur().IsKeyword("WHEN") {
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, ast.CaseWhen{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE needs at least one WHEN arm")
+	}
+	if p.cur().IsKeyword("ELSE") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parsePrimaryParen disambiguates '(' in expression position:
+//
+//  1. a graph pattern with at least one link → implicit EXISTS
+//     predicate ((n)-[:isLocatedIn]->()…),
+//  2. a single node pattern with labels → label test ((n:Person)),
+//  3. otherwise → parenthesised sub-expression.
+func (p *parser) parsePrimaryParen() (ast.Expr, error) {
+	start := p.cur().Pos
+	mark := p.save()
+	gp, err := p.parseGraphPattern(false)
+	if err == nil {
+		if len(gp.Links) > 0 {
+			return &ast.PatternPred{Pattern: gp, P: start}, nil
+		}
+		n := gp.Nodes[0]
+		if n.Var != "" && len(n.Labels) > 0 && len(n.Props) == 0 && !n.Copy {
+			var labels []string
+			for _, disj := range n.Labels {
+				labels = append(labels, disj...)
+			}
+			return &ast.LabelTest{Var: n.Var, Labels: labels, P: start}, nil
+		}
+		if n.Var != "" && len(n.Labels) == 0 && len(n.Props) == 0 && !n.Copy {
+			// Plain (x): a grouped variable reference.
+			return &ast.VarRef{Name: n.Var, P: start}, nil
+		}
+		// A lone node pattern with property filters is an existential
+		// node predicate.
+		return &ast.PatternPred{Pattern: gp, P: start}, nil
+	}
+	p.restore(mark)
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,0 +1,128 @@
+package parser
+
+// PaperQueries holds, verbatim (modulo the paper's typesetting line
+// breaks), every numbered example of the guided tour (§3) and the
+// extension section (§5) of the G-CORE paper, keyed by the line range
+// it occupies in the paper. The repro tests parse and evaluate all of
+// them; Table 1's feature inventory refers to these keys.
+var PaperQueries = map[string]string{
+	// Lines 1–4: the simplest query — always returning a graph.
+	"L01": `CONSTRUCT (n)
+MATCH (n:Person)
+ON social_graph
+WHERE n.employer = 'Acme'`,
+
+	// Lines 5–9: multi-graph query with a value join.
+	"L05": `CONSTRUCT (c) <-[:worksAt]-(n)
+MATCH (c:Company) ON company_graph,
+      (n:Person) ON social_graph
+WHERE c.name = n.employer
+UNION social_graph`,
+
+	// Lines 10–14: IN instead of = for multi-valued employer.
+	"L10": `CONSTRUCT (c) <-[:worksAt]-(n)
+MATCH (c:Company) ON company_graph,
+      (n:Person) ON social_graph
+WHERE c.name IN n.employer
+UNION social_graph`,
+
+	// Lines 15–19: binding a variable to a property ({employer=e}).
+	"L15": `CONSTRUCT (c) <-[:worksAt]-(n)
+MATCH (c:Company) ON company_graph,
+      (n:Person {employer=e}) ON social_graph
+WHERE c.name = e
+UNION social_graph`,
+
+	// Lines 20–22: graph aggregation with GROUP.
+	"L20": `CONSTRUCT social_graph,
+          (x GROUP e :Company {name:=e}) <-[y:worksAt]-(n)
+MATCH (n:Person {employer=e})`,
+
+	// Lines 23–27: storing shortest paths with @p.
+	"L23": `CONSTRUCT (n)-/@p:localPeople{distance:=c}/->(m)
+MATCH (n) -/3 SHORTEST p<:knows*> COST c/->(m)
+WHERE (n:Person) AND (m:Person)
+AND n.firstName = 'John' AND n.lastName = 'Doe'
+AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)`,
+
+	// Lines 28–31: reachability.
+	"L28": `CONSTRUCT (m)
+MATCH (n:Person) -/<:knows*>/->(m:Person)
+WHERE n.firstName = 'John' AND n.lastName = 'Doe'
+AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)`,
+
+	// Lines 32–35: ALL paths graph projection.
+	"L32": `CONSTRUCT (n)-/p/->(m)
+MATCH (n:Person)-/ALL p<:knows*>/->(m:Person)
+WHERE n.firstName = 'John' AND n.lastName = 'Doe'
+AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)`,
+
+	// Lines 36–38: explicit existential subquery.
+	"L36": `CONSTRUCT (x)
+MATCH (n:Person), (m:Person)
+WHERE EXISTS (
+  CONSTRUCT ()
+  MATCH (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m) )`,
+
+	// Lines 39–47: graph view with OPTIONAL and SET.
+	"L39": `GRAPH VIEW social_graph1 AS (
+CONSTRUCT social_graph,
+          (n)-[e]->(m) SET e.nr_messages := COUNT(*)
+MATCH (n)-[e:knows]->(m)
+WHERE (n:Person) AND (m:Person)
+OPTIONAL (n)<-[c1]-(msg1:Post|Comment),
+         (msg1)-[:reply_of]-(msg2),
+         (msg2:Post|Comment)-[c2]->(m)
+WHERE (c1:has_creator) AND (c2:has_creator) )`,
+
+	// Lines 48–50: multiple OPTIONAL blocks.
+	"L48": `CONSTRUCT (n)
+MATCH (n:Person)
+OPTIONAL (n)-[:worksAt]->(c)
+OPTIONAL (n)-[:livesIn]->(a)`,
+
+	// Lines 51–53: OPTIONAL order irrelevance.
+	"L51": `CONSTRUCT (n)
+MATCH (n:Person)
+OPTIONAL (n)-[:livesIn]->(a)
+OPTIONAL (n)-[:worksAt]->(c)`,
+
+	// Lines 57–66: weighted shortest paths over a PATH view.
+	"L57": `GRAPH VIEW social_graph2 AS (
+PATH wKnows = (x)-[e:knows]->(y)
+     WHERE NOT 'Acme' IN y.employer
+     COST 1 / (1 + e.nr_messages)
+CONSTRUCT social_graph1, (n)-/@p:toWagner/->(m)
+MATCH (n:Person)-/p<~wKnows*>/->(m:Person)
+ON social_graph1
+WHERE (m)-[:hasInterest]->(:Tag {name='Wagner'})
+AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)
+AND n.firstName = 'John' AND n.lastName = 'Doe')`,
+
+	// Lines 67–71: querying stored paths.
+	"L67": `CONSTRUCT (n)-[e:wagnerFriend {score:=COUNT(*)}]->(m)
+          WHEN e.score > 0
+MATCH (n:Person)-/@p:toWagner/->(), (m:Person)
+ON social_graph2
+WHERE n = nodes(p)[1]`,
+
+	// Lines 72–75: tabular projection (§5).
+	"L72": `SELECT m.lastName + ', ' + m.firstName AS friendName
+MATCH (n:Person) -/<:knows*>/->(m:Person)
+WHERE n.firstName = 'John' AND n.lastName = 'Doe'
+AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)`,
+
+	// Lines 76–80: binding table input (§5).
+	"L76": `CONSTRUCT
+  (cust GROUP custName :Customer {name:=custName}),
+  (prod GROUP prodCode :Product {code:=prodCode}),
+  (cust)-[:bought]->(prod)
+FROM orders`,
+
+	// Lines 81–85: tables as graphs (§5).
+	"L81": `CONSTRUCT
+  (cust GROUP o.custName :Customer {name:=o.custName}),
+  (prod GROUP o.prodCode :Product {code:=o.prodCode}),
+  (cust)-[:bought]->(prod)
+MATCH (o) ON orders`,
+}

@@ -1,0 +1,518 @@
+package parser
+
+import (
+	"strconv"
+
+	"gcore/internal/ast"
+	"gcore/internal/lexer"
+)
+
+// parseGraphPattern parses a chain (n0) link0 (n1) … . In construct
+// position GROUP clauses and := assignments are expected; the flag is
+// recorded but the grammar is shared.
+func (p *parser) parseGraphPattern(construct bool) (*ast.GraphPattern, error) {
+	gp := &ast.GraphPattern{P: p.cur().Pos}
+	n, err := p.parseNodePattern(construct)
+	if err != nil {
+		return nil, err
+	}
+	gp.Nodes = append(gp.Nodes, n)
+	for {
+		link, ok, err := p.parseLink(construct)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return gp, nil
+		}
+		gp.Links = append(gp.Links, link)
+		n, err := p.parseNodePattern(construct)
+		if err != nil {
+			return nil, err
+		}
+		gp.Nodes = append(gp.Nodes, n)
+	}
+}
+
+// parseNodePattern parses (v GROUP … :L1|L2 {props}) and the copy
+// form (=v).
+func (p *parser) parseNodePattern(construct bool) (*ast.NodePattern, error) {
+	np := &ast.NodePattern{P: p.cur().Pos}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if p.cur().Is("=") {
+		p.next()
+		np.Copy = true
+		v, err := p.expectIdent("variable after = (copy form)")
+		if err != nil {
+			return nil, err
+		}
+		np.Var = v
+	} else if p.cur().Kind == lexer.Ident {
+		np.Var = p.next().Text
+	}
+	if p.cur().IsKeyword("GROUP") {
+		if !construct {
+			return nil, p.errf("GROUP is only allowed in CONSTRUCT patterns")
+		}
+		p.next()
+		group, err := p.parseGroupItems()
+		if err != nil {
+			return nil, err
+		}
+		np.Group = group
+	}
+	ls, err := p.parseLabelSpec()
+	if err != nil {
+		return nil, err
+	}
+	np.Labels = ls
+	if p.cur().Is("{") {
+		props, err := p.parsePropMap()
+		if err != nil {
+			return nil, err
+		}
+		np.Props = props
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return np, nil
+}
+
+// parseGroupItems parses the grouping set after GROUP: variables,
+// property accesses, or literals (GROUP e / GROUP o.custName /
+// GROUP 1 for a single global group), comma-separated.
+func (p *parser) parseGroupItems() ([]ast.Expr, error) {
+	var out []ast.Expr
+	for {
+		pos := p.cur().Pos
+		if k := p.cur().Kind; k == lexer.Int || k == lexer.Float || k == lexer.String {
+			v, err := literalFromToken(p.next())
+			if err != nil {
+				return nil, &Error{Pos: pos, Msg: err.Error()}
+			}
+			out = append(out, &ast.Literal{Val: v, P: pos})
+			if p.cur().Is(",") && p.peek().Kind == lexer.Ident && !p.at(2).Is("(") {
+				p.next()
+				continue
+			}
+			return out, nil
+		}
+		name, err := p.expectIdent("grouping variable")
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Is(".") {
+			p.next()
+			key, err := p.expectIdent("property name")
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &ast.PropAccess{Var: name, Key: key, P: pos})
+		} else {
+			out = append(out, &ast.VarRef{Name: name, P: pos})
+		}
+		if p.cur().Is(",") && p.peek().Kind == lexer.Ident && !p.at(2).Is("(") {
+			// Only continue if this comma really separates grouping
+			// items (a following '(' would start the next construct
+			// pattern at the clause level — impossible inside parens,
+			// but edges may follow).
+			p.next()
+			continue
+		}
+		return out, nil
+	}
+}
+
+// parseLabelSpec parses (':' l1 ('|' l2)*)*.
+func (p *parser) parseLabelSpec() (ast.LabelSpec, error) {
+	var spec ast.LabelSpec
+	for p.cur().Is(":") {
+		p.next()
+		var disj []string
+		l, err := p.expectIdent("label name")
+		if err != nil {
+			return nil, err
+		}
+		disj = append(disj, l)
+		for p.cur().Is("|") {
+			p.next()
+			l, err := p.expectIdent("label name")
+			if err != nil {
+				return nil, err
+			}
+			disj = append(disj, l)
+		}
+		spec = append(spec, disj)
+	}
+	return spec, nil
+}
+
+// parsePropMap parses {k = v, k := expr, …}.
+func (p *parser) parsePropMap() ([]*ast.PropSpec, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []*ast.PropSpec
+	for {
+		ps := &ast.PropSpec{P: p.cur().Pos}
+		key, err := p.expectIdent("property name")
+		if err != nil {
+			return nil, err
+		}
+		ps.Key = key
+		switch {
+		case p.cur().Is(":="):
+			p.next()
+			ps.Mode = ast.PropAssign
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ps.Expr = e
+		case p.cur().Is("=") || p.cur().Is(":"):
+			p.next()
+			// A bare identifier binds a variable (unrolling
+			// multi-valued properties, §3: {employer=e}); anything
+			// else filters by value ({name='Wagner'}).
+			if p.cur().Kind == lexer.Ident && (p.peek().Is(",") || p.peek().Is("}")) {
+				ps.Mode = ast.PropBind
+				ps.Var = p.next().Text
+			} else {
+				ps.Mode = ast.PropFilter
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				ps.Expr = e
+			}
+		default:
+			return nil, p.errf("expected = or := after property name %q, got %s", key, p.cur())
+		}
+		out = append(out, ps)
+		if p.cur().Is(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLink recognises an edge or path pattern between two nodes, or
+// reports ok=false if the chain ends here.
+func (p *parser) parseLink(construct bool) (ast.Link, bool, error) {
+	switch {
+	case p.cur().Is("-") && p.peek().Is("["):
+		p.next()
+		return p.finishEdge(ast.DirOut, construct) // direction fixed after ]
+	case p.cur().Is("-") && p.peek().Is("/"):
+		p.next()
+		return p.finishPath(ast.DirOut, construct)
+	case p.cur().Is("<") && p.peek().Is("-") && p.at(2).Is("["):
+		p.next()
+		p.next()
+		link, ok, err := p.finishEdge(ast.DirIn, construct)
+		return link, ok, err
+	case p.cur().Is("<") && p.peek().Is("-") && p.at(2).Is("/"):
+		p.next()
+		p.next()
+		return p.finishPath(ast.DirIn, construct)
+	case p.cur().Is("-") && (p.peek().Is("-") || (p.peek().Is(">") && p.at(2).Is("("))):
+		// Abbreviated edges: (a)--(b) and (a)->(b) are sugar for
+		// (a)-[]-(b) and (a)-[]->(b).
+		p.next()
+		ep := &ast.EdgePattern{P: p.cur().Pos, Dir: ast.DirBoth}
+		if p.cur().Is(">") {
+			ep.Dir = ast.DirOut
+			p.next()
+		} else {
+			p.next() // second '-'
+			if p.cur().Is(">") {
+				ep.Dir = ast.DirOut
+				p.next()
+			}
+		}
+		return ep, true, nil
+	}
+	return nil, false, nil
+}
+
+// finishEdge parses [body] and the trailing arrow. dirHint is DirIn
+// for a pattern that started with <-, otherwise provisional DirOut.
+func (p *parser) finishEdge(dirHint ast.Direction, construct bool) (ast.Link, bool, error) {
+	ep := &ast.EdgePattern{P: p.cur().Pos, Dir: dirHint}
+	if err := p.expectPunct("["); err != nil {
+		return nil, false, err
+	}
+	if p.cur().Is("=") {
+		p.next()
+		ep.Copy = true
+		v, err := p.expectIdent("variable after = (copy form)")
+		if err != nil {
+			return nil, false, err
+		}
+		ep.Var = v
+	} else if p.cur().Kind == lexer.Ident {
+		ep.Var = p.next().Text
+	}
+	if p.cur().IsKeyword("GROUP") {
+		if !construct {
+			return nil, false, p.errf("GROUP is only allowed in CONSTRUCT patterns")
+		}
+		p.next()
+		group, err := p.parseGroupItems()
+		if err != nil {
+			return nil, false, err
+		}
+		ep.Group = group
+	}
+	ls, err := p.parseLabelSpec()
+	if err != nil {
+		return nil, false, err
+	}
+	ep.Labels = ls
+	if p.cur().Is("{") {
+		props, err := p.parsePropMap()
+		if err != nil {
+			return nil, false, err
+		}
+		ep.Props = props
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, false, err
+	}
+	if err := p.expectPunct("-"); err != nil {
+		return nil, false, err
+	}
+	if dirHint == ast.DirIn {
+		if p.cur().Is(">") {
+			return nil, false, p.errf("edge pattern cannot point both ways (<-[…]->)")
+		}
+		return ep, true, nil
+	}
+	if p.cur().Is(">") {
+		p.next()
+		ep.Dir = ast.DirOut
+	} else {
+		ep.Dir = ast.DirBoth
+	}
+	return ep, true, nil
+}
+
+// finishPath parses /body/ and the trailing arrow for -/…/-> forms.
+func (p *parser) finishPath(dirHint ast.Direction, construct bool) (ast.Link, bool, error) {
+	pp := &ast.PathPattern{P: p.cur().Pos, Dir: dirHint}
+	if err := p.expectPunct("/"); err != nil {
+		return nil, false, err
+	}
+	// Mode prefix: "3 SHORTEST", "SHORTEST", "ALL".
+	switch {
+	case p.cur().Kind == lexer.Int && p.peek().IsKeyword("SHORTEST"):
+		k, err := strconv.Atoi(p.cur().Text)
+		if err != nil || k < 1 {
+			return nil, false, p.errf("invalid path multiplicity %q", p.cur().Text)
+		}
+		pp.K = k
+		p.next()
+		p.next()
+	case p.cur().IsKeyword("SHORTEST"):
+		pp.K = 1
+		p.next()
+	case p.cur().IsKeyword("ALL"):
+		pp.Mode = ast.PathAll
+		p.next()
+	}
+	if p.cur().Is("@") {
+		p.next()
+		pp.Stored = true
+		v, err := p.expectIdent("stored-path variable after @")
+		if err != nil {
+			return nil, false, err
+		}
+		pp.Var = v
+	} else if p.cur().Kind == lexer.Ident {
+		pp.Var = p.next().Text
+	}
+	ls, err := p.parseLabelSpec()
+	if err != nil {
+		return nil, false, err
+	}
+	pp.Labels = ls
+	if p.cur().Is("{") {
+		props, err := p.parsePropMap()
+		if err != nil {
+			return nil, false, err
+		}
+		pp.Props = props
+	}
+	if p.cur().Is("<") {
+		p.next()
+		rx, err := p.parseRegexAlt()
+		if err != nil {
+			return nil, false, err
+		}
+		if err := p.expectPunct(">"); err != nil {
+			return nil, false, err
+		}
+		pp.Regex = rx
+	}
+	if p.cur().IsKeyword("COST") {
+		p.next()
+		v, err := p.expectIdent("cost variable after COST")
+		if err != nil {
+			return nil, false, err
+		}
+		pp.CostVar = v
+	}
+	if err := p.expectPunct("/"); err != nil {
+		return nil, false, err
+	}
+	if err := p.expectPunct("-"); err != nil {
+		return nil, false, err
+	}
+	if dirHint != ast.DirIn {
+		if p.cur().Is(">") {
+			p.next()
+			pp.Dir = ast.DirOut
+		} else {
+			pp.Dir = ast.DirBoth
+		}
+	} else if p.cur().Is(">") {
+		return nil, false, p.errf("path pattern cannot point both ways (<-/…/->)")
+	}
+	// A regex with no variable and no explicit mode is a pure
+	// reachability test (§3, line 29).
+	if pp.Var == "" && pp.Mode != ast.PathAll {
+		if pp.Stored {
+			return nil, false, p.errf("@ requires a stored-path variable")
+		}
+		pp.Mode = ast.PathReach
+	}
+	if pp.Mode == ast.PathShortest && pp.K == 0 {
+		pp.K = 1
+	}
+	_ = construct
+	return pp, true, nil
+}
+
+// parseRegexAlt parses r1 | r2 | … .
+func (p *parser) parseRegexAlt() (*ast.Regex, error) {
+	first, err := p.parseRegexSeq()
+	if err != nil {
+		return nil, err
+	}
+	if !p.cur().Is("|") {
+		return first, nil
+	}
+	alt := &ast.Regex{Op: ast.RxAlt, Subs: []*ast.Regex{first}}
+	for p.cur().Is("|") {
+		p.next()
+		sub, err := p.parseRegexSeq()
+		if err != nil {
+			return nil, err
+		}
+		alt.Subs = append(alt.Subs, sub)
+	}
+	return alt, nil
+}
+
+// parseRegexSeq parses juxtaposed factors until '>', '|' or ')'.
+func (p *parser) parseRegexSeq() (*ast.Regex, error) {
+	var parts []*ast.Regex
+	for {
+		if p.cur().Is(">") || p.cur().Is("|") || p.cur().Is(")") || p.cur().Kind == lexer.EOF {
+			break
+		}
+		f, err := p.parseRegexPostfix()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, f)
+	}
+	switch len(parts) {
+	case 0:
+		return &ast.Regex{Op: ast.RxEps}, nil
+	case 1:
+		return parts[0], nil
+	}
+	return &ast.Regex{Op: ast.RxConcat, Subs: parts}, nil
+}
+
+func (p *parser) parseRegexPostfix() (*ast.Regex, error) {
+	atom, err := p.parseRegexAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.cur().Is("*"):
+			p.next()
+			atom = &ast.Regex{Op: ast.RxStar, Subs: []*ast.Regex{atom}}
+		case p.cur().Is("+"):
+			p.next()
+			atom = &ast.Regex{Op: ast.RxPlus, Subs: []*ast.Regex{atom}}
+		case p.cur().Is("?"):
+			p.next()
+			atom = &ast.Regex{Op: ast.RxOpt, Subs: []*ast.Regex{atom}}
+		default:
+			return atom, nil
+		}
+	}
+}
+
+func (p *parser) parseRegexAtom() (*ast.Regex, error) {
+	switch {
+	case p.cur().Is(":"):
+		p.next()
+		l, err := p.expectIdent("edge label")
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Is("-") {
+			p.next()
+			return &ast.Regex{Op: ast.RxInvLabel, Label: l}, nil
+		}
+		return &ast.Regex{Op: ast.RxLabel, Label: l}, nil
+	case p.cur().Is("_"):
+		p.next()
+		if p.cur().Is("-") {
+			p.next()
+			return &ast.Regex{Op: ast.RxAnyInv}, nil
+		}
+		return &ast.Regex{Op: ast.RxAnyEdge}, nil
+	case p.cur().Is("!"):
+		p.next()
+		if p.cur().Is(":") {
+			p.next()
+		}
+		l, err := p.expectIdent("node label after !")
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Regex{Op: ast.RxNodeLabel, Label: l}, nil
+	case p.cur().Is("~"):
+		p.next()
+		l, err := p.expectIdent("path view name after ~")
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Regex{Op: ast.RxView, Label: l}, nil
+	case p.cur().Is("("):
+		p.next()
+		inner, err := p.parseRegexAlt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return nil, p.errf("expected regular path expression atom, got %s", p.cur())
+}

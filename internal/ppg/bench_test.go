@@ -1,0 +1,75 @@
+package ppg
+
+import (
+	"fmt"
+	"testing"
+
+	"gcore/internal/value"
+)
+
+func benchGraph(n int) *Graph {
+	g := New("bench")
+	for i := 1; i <= n; i++ {
+		if err := g.AddNode(&Node{ID: NodeID(i), Labels: NewLabels("N"),
+			Props: NewProperties(map[string]value.Value{"v": value.Int(int64(i))})}); err != nil {
+			panic(err)
+		}
+	}
+	eid := EdgeID(uint64(n) + 1)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(&Edge{ID: eid, Src: NodeID(i), Dst: NodeID(i + 1), Labels: NewLabels("e")}); err != nil {
+			panic(err)
+		}
+		eid++
+	}
+	return g
+}
+
+func BenchmarkGraphBuild(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if benchGraph(n).NumNodes() != n {
+					b.Fatal("bad graph")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGraphUnion(b *testing.B) {
+	g1 := benchGraph(1000)
+	g2 := benchGraph(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Union("u", g1, g2).NumNodes() != 1000 {
+			b.Fatal("bad union")
+		}
+	}
+}
+
+func BenchmarkGraphMinus(b *testing.B) {
+	g1 := benchGraph(1000)
+	g2 := benchGraph(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Minus("d", g1, g2).NumNodes() != 500 {
+			b.Fatal("bad difference")
+		}
+	}
+}
+
+func BenchmarkJSONRoundTrip(b *testing.B) {
+	g := benchGraph(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := g.MarshalJSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+		back := New("")
+		if err := back.UnmarshalJSON(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package ppg
+
+import "sync/atomic"
+
+// IDGen hands out engine-unique identifiers for nodes, edges and
+// stored paths. N, E and P must be pairwise disjoint (Definition 2.1),
+// which a single shared counter guarantees trivially; it also makes
+// the skolem function new(x, Ω′(Γ)) of §A.3 injective across sorts.
+//
+// IDGen is safe for concurrent use.
+type IDGen struct {
+	next atomic.Uint64
+}
+
+// NewIDGen creates a generator whose first identifier is start.
+func NewIDGen(start uint64) *IDGen {
+	g := &IDGen{}
+	g.next.Store(start)
+	return g
+}
+
+// Reserve advances the generator past id if needed, so externally
+// assigned identifiers (e.g. loaded from JSON) never collide with
+// generated ones.
+func (g *IDGen) Reserve(id uint64) {
+	for {
+		cur := g.next.Load()
+		if cur > id {
+			return
+		}
+		if g.next.CompareAndSwap(cur, id+1) {
+			return
+		}
+	}
+}
+
+// NextNode returns a fresh node identifier.
+func (g *IDGen) NextNode() NodeID { return NodeID(g.next.Add(1) - 1) }
+
+// NextEdge returns a fresh edge identifier.
+func (g *IDGen) NextEdge() EdgeID { return EdgeID(g.next.Add(1) - 1) }
+
+// NextPath returns a fresh path identifier.
+func (g *IDGen) NextPath() PathID { return PathID(g.next.Add(1) - 1) }

@@ -1,0 +1,177 @@
+package ppg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"gcore/internal/value"
+)
+
+// JSON interchange format for Path Property Graphs, used by the CLI
+// and the examples. The document mirrors Definition 2.1 directly:
+//
+//	{
+//	  "name": "social_graph",
+//	  "nodes": [{"id": 101, "labels": ["Tag"], "properties": {"name": "Wagner"}}],
+//	  "edges": [{"id": 201, "src": 102, "dst": 101, "labels": ["hasInterest"]}],
+//	  "paths": [{"id": 301, "nodes": [105,103,102], "edges": [207,202],
+//	             "labels": ["toWagner"], "properties": {"trust": 0.95}}]
+//	}
+//
+// Property values use the value package's interchange encoding;
+// multi-valued properties are written with the {"set": [...]} wrapper
+// and singletons as bare scalars.
+
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+	Paths []jsonPath `json:"paths,omitempty"`
+}
+
+type jsonNode struct {
+	ID     uint64                 `json:"id"`
+	Labels []string               `json:"labels,omitempty"`
+	Props  map[string]value.Value `json:"properties,omitempty"`
+}
+
+type jsonEdge struct {
+	ID     uint64                 `json:"id"`
+	Src    uint64                 `json:"src"`
+	Dst    uint64                 `json:"dst"`
+	Labels []string               `json:"labels,omitempty"`
+	Props  map[string]value.Value `json:"properties,omitempty"`
+}
+
+type jsonPath struct {
+	ID     uint64                 `json:"id"`
+	Nodes  []uint64               `json:"nodes"`
+	Edges  []uint64               `json:"edges"`
+	Labels []string               `json:"labels,omitempty"`
+	Props  map[string]value.Value `json:"properties,omitempty"`
+}
+
+func propsOut(p Properties) map[string]value.Value {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make(map[string]value.Value, len(p))
+	for _, k := range p.Keys() {
+		v := p.Get(k)
+		if s, ok := v.Singleton(); ok {
+			out[k] = s // render singletons as bare scalars
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// MarshalJSON encodes the graph in the interchange format with
+// elements sorted by identifier.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	doc := jsonGraph{Name: g.name}
+	for _, id := range g.NodeIDs() {
+		n := g.nodes[id]
+		doc.Nodes = append(doc.Nodes, jsonNode{ID: uint64(id), Labels: n.Labels, Props: propsOut(n.Props)})
+	}
+	for _, id := range g.EdgeIDs() {
+		e := g.edges[id]
+		doc.Edges = append(doc.Edges, jsonEdge{
+			ID: uint64(id), Src: uint64(e.Src), Dst: uint64(e.Dst),
+			Labels: e.Labels, Props: propsOut(e.Props),
+		})
+	}
+	for _, id := range g.PathIDs() {
+		p := g.paths[id]
+		jp := jsonPath{ID: uint64(id), Labels: p.Labels, Props: propsOut(p.Props)}
+		for _, n := range p.Nodes {
+			jp.Nodes = append(jp.Nodes, uint64(n))
+		}
+		for _, e := range p.Edges {
+			jp.Edges = append(jp.Edges, uint64(e))
+		}
+		doc.Paths = append(doc.Paths, jp)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// UnmarshalJSON decodes the interchange format, validating every
+// model invariant on the way in.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var doc jsonGraph
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("ppg: decoding graph: %w", err)
+	}
+	out := New(doc.Name)
+	for _, jn := range doc.Nodes {
+		if err := out.AddNode(&Node{ID: NodeID(jn.ID), Labels: NewLabels(jn.Labels...), Props: NewProperties(jn.Props)}); err != nil {
+			return err
+		}
+	}
+	for _, je := range doc.Edges {
+		if err := out.AddEdge(&Edge{
+			ID: EdgeID(je.ID), Src: NodeID(je.Src), Dst: NodeID(je.Dst),
+			Labels: NewLabels(je.Labels...), Props: NewProperties(je.Props),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, jp := range doc.Paths {
+		p := &Path{ID: PathID(jp.ID), Labels: NewLabels(jp.Labels...), Props: NewProperties(jp.Props)}
+		for _, n := range jp.Nodes {
+			p.Nodes = append(p.Nodes, NodeID(n))
+		}
+		for _, e := range jp.Edges {
+			p.Edges = append(p.Edges, EdgeID(e))
+		}
+		if err := out.AddPath(p); err != nil {
+			return err
+		}
+	}
+	*g = *out
+	return nil
+}
+
+// WriteJSON writes the graph's interchange document to w.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// ReadJSON parses one interchange document and registers every
+// identifier with gen (if non-nil) so later generated identifiers
+// cannot collide.
+func ReadJSON(r io.Reader, gen *IDGen) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	g := New("")
+	if err := g.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	if gen != nil {
+		ids := []uint64{}
+		for _, id := range g.NodeIDs() {
+			ids = append(ids, uint64(id))
+		}
+		for _, id := range g.EdgeIDs() {
+			ids = append(ids, uint64(id))
+		}
+		for _, id := range g.PathIDs() {
+			ids = append(ids, uint64(id))
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		if len(ids) > 0 {
+			gen.Reserve(ids[len(ids)-1])
+		}
+	}
+	return g, nil
+}

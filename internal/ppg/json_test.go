@@ -1,0 +1,93 @@
+package ppg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gcore/internal/value"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := buildExampleGraph(t)
+	data, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := New("")
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, back) {
+		t.Fatal("JSON round-trip changed the graph")
+	}
+	p, ok := back.Path(301)
+	if !ok {
+		t.Fatal("stored path lost in round-trip")
+	}
+	if !value.Equal(p.Props.Get("trust").Scalarize(), value.Float(0.95)) {
+		t.Errorf("trust = %v", p.Props.Get("trust"))
+	}
+	if back.Name() != "example" {
+		t.Errorf("name = %q", back.Name())
+	}
+}
+
+func TestJSONMultiValuedProperty(t *testing.T) {
+	g := New("g")
+	if err := g.AddNode(&Node{ID: 1, Props: NewProperties(map[string]value.Value{
+		"employer": value.Set(value.Str("CWI"), value.Str("MIT")),
+	})}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"set"`) {
+		t.Errorf("multi-valued property must use the set wrapper: %s", data)
+	}
+	back := New("")
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := back.Node(1)
+	if n.Props.Get("employer").Len() != 2 {
+		t.Error("multi-valued property lost")
+	}
+}
+
+func TestReadJSONReservesIDs(t *testing.T) {
+	g := buildExampleGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	gen := NewIDGen(1)
+	back, err := ReadJSON(&buf, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 6 {
+		t.Fatalf("reload lost nodes")
+	}
+	if id := gen.NextNode(); uint64(id) <= 301 {
+		t.Errorf("generator must be reserved past loaded ids, got %d", id)
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{`, // syntax
+		`{"name":"g","nodes":[{"id":1},{"id":1}]}`,                                    // dup node
+		`{"name":"g","nodes":[{"id":1}],"edges":[{"id":2,"src":1,"dst":9}]}`,          // dangling
+		`{"name":"g","nodes":[{"id":1}],"paths":[{"id":3,"nodes":[1],"edges":[99]}]}`, // bad path
+		`{"name":"g","nodes":[{"id":1,"properties":{"k":{"bogus":1}}}]}`,              // bad value
+	}
+	for _, c := range cases {
+		g := New("")
+		if err := g.UnmarshalJSON([]byte(c)); err == nil {
+			t.Errorf("UnmarshalJSON accepted invalid document %q", c)
+		}
+	}
+}

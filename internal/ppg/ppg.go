@@ -1,0 +1,530 @@
+// Package ppg implements the Path Property Graph data model of G-CORE
+// (Definition 2.1): a property graph G = (N, E, P, ρ, δ, λ, σ) whose
+// third component is a finite set of *stored paths* — first-class
+// citizens with identity, labels and ⟨property,value⟩ pairs, exactly
+// like nodes and edges.
+//
+// Identifiers are engine-unique unsigned integers so that the "full
+// graph" operations of §A.5 (union, intersection, difference), which
+// are defined in terms of node, edge and path identity, work across
+// the graphs of one engine. Iteration order is always ascending by
+// identifier, giving the deterministic evaluation the paper's
+// fixed-order tie-breaking requires (§A.1, footnote 4).
+package ppg
+
+import (
+	"fmt"
+	"sort"
+
+	"gcore/internal/value"
+)
+
+// NodeID identifies a node (an element of N).
+type NodeID uint64
+
+// EdgeID identifies an edge (an element of E).
+type EdgeID uint64
+
+// PathID identifies a stored path (an element of P).
+type PathID uint64
+
+// Labels is a sorted, duplicate-free set of label names (λ values).
+type Labels []string
+
+// NewLabels builds a normalised label set.
+func NewLabels(names ...string) Labels {
+	ls := append(Labels(nil), names...)
+	sort.Strings(ls)
+	out := ls[:0]
+	for i, l := range ls {
+		if i == 0 || ls[i-1] != l {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Has reports whether the label set contains name.
+func (ls Labels) Has(name string) bool {
+	i := sort.SearchStrings(ls, name)
+	return i < len(ls) && ls[i] == name
+}
+
+// Add returns a label set extended with name.
+func (ls Labels) Add(name string) Labels {
+	if ls.Has(name) {
+		return ls
+	}
+	return NewLabels(append(append(Labels(nil), ls...), name)...)
+}
+
+// Remove returns a label set without name.
+func (ls Labels) Remove(name string) Labels {
+	if !ls.Has(name) {
+		return ls
+	}
+	out := make(Labels, 0, len(ls)-1)
+	for _, l := range ls {
+		if l != name {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Union returns the union of two label sets.
+func (ls Labels) Union(other Labels) Labels {
+	return NewLabels(append(append([]string(nil), ls...), other...)...)
+}
+
+// Intersect returns the intersection of two label sets.
+func (ls Labels) Intersect(other Labels) Labels {
+	out := Labels{}
+	for _, l := range ls {
+		if other.Has(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two label sets contain the same labels.
+func (ls Labels) Equal(other Labels) bool {
+	if len(ls) != len(other) {
+		return false
+	}
+	for i := range ls {
+		if ls[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (ls Labels) Clone() Labels { return append(Labels(nil), ls...) }
+
+// Properties maps property names to their (finite set of) values:
+// σ(x, k) ∈ FSET(V). Every stored value has kind set; absent keys
+// denote σ(x,k) = ∅.
+type Properties map[string]value.Value
+
+// NewProperties builds a property map, normalising every value to a
+// set (scalars become singleton sets, per the data model).
+func NewProperties(kv map[string]value.Value) Properties {
+	p := make(Properties, len(kv))
+	for k, v := range kv {
+		p.Set(k, v)
+	}
+	return p
+}
+
+// Set stores v under k, normalising to a set. Setting an empty set or
+// Null removes the property (σ(x,k) = ∅ means "not defined").
+func (p Properties) Set(k string, v value.Value) {
+	var sv value.Value
+	switch v.Kind() {
+	case value.KindSet:
+		sv = v
+	case value.KindNull:
+		sv = value.EmptySet
+	default:
+		sv = value.Set(v)
+	}
+	if sv.Len() == 0 {
+		delete(p, k)
+		return
+	}
+	p[k] = sv
+}
+
+// Get returns σ(x,k): the value set, or the empty set if undefined.
+func (p Properties) Get(k string) value.Value {
+	if v, ok := p[k]; ok {
+		return v
+	}
+	return value.EmptySet
+}
+
+// Keys returns the defined property names in sorted order.
+func (p Properties) Keys() []string {
+	ks := make([]string, 0, len(p))
+	for k := range p {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Clone returns an independent copy (values are immutable, so a
+// shallow copy of the map suffices).
+func (p Properties) Clone() Properties {
+	cp := make(Properties, len(p))
+	for k, v := range p {
+		cp[k] = v
+	}
+	return cp
+}
+
+// Equal reports whether two property maps are extensionally equal.
+func (p Properties) Equal(other Properties) bool {
+	if len(p) != len(other) {
+		return false
+	}
+	for k, v := range p {
+		ov, ok := other[k]
+		if !ok || !value.Equal(v, ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Node is an element of N with its λ and σ assignments.
+type Node struct {
+	ID     NodeID
+	Labels Labels
+	Props  Properties
+}
+
+// Clone returns an independent copy of the node.
+func (n *Node) Clone() *Node {
+	return &Node{ID: n.ID, Labels: n.Labels.Clone(), Props: n.Props.Clone()}
+}
+
+// Edge is an element of E; ρ(e) = (Src, Dst).
+type Edge struct {
+	ID       EdgeID
+	Src, Dst NodeID
+	Labels   Labels
+	Props    Properties
+}
+
+// Clone returns an independent copy of the edge.
+func (e *Edge) Clone() *Edge {
+	return &Edge{ID: e.ID, Src: e.Src, Dst: e.Dst, Labels: e.Labels.Clone(), Props: e.Props.Clone()}
+}
+
+// Path is an element of P. δ(p) = [Nodes[0], Edges[0], Nodes[1], ...,
+// Edges[n-1], Nodes[n]]: len(Nodes) == len(Edges)+1, and each Edges[i]
+// connects Nodes[i] and Nodes[i+1] in either direction (Definition
+// 2.1, condition 3).
+type Path struct {
+	ID     PathID
+	Nodes  []NodeID
+	Edges  []EdgeID
+	Labels Labels
+	Props  Properties
+}
+
+// Clone returns an independent copy of the path.
+func (p *Path) Clone() *Path {
+	return &Path{
+		ID:     p.ID,
+		Nodes:  append([]NodeID(nil), p.Nodes...),
+		Edges:  append([]EdgeID(nil), p.Edges...),
+		Labels: p.Labels.Clone(),
+		Props:  p.Props.Clone(),
+	}
+}
+
+// Length returns the hop count n of the path (its number of edges),
+// the default path cost of the language.
+func (p *Path) Length() int { return len(p.Edges) }
+
+// Graph is a Path Property Graph.
+type Graph struct {
+	name  string
+	nodes map[NodeID]*Node
+	edges map[EdgeID]*Edge
+	paths map[PathID]*Path
+
+	// Adjacency indexes: per node the identifiers of outgoing and
+	// incoming edges, kept sorted for deterministic traversal.
+	out map[NodeID][]EdgeID
+	in  map[NodeID][]EdgeID
+}
+
+// New creates an empty graph with the given name.
+func New(name string) *Graph {
+	return &Graph{
+		name:  name,
+		nodes: map[NodeID]*Node{},
+		edges: map[EdgeID]*Edge{},
+		paths: map[PathID]*Path{},
+		out:   map[NodeID][]EdgeID{},
+		in:    map[NodeID][]EdgeID{},
+	}
+}
+
+// Name returns the graph's name (the gid it is registered under).
+func (g *Graph) Name() string { return g.name }
+
+// SetName renames the graph.
+func (g *Graph) SetName(name string) { g.name = name }
+
+// NumNodes, NumEdges and NumPaths report |N|, |E| and |P|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NumPaths reports |P|.
+func (g *Graph) NumPaths() int { return len(g.paths) }
+
+// IsEmpty reports whether the graph has no nodes (the paper's G∅ test,
+// used by EXISTS: "N ≠ ∅").
+func (g *Graph) IsEmpty() bool { return len(g.nodes) == 0 }
+
+// AddNode inserts a node. Inserting an existing identifier is an
+// error: identities are engine-unique.
+func (g *Graph) AddNode(n *Node) error {
+	if _, dup := g.nodes[n.ID]; dup {
+		return fmt.Errorf("ppg: graph %q already contains node #%d", g.name, n.ID)
+	}
+	if n.Props == nil {
+		n.Props = Properties{}
+	}
+	g.nodes[n.ID] = n
+	return nil
+}
+
+// AddEdge inserts an edge; both endpoints must already be present
+// (no dangling edges, ever).
+func (g *Graph) AddEdge(e *Edge) error {
+	if _, dup := g.edges[e.ID]; dup {
+		return fmt.Errorf("ppg: graph %q already contains edge #%d", g.name, e.ID)
+	}
+	if _, ok := g.nodes[e.Src]; !ok {
+		return fmt.Errorf("ppg: edge #%d starts at missing node #%d", e.ID, e.Src)
+	}
+	if _, ok := g.nodes[e.Dst]; !ok {
+		return fmt.Errorf("ppg: edge #%d ends at missing node #%d", e.ID, e.Dst)
+	}
+	if e.Props == nil {
+		e.Props = Properties{}
+	}
+	g.edges[e.ID] = e
+	g.out[e.Src] = insertSorted(g.out[e.Src], e.ID)
+	g.in[e.Dst] = insertSorted(g.in[e.Dst], e.ID)
+	return nil
+}
+
+// AddPath inserts a stored path after checking condition (3) of
+// Definition 2.1: the sequence alternates existing nodes and edges,
+// and each edge connects the surrounding nodes in either direction.
+func (g *Graph) AddPath(p *Path) error {
+	if _, dup := g.paths[p.ID]; dup {
+		return fmt.Errorf("ppg: graph %q already contains path #%d", g.name, p.ID)
+	}
+	if err := g.checkPathShape(p); err != nil {
+		return err
+	}
+	if p.Props == nil {
+		p.Props = Properties{}
+	}
+	g.paths[p.ID] = p
+	return nil
+}
+
+func (g *Graph) checkPathShape(p *Path) error {
+	if len(p.Nodes) != len(p.Edges)+1 {
+		return fmt.Errorf("ppg: path #%d has %d nodes and %d edges; need n+1 nodes for n edges",
+			p.ID, len(p.Nodes), len(p.Edges))
+	}
+	for _, nid := range p.Nodes {
+		if _, ok := g.nodes[nid]; !ok {
+			return fmt.Errorf("ppg: path #%d references missing node #%d", p.ID, nid)
+		}
+	}
+	for i, eid := range p.Edges {
+		e, ok := g.edges[eid]
+		if !ok {
+			return fmt.Errorf("ppg: path #%d references missing edge #%d", p.ID, eid)
+		}
+		a, b := p.Nodes[i], p.Nodes[i+1]
+		if !(e.Src == a && e.Dst == b) && !(e.Src == b && e.Dst == a) {
+			return fmt.Errorf("ppg: path #%d: edge #%d does not connect #%d and #%d", p.ID, eid, a, b)
+		}
+	}
+	return nil
+}
+
+// Node returns the node with the given identifier.
+func (g *Graph) Node(id NodeID) (*Node, bool) { n, ok := g.nodes[id]; return n, ok }
+
+// Edge returns the edge with the given identifier.
+func (g *Graph) Edge(id EdgeID) (*Edge, bool) { e, ok := g.edges[id]; return e, ok }
+
+// Path returns the stored path with the given identifier.
+func (g *Graph) Path(id PathID) (*Path, bool) { p, ok := g.paths[id]; return p, ok }
+
+// NodeIDs returns all node identifiers in ascending order.
+func (g *Graph) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// EdgeIDs returns all edge identifiers in ascending order.
+func (g *Graph) EdgeIDs() []EdgeID {
+	ids := make([]EdgeID, 0, len(g.edges))
+	for id := range g.edges {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// PathIDs returns all stored-path identifiers in ascending order.
+func (g *Graph) PathIDs() []PathID {
+	ids := make([]PathID, 0, len(g.paths))
+	for id := range g.paths {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// OutEdges returns the identifiers of edges leaving n, ascending.
+func (g *Graph) OutEdges(n NodeID) []EdgeID { return g.out[n] }
+
+// InEdges returns the identifiers of edges entering n, ascending.
+func (g *Graph) InEdges(n NodeID) []EdgeID { return g.in[n] }
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	cp := New(g.name)
+	for id, n := range g.nodes {
+		cp.nodes[id] = n.Clone()
+	}
+	for id, e := range g.edges {
+		cp.edges[id] = e.Clone()
+		cp.out[e.Src] = insertSorted(cp.out[e.Src], e.ID)
+		cp.in[e.Dst] = insertSorted(cp.in[e.Dst], e.ID)
+	}
+	for id, p := range g.paths {
+		cp.paths[id] = p.Clone()
+	}
+	return cp
+}
+
+// LabelsOf returns λ(x) for a node/edge/path reference value.
+func (g *Graph) LabelsOf(ref value.Value) (Labels, bool) {
+	id, ok := ref.RefID()
+	if !ok {
+		return nil, false
+	}
+	switch ref.Kind() {
+	case value.KindNode:
+		if n, ok := g.nodes[NodeID(id)]; ok {
+			return n.Labels, true
+		}
+	case value.KindEdge:
+		if e, ok := g.edges[EdgeID(id)]; ok {
+			return e.Labels, true
+		}
+	case value.KindPath:
+		if p, ok := g.paths[PathID(id)]; ok {
+			return p.Labels, true
+		}
+	}
+	return nil, false
+}
+
+// PropOf returns σ(x, k) for a node/edge/path reference value.
+func (g *Graph) PropOf(ref value.Value, k string) (value.Value, bool) {
+	id, ok := ref.RefID()
+	if !ok {
+		return value.Null, false
+	}
+	switch ref.Kind() {
+	case value.KindNode:
+		if n, ok := g.nodes[NodeID(id)]; ok {
+			return n.Props.Get(k), true
+		}
+	case value.KindEdge:
+		if e, ok := g.edges[EdgeID(id)]; ok {
+			return e.Props.Get(k), true
+		}
+	case value.KindPath:
+		if p, ok := g.paths[PathID(id)]; ok {
+			return p.Props.Get(k), true
+		}
+	}
+	return value.Null, false
+}
+
+// Validate checks every invariant of Definition 2.1: endpoint
+// existence (ρ total into N×N), path well-formedness (δ), and index
+// consistency. It is used by tests and by failure-injection checks.
+func (g *Graph) Validate() error {
+	for id, e := range g.edges {
+		if id != e.ID {
+			return fmt.Errorf("ppg: edge indexed under #%d has ID #%d", id, e.ID)
+		}
+		if _, ok := g.nodes[e.Src]; !ok {
+			return fmt.Errorf("ppg: dangling edge #%d (missing source #%d)", e.ID, e.Src)
+		}
+		if _, ok := g.nodes[e.Dst]; !ok {
+			return fmt.Errorf("ppg: dangling edge #%d (missing destination #%d)", e.ID, e.Dst)
+		}
+		if !containsEdge(g.out[e.Src], e.ID) || !containsEdge(g.in[e.Dst], e.ID) {
+			return fmt.Errorf("ppg: adjacency index missing edge #%d", e.ID)
+		}
+	}
+	for id, n := range g.nodes {
+		if id != n.ID {
+			return fmt.Errorf("ppg: node indexed under #%d has ID #%d", id, n.ID)
+		}
+	}
+	for id, p := range g.paths {
+		if id != p.ID {
+			return fmt.Errorf("ppg: path indexed under #%d has ID #%d", id, p.ID)
+		}
+		if err := g.checkPathShape(p); err != nil {
+			return err
+		}
+	}
+	for nid, es := range g.out {
+		for _, eid := range es {
+			e, ok := g.edges[eid]
+			if !ok || e.Src != nid {
+				return fmt.Errorf("ppg: stale out-index entry #%d at node #%d", eid, nid)
+			}
+		}
+	}
+	for nid, es := range g.in {
+		for _, eid := range es {
+			e, ok := g.edges[eid]
+			if !ok || e.Dst != nid {
+				return fmt.Errorf("ppg: stale in-index entry #%d at node #%d", eid, nid)
+			}
+		}
+	}
+	return nil
+}
+
+// String summarises the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph %q (%d nodes, %d edges, %d paths)", g.name, len(g.nodes), len(g.edges), len(g.paths))
+}
+
+func insertSorted(s []EdgeID, id EdgeID) []EdgeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+func containsEdge(s []EdgeID, id EdgeID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	return i < len(s) && s[i] == id
+}

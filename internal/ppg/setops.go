@@ -1,0 +1,215 @@
+package ppg
+
+import "gcore/internal/value"
+
+// The "full graph" operations of §A.5. They are defined in terms of
+// node, edge and path *identities*. Two graphs are consistent if every
+// shared edge identifier has the same endpoints (ρ1(e) = ρ2(e)) and
+// every shared path identifier has the same expansion (δ1(p) = δ2(p));
+// union and intersection of inconsistent graphs are the empty PPG.
+
+// Consistent reports whether g1 and g2 agree on all shared edge and
+// path identifiers.
+func Consistent(g1, g2 *Graph) bool {
+	for id, e1 := range g1.edges {
+		if e2, ok := g2.edges[id]; ok {
+			if e1.Src != e2.Src || e1.Dst != e2.Dst {
+				return false
+			}
+		}
+	}
+	for id, p1 := range g1.paths {
+		if p2, ok := g2.paths[id]; ok {
+			if !sameExpansion(p1, p2) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sameExpansion(p1, p2 *Path) bool {
+	if len(p1.Nodes) != len(p2.Nodes) || len(p1.Edges) != len(p2.Edges) {
+		return false
+	}
+	for i := range p1.Nodes {
+		if p1.Nodes[i] != p2.Nodes[i] {
+			return false
+		}
+	}
+	for i := range p1.Edges {
+		if p1.Edges[i] != p2.Edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns G1 ∪ G2: the identity-wise union; labels are united
+// and property value sets are united pointwise. Inconsistent inputs
+// yield the empty graph.
+func Union(name string, g1, g2 *Graph) *Graph {
+	out := New(name)
+	if !Consistent(g1, g2) {
+		return out
+	}
+	for _, id := range g1.NodeIDs() {
+		n := g1.nodes[id].Clone()
+		if n2, ok := g2.nodes[id]; ok {
+			mergeInto(n.Labels.Union(n2.Labels), &n.Labels, n.Props, n2.Props)
+		}
+		mustAdd(out.AddNode(n))
+	}
+	for _, id := range g2.NodeIDs() {
+		if _, ok := g1.nodes[id]; !ok {
+			mustAdd(out.AddNode(g2.nodes[id].Clone()))
+		}
+	}
+	for _, id := range g1.EdgeIDs() {
+		e := g1.edges[id].Clone()
+		if e2, ok := g2.edges[id]; ok {
+			mergeInto(e.Labels.Union(e2.Labels), &e.Labels, e.Props, e2.Props)
+		}
+		mustAdd(out.AddEdge(e))
+	}
+	for _, id := range g2.EdgeIDs() {
+		if _, ok := g1.edges[id]; !ok {
+			mustAdd(out.AddEdge(g2.edges[id].Clone()))
+		}
+	}
+	for _, id := range g1.PathIDs() {
+		p := g1.paths[id].Clone()
+		if p2, ok := g2.paths[id]; ok {
+			mergeInto(p.Labels.Union(p2.Labels), &p.Labels, p.Props, p2.Props)
+		}
+		mustAdd(out.AddPath(p))
+	}
+	for _, id := range g2.PathIDs() {
+		if _, ok := g1.paths[id]; !ok {
+			mustAdd(out.AddPath(g2.paths[id].Clone()))
+		}
+	}
+	return out
+}
+
+// mergeInto sets *labels and unions other's property value sets into
+// props pointwise (σ(x,k) = σ1(x,k) ∪ σ2(x,k)).
+func mergeInto(merged Labels, labels *Labels, props, other Properties) {
+	*labels = merged
+	for k, v2 := range other {
+		if v1, ok := props[k]; ok {
+			props[k] = value.Set(append(append([]value.Value(nil), v1.Elems()...), v2.Elems()...)...)
+		} else {
+			props[k] = v2
+		}
+	}
+}
+
+// Intersect returns G1 ∩ G2: shared identities only; labels and
+// property value sets are intersected pointwise. Inconsistent inputs
+// yield the empty graph.
+func Intersect(name string, g1, g2 *Graph) *Graph {
+	out := New(name)
+	if !Consistent(g1, g2) {
+		return out
+	}
+	for _, id := range g1.NodeIDs() {
+		n2, ok := g2.nodes[id]
+		if !ok {
+			continue
+		}
+		n := g1.nodes[id].Clone()
+		n.Labels = n.Labels.Intersect(n2.Labels)
+		n.Props = intersectProps(n.Props, n2.Props)
+		mustAdd(out.AddNode(n))
+	}
+	for _, id := range g1.EdgeIDs() {
+		e2, ok := g2.edges[id]
+		if !ok {
+			continue
+		}
+		e := g1.edges[id].Clone()
+		// Shared edges have shared endpoints by consistency; the
+		// endpoints are in N1 ∩ N2 because each graph contains them.
+		e.Labels = e.Labels.Intersect(e2.Labels)
+		e.Props = intersectProps(e.Props, e2.Props)
+		mustAdd(out.AddEdge(e))
+	}
+	for _, id := range g1.PathIDs() {
+		p2, ok := g2.paths[id]
+		if !ok {
+			continue
+		}
+		p := g1.paths[id].Clone()
+		p.Labels = p.Labels.Intersect(p2.Labels)
+		p.Props = intersectProps(p.Props, p2.Props)
+		mustAdd(out.AddPath(p))
+	}
+	return out
+}
+
+func intersectProps(a, b Properties) Properties {
+	out := Properties{}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			continue
+		}
+		keep := []value.Value{}
+		for _, e := range va.Elems() {
+			if v := value.In(e, vb); eqTrue(v) {
+				keep = append(keep, e)
+			}
+		}
+		if len(keep) > 0 {
+			out[k] = value.Set(keep...)
+		}
+	}
+	return out
+}
+
+func eqTrue(v value.Value) bool { b, _ := v.AsBool(); return b }
+
+// Minus returns G1 ∖ G2 per §A.5: nodes N1∖N2; edges of E1∖E2 whose
+// endpoints survive; paths of P1∖P2 whose nodes and edges all survive.
+// Labels and properties come from G1 unchanged. The result never has
+// dangling edges or broken paths.
+func Minus(name string, g1, g2 *Graph) *Graph {
+	out := New(name)
+	for _, id := range g1.NodeIDs() {
+		if _, shared := g2.nodes[id]; !shared {
+			mustAdd(out.AddNode(g1.nodes[id].Clone()))
+		}
+	}
+	for _, id := range g1.EdgeIDs() {
+		if _, shared := g2.edges[id]; shared {
+			continue
+		}
+		e := g1.edges[id]
+		if _, ok := out.nodes[e.Src]; !ok {
+			continue
+		}
+		if _, ok := out.nodes[e.Dst]; !ok {
+			continue
+		}
+		mustAdd(out.AddEdge(e.Clone()))
+	}
+	for _, id := range g1.PathIDs() {
+		if _, shared := g2.paths[id]; shared {
+			continue
+		}
+		p := g1.paths[id]
+		if out.checkPathShape(p) == nil {
+			mustAdd(out.AddPath(p.Clone()))
+		}
+	}
+	return out
+}
+
+// mustAdd panics on insertion errors that the set-op algorithms make
+// impossible by construction; a panic here is a bug in this package.
+func mustAdd(err error) {
+	if err != nil {
+		panic("ppg: internal set-op invariant violated: " + err.Error())
+	}
+}

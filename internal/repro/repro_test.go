@@ -1,0 +1,168 @@
+package repro
+
+import "testing"
+
+func TestRunAllChecksPass(t *testing.T) {
+	for _, c := range RunAll() {
+		if !c.OK() {
+			t.Errorf("%s %s: %v", c.ID, c.Name, c.Err)
+		}
+	}
+}
+
+func TestComplexitySweepsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pts, err := ComplexityMatch([]int{20, 40})
+	if err != nil || len(pts) != 2 {
+		t.Fatalf("match sweep: %v, %v", pts, err)
+	}
+	if pts[1].Nodes <= pts[0].Nodes {
+		t.Error("scales must grow")
+	}
+	sp, err := ComplexityShortest([]int{20})
+	if err != nil || len(sp) != 1 {
+		t.Fatalf("shortest sweep: %v", err)
+	}
+	cp, err := ComplexityConstruct([]int{20})
+	if err != nil || len(cp) != 1 || cp[0].Result == 0 {
+		t.Fatalf("construct sweep: %+v, %v", cp, err)
+	}
+}
+
+func TestAblationGrid(t *testing.T) {
+	pts, err := AblationSimplePath([]int{3, 4, 5}, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if !p.WalkOK {
+			t.Errorf("width %d: walk search failed to find the corner path", p.Size)
+		}
+		if p.ProjNodes == 0 {
+			t.Errorf("width %d: empty projection", p.Size)
+		}
+	}
+	// The combinatorial explosion: simple-path visits must grow much
+	// faster than grid size. Central binomial: 3x3 grid has 6 simple
+	// monotone paths... all simple paths incl. non-monotone are more;
+	// with only right/down edges, all paths are monotone: C(2(w-1), w-1).
+	if pts[0].SimplePaths != 6 { // C(4,2)
+		t.Errorf("3x3 grid simple paths = %d, want 6", pts[0].SimplePaths)
+	}
+	if pts[1].SimplePaths != 20 { // C(6,3)
+		t.Errorf("4x4 grid simple paths = %d, want 20", pts[1].SimplePaths)
+	}
+	if pts[2].SimplePaths != 70 { // C(8,4)
+		t.Errorf("5x5 grid simple paths = %d, want 70", pts[2].SimplePaths)
+	}
+	if pts[2].SimpleVisits <= pts[0].SimpleVisits*2 {
+		t.Error("baseline visit counts should explode with grid width")
+	}
+	// Projection stays linear in the grid.
+	if pts[2].ProjEdges != 2*5*4 {
+		t.Errorf("5x5 projection edges = %d, want 40 (all grid edges)", pts[2].ProjEdges)
+	}
+}
+
+func TestWeightedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pts, err := WeightedShortest([]int{20})
+	if err != nil || len(pts) != 1 {
+		t.Fatalf("weighted sweep: %v", err)
+	}
+}
+
+func TestFig1RowsMatchPaper(t *testing.T) {
+	rows := Fig1Rows()
+	counts := map[string]int{}
+	for _, r := range rows {
+		counts[r.Name] = r.Count
+	}
+	// Figure 1 spot checks.
+	if counts["graph reachability"] != 36 || counts["graph construction"] != 34 ||
+		counts["pattern matching"] != 32 || counts["shortest path search"] != 19 ||
+		counts["graph clustering"] != 14 || counts["healthcare / pharma"] != 14 {
+		t.Errorf("Fig. 1 numbers drifted: %v", counts)
+	}
+}
+
+func TestTable1CoversPaperSections(t *testing.T) {
+	rows := Table1Rows()
+	if len(rows) != 21 {
+		t.Errorf("Table 1 rows = %d, want 21", len(rows))
+	}
+	sections := map[string]bool{}
+	for _, r := range rows {
+		sections[r.Section] = true
+	}
+	for _, want := range []string{"Matching", "Querying", "Subqueries", "Construction"} {
+		if !sections[want] {
+			t.Errorf("section %s missing", want)
+		}
+	}
+}
+
+func TestGridGraphShape(t *testing.T) {
+	g, src, dst := GridGraph(3)
+	if g.NumNodes() != 9 || g.NumEdges() != 12 {
+		t.Fatalf("grid = %v", g)
+	}
+	if src == dst {
+		t.Error("corners must differ")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationHelpers(t *testing.T) {
+	ok, err := AblationWalkOnly(4)
+	if err != nil || !ok {
+		t.Fatalf("walk helper: %v, %v", ok, err)
+	}
+	n, err := AblationSimpleOnly(4, 100000)
+	if err != nil || n != 20 {
+		t.Fatalf("simple helper: %d, %v", n, err)
+	}
+	tr, err := AblationTrailOnly(4, 100000)
+	if err != nil || tr != 20 {
+		t.Fatalf("trail helper: %d, %v", tr, err)
+	}
+	nodes, edges, err := AblationProjectionOnly(4)
+	if err != nil || nodes != 16 || edges != 24 {
+		t.Fatalf("projection helper: %d/%d, %v", nodes, edges, err)
+	}
+}
+
+func TestBindingTablesMatchPaper(t *testing.T) {
+	eng, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbls, err := BindingTables(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbls) != 3 {
+		t.Fatalf("tables = %d", len(tbls))
+	}
+	if tbls[0].Len() != 3 || tbls[1].Len() != 20 || tbls[2].Len() != 5 {
+		t.Fatalf("row counts = %d/%d/%d, want 3/20/5", tbls[0].Len(), tbls[1].Len(), tbls[2].Len())
+	}
+	// Frank's multi-valued employer shows as a set in the cartesian.
+	found := false
+	for _, r := range tbls[1].Rows {
+		if s, _ := r[1].Scalarize().AsString(); s == "Frank" {
+			if r[2].Len() == 2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("Frank's {CWI, MIT} set missing from the cartesian table")
+	}
+}

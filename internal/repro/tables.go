@@ -1,0 +1,48 @@
+package repro
+
+import (
+	"fmt"
+
+	"gcore"
+	"gcore/internal/table"
+)
+
+// The three binding tables §3 prints verbatim: the equi-join table
+// (3 rows), the cartesian product with c.name and n.employer columns
+// (20 rows, Frank's multi-valued employer shown as a set), and the
+// unrolled table with the bound e variable (5 rows). BindingTables
+// recomputes them on the toy database so the harness can print the
+// same rows the paper reports.
+
+// BindingTables returns the three tables, in paper order.
+func BindingTables(eng *gcore.Engine) ([]*table.Table, error) {
+	queries := []struct {
+		name string
+		src  string
+	}{
+		{"equi-join (c, n) — paper page 8 top", `
+SELECT c.name AS c, n.firstName AS n
+MATCH (c:Company) ON company_graph, (n:Person) ON social_graph
+WHERE c.name = n.employer
+ORDER BY c, n`},
+		{"cartesian product (c, c.name, n, n.employer) — paper page 8", `
+SELECT c.name AS c_name, n.firstName AS n, n.employer AS n_employer
+MATCH (c:Company) ON company_graph, (n:Person) ON social_graph
+ORDER BY c_name, n`},
+		{"unrolled {employer=e} join (c, n, e) — paper page 9", `
+SELECT c.name AS c, n.firstName AS n, e
+MATCH (c:Company) ON company_graph, (n:Person {employer=e}) ON social_graph
+WHERE c.name = e
+ORDER BY c, n, e`},
+	}
+	var out []*table.Table
+	for _, q := range queries {
+		res, err := eng.Eval(q.src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.name, err)
+		}
+		res.Table.Name = q.name
+		out = append(out, res.Table)
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package rpq
+
+import (
+	"fmt"
+
+	"gcore/internal/ppg"
+)
+
+// Simple-path semantics baseline.
+//
+// G-CORE deliberately evaluates path expressions under arbitrary-path
+// (walk) semantics: checking whether a *simple* path (no repeated
+// node) from u to v conforms to a fixed regular expression is
+// NP-complete (Mendelzon & Wood [23], cited in §4 and §A.1), and
+// Cypher 9's no-repeated-edge semantics inherits related blow-ups.
+// This file implements the avoided alternative — exhaustive
+// backtracking over simple paths — purely as a comparison baseline
+// for the complexity ablation benchmarks (DESIGN.md experiment CPLX2).
+
+// SimplePathSearch enumerates simple paths (no repeated nodes) from
+// src that conform to the automaton, in DFS order. It stops after
+// visiting at most maxVisits search states and reports whether the
+// budget was exhausted. The shortest conforming simple path per
+// destination is returned.
+//
+// The worst case is exponential in the size of the graph — that is
+// the point of the baseline.
+func (e *Engine) SimplePathSearch(src ppg.NodeID, nfa *NFA, maxVisits int) (map[ppg.NodeID]PathResult, int, error) {
+	if nfa.HasViews() {
+		return nil, 0, fmt.Errorf("rpq: simple-path baseline does not support path views")
+	}
+	if _, ok := e.g.Node(src); !ok {
+		return map[ppg.NodeID]PathResult{}, 0, nil
+	}
+	best := map[ppg.NodeID]PathResult{}
+	visits := 0
+	onPath := map[ppg.NodeID]bool{src: true}
+
+	var nodes []ppg.NodeID
+	var edges []ppg.EdgeID
+	nodes = append(nodes, src)
+
+	// epsSeen guards against ε-cycles of the Thompson construction:
+	// between two edge consumptions, every automaton state is entered
+	// at most once (safe: repeating a state without consuming an edge
+	// cannot enable new graph paths).
+	var dfs func(c cfg, epsSeen map[int]bool) error
+	dfs = func(c cfg, epsSeen map[int]bool) error {
+		if visits >= maxVisits {
+			return nil
+		}
+		visits++
+		if c.q == nfa.accept {
+			if prev, ok := best[c.n]; !ok || len(edges) < prev.Hops {
+				best[c.n] = PathResult{
+					Src: src, Dst: c.n,
+					Cost: float64(len(edges)), Hops: len(edges),
+					Nodes: append([]ppg.NodeID(nil), nodes...),
+					Edges: append([]ppg.EdgeID(nil), edges...),
+				}
+			}
+		}
+		node, _ := e.g.Node(c.n)
+		for _, t := range nfa.trans[c.q] {
+			switch t.kind {
+			case tEps, tNode:
+				if t.kind == tNode && !node.Labels.Has(t.label) {
+					continue
+				}
+				if epsSeen[t.to] {
+					continue
+				}
+				epsSeen[t.to] = true
+				if err := dfs(cfg{c.n, t.to}, epsSeen); err != nil {
+					return err
+				}
+				delete(epsSeen, t.to)
+			case tEdge:
+				step := func(eid ppg.EdgeID, next ppg.NodeID) error {
+					if onPath[next] {
+						return nil // simple: never revisit a node
+					}
+					onPath[next] = true
+					nodes = append(nodes, next)
+					edges = append(edges, eid)
+					err := dfs(cfg{next, t.to}, map[int]bool{t.to: true})
+					onPath[next] = false
+					nodes = nodes[:len(nodes)-1]
+					edges = edges[:len(edges)-1]
+					return err
+				}
+				if t.inverse {
+					for _, eid := range e.g.InEdges(c.n) {
+						ed, _ := e.g.Edge(eid)
+						if t.label == "" || ed.Labels.Has(t.label) {
+							if err := step(eid, ed.Src); err != nil {
+								return err
+							}
+						}
+					}
+				} else {
+					for _, eid := range e.g.OutEdges(c.n) {
+						ed, _ := e.g.Edge(eid)
+						if t.label == "" || ed.Labels.Has(t.label) {
+							if err := step(eid, ed.Dst); err != nil {
+								return err
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := dfs(cfg{src, nfa.start}, map[int]bool{nfa.start: true}); err != nil {
+		return nil, visits, err
+	}
+	return best, visits, nil
+}
+
+// CountSimplePaths counts the simple paths from src to dst conforming
+// to the automaton, up to the visit budget. Used by the ablation to
+// show the combinatorial explosion that enumeration-based semantics
+// face on dense graphs.
+func (e *Engine) CountSimplePaths(src, dst ppg.NodeID, nfa *NFA, maxVisits int) (count, visits int, err error) {
+	if nfa.HasViews() {
+		return 0, 0, fmt.Errorf("rpq: simple-path baseline does not support path views")
+	}
+	if _, ok := e.g.Node(src); !ok {
+		return 0, 0, nil
+	}
+	onPath := map[ppg.NodeID]bool{src: true}
+	var dfs func(c cfg, epsSeen map[int]bool)
+	dfs = func(c cfg, epsSeen map[int]bool) {
+		if visits >= maxVisits {
+			return
+		}
+		visits++
+		if c.q == nfa.accept && c.n == dst {
+			count++
+		}
+		node, _ := e.g.Node(c.n)
+		for _, t := range nfa.trans[c.q] {
+			switch t.kind {
+			case tEps, tNode:
+				if t.kind == tNode && !node.Labels.Has(t.label) {
+					continue
+				}
+				if epsSeen[t.to] {
+					continue
+				}
+				epsSeen[t.to] = true
+				dfs(cfg{c.n, t.to}, epsSeen)
+				delete(epsSeen, t.to)
+			case tEdge:
+				step := func(next ppg.NodeID) {
+					if onPath[next] {
+						return
+					}
+					onPath[next] = true
+					dfs(cfg{next, t.to}, map[int]bool{t.to: true})
+					onPath[next] = false
+				}
+				if t.inverse {
+					for _, eid := range e.g.InEdges(c.n) {
+						ed, _ := e.g.Edge(eid)
+						if t.label == "" || ed.Labels.Has(t.label) {
+							step(ed.Src)
+						}
+					}
+				} else {
+					for _, eid := range e.g.OutEdges(c.n) {
+						ed, _ := e.g.Edge(eid)
+						if t.label == "" || ed.Labels.Has(t.label) {
+							step(ed.Dst)
+						}
+					}
+				}
+			}
+		}
+	}
+	dfs(cfg{src, nfa.start}, map[int]bool{nfa.start: true})
+	return count, visits, nil
+}

@@ -1,0 +1,84 @@
+package snb
+
+import (
+	"fmt"
+
+	"gcore/internal/ppg"
+)
+
+// Schema conformance for the simplified SNB schema of Figure 3: each
+// edge label has fixed endpoint label sets. CheckSchema validates a
+// graph against it, which is how the FIG3 repro experiment asserts
+// that the generator emits exactly the paper's schema.
+
+// edgeRule describes the legal endpoints of one edge label.
+type edgeRule struct {
+	src []string
+	dst []string
+}
+
+// SchemaRules is the Figure 3 edge inventory.
+var SchemaRules = map[string]edgeRule{
+	"knows":        {src: []string{"Person"}, dst: []string{"Person"}},
+	"isLocatedIn":  {src: []string{"Person", "Company"}, dst: []string{"City"}},
+	"hasInterest":  {src: []string{"Person"}, dst: []string{"Tag"}},
+	"has_creator":  {src: []string{"Post", "Comment"}, dst: []string{"Person"}},
+	"reply_of":     {src: []string{"Comment"}, dst: []string{"Post", "Comment"}},
+	"worksAt":      {src: []string{"Person"}, dst: []string{"Company"}},
+	"wagnerFriend": {src: []string{"Person"}, dst: []string{"Person"}},
+}
+
+// NodeLabels is the Figure 3 node inventory.
+var NodeLabels = []string{"Person", "City", "Tag", "Company", "Post", "Comment", "Manager"}
+
+// CheckSchema verifies that every edge of g conforms to the Figure 3
+// schema and that every node carries at least one known label.
+func CheckSchema(g *ppg.Graph) error {
+	known := map[string]bool{}
+	for _, l := range NodeLabels {
+		known[l] = true
+	}
+	for _, id := range g.NodeIDs() {
+		n, _ := g.Node(id)
+		if len(n.Labels) == 0 {
+			return fmt.Errorf("snb: node #%d has no label", id)
+		}
+		ok := false
+		for _, l := range n.Labels {
+			if known[l] {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("snb: node #%d has no schema label (labels: %v)", id, n.Labels)
+		}
+	}
+	for _, id := range g.EdgeIDs() {
+		e, _ := g.Edge(id)
+		if len(e.Labels) != 1 {
+			return fmt.Errorf("snb: edge #%d must have exactly one label, has %v", id, e.Labels)
+		}
+		rule, ok := SchemaRules[e.Labels[0]]
+		if !ok {
+			return fmt.Errorf("snb: edge #%d has unknown label %q", id, e.Labels[0])
+		}
+		src, _ := g.Node(e.Src)
+		dst, _ := g.Node(e.Dst)
+		if !hasAny(src.Labels, rule.src) {
+			return fmt.Errorf("snb: edge #%d (%s) starts at %v, want one of %v", id, e.Labels[0], src.Labels, rule.src)
+		}
+		if !hasAny(dst.Labels, rule.dst) {
+			return fmt.Errorf("snb: edge #%d (%s) ends at %v, want one of %v", id, e.Labels[0], dst.Labels, rule.dst)
+		}
+	}
+	return nil
+}
+
+func hasAny(ls ppg.Labels, names []string) bool {
+	for _, n := range names {
+		if ls.Has(n) {
+			return true
+		}
+	}
+	return false
+}

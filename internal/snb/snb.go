@@ -1,0 +1,102 @@
+// Package snb provides the datasets of the paper's evaluation: the
+// toy Path Property Graph of Figure 2 (formalised in Example 2.2),
+// the guided-tour instance social_graph of Figure 4 together with its
+// companion company_graph, and a deterministic, scale-parameterised
+// generator producing graphs with the (simplified) LDBC Social
+// Network Benchmark schema of Figure 3.
+//
+// Substitution note (DESIGN.md): the real LDBC SNB data generator is
+// an external Java system with licensed value distributions. The
+// guided-tour queries depend only on the schema shape and the toy
+// instance, which are reproduced here exactly; the scalable generator
+// preserves the schema and the connectivity patterns (bidirectional
+// knows edges, message reply trees, interest and location edges) so
+// the complexity experiments exercise the same code paths.
+package snb
+
+import (
+	"fmt"
+
+	"gcore/internal/ppg"
+	"gcore/internal/value"
+)
+
+// Identifiers of the Figure 2 / Example 2.2 graph, exactly as printed
+// in the paper.
+const (
+	Fig2Wagner  ppg.NodeID = 101 // Tag {name: "Wagner"}
+	Fig2Manager ppg.NodeID = 102 // Person, Manager
+	Fig2Bob     ppg.NodeID = 103 // Person
+	Fig2Carol   ppg.NodeID = 104 // Person
+	Fig2Dave    ppg.NodeID = 105 // Person
+	Fig2Houston ppg.NodeID = 106 // City {name: "Houston"}
+
+	Fig2HasInterest ppg.EdgeID = 201 // 102 → 101
+	Fig2Knows1      ppg.EdgeID = 202 // 103 → 102
+	Fig2Knows2      ppg.EdgeID = 203 // 102 → 103
+	Fig2Located1    ppg.EdgeID = 204 // 102 → 106
+	Fig2Knows3      ppg.EdgeID = 205 // 103 → 105, {since: 1/12/2014}
+	Fig2Located2    ppg.EdgeID = 206 // 105 → 106
+	Fig2Knows4      ppg.EdgeID = 207 // 105 → 103
+
+	Fig2ToWagner ppg.PathID = 301 // [105, 207, 103, 202, 102]
+)
+
+// Fig2Graph builds the small social network of Figure 2: a PPG with
+// one stored path (301, label toWagner, trust 0.95). The paper fixes
+// ρ(201) = (102, 101), ρ(207) = (105, 103), δ(301) = [105, 207, 103,
+// 202, 102], λ and σ as in Example 2.2; the remaining edges are only
+// depicted graphically and are reconstructed here consistently with
+// the Appendix A.2 worked example (only 102 and 105 are located in
+// Houston).
+func Fig2Graph() *ppg.Graph {
+	g := ppg.New("example_graph")
+	must(g.AddNode(&ppg.Node{ID: Fig2Wagner, Labels: ppg.NewLabels("Tag"),
+		Props: props("name", value.Str("Wagner"))}))
+	must(g.AddNode(&ppg.Node{ID: Fig2Manager, Labels: ppg.NewLabels("Person", "Manager"),
+		Props: props("name", value.Str("Alice"))}))
+	must(g.AddNode(&ppg.Node{ID: Fig2Bob, Labels: ppg.NewLabels("Person"),
+		Props: props("name", value.Str("Bob"))}))
+	must(g.AddNode(&ppg.Node{ID: Fig2Carol, Labels: ppg.NewLabels("Person"),
+		Props: props("name", value.Str("Carol"))}))
+	must(g.AddNode(&ppg.Node{ID: Fig2Dave, Labels: ppg.NewLabels("Person"),
+		Props: props("name", value.Str("Dave"))}))
+	must(g.AddNode(&ppg.Node{ID: Fig2Houston, Labels: ppg.NewLabels("City"),
+		Props: props("name", value.Str("Houston"))}))
+
+	since, err := value.ParseDate("1/12/2014")
+	if err != nil {
+		panic(err)
+	}
+	must(g.AddEdge(&ppg.Edge{ID: Fig2HasInterest, Src: Fig2Manager, Dst: Fig2Wagner, Labels: ppg.NewLabels("hasInterest")}))
+	must(g.AddEdge(&ppg.Edge{ID: Fig2Knows1, Src: Fig2Bob, Dst: Fig2Manager, Labels: ppg.NewLabels("knows")}))
+	must(g.AddEdge(&ppg.Edge{ID: Fig2Knows2, Src: Fig2Manager, Dst: Fig2Bob, Labels: ppg.NewLabels("knows")}))
+	must(g.AddEdge(&ppg.Edge{ID: Fig2Located1, Src: Fig2Manager, Dst: Fig2Houston, Labels: ppg.NewLabels("isLocatedIn")}))
+	must(g.AddEdge(&ppg.Edge{ID: Fig2Knows3, Src: Fig2Bob, Dst: Fig2Dave, Labels: ppg.NewLabels("knows"),
+		Props: props("since", since)}))
+	must(g.AddEdge(&ppg.Edge{ID: Fig2Located2, Src: Fig2Dave, Dst: Fig2Houston, Labels: ppg.NewLabels("isLocatedIn")}))
+	must(g.AddEdge(&ppg.Edge{ID: Fig2Knows4, Src: Fig2Dave, Dst: Fig2Bob, Labels: ppg.NewLabels("knows")}))
+
+	must(g.AddPath(&ppg.Path{
+		ID:     Fig2ToWagner,
+		Nodes:  []ppg.NodeID{Fig2Dave, Fig2Bob, Fig2Manager},
+		Edges:  []ppg.EdgeID{Fig2Knows4, Fig2Knows1},
+		Labels: ppg.NewLabels("toWagner"),
+		Props:  props("trust", value.Float(0.95)),
+	}))
+	return g
+}
+
+func props(kv ...any) ppg.Properties {
+	p := ppg.Properties{}
+	for i := 0; i < len(kv); i += 2 {
+		p.Set(kv[i].(string), kv[i+1].(value.Value))
+	}
+	return p
+}
+
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("snb: building dataset: %v", err))
+	}
+}

@@ -1,0 +1,147 @@
+package snb
+
+import (
+	"gcore/internal/ppg"
+	"gcore/internal/value"
+)
+
+// The guided-tour instance of Figure 4 (social_graph) and the
+// company_graph of the multi-graph examples. The persons, their
+// employer properties and the message counts are chosen so that every
+// binding table and result graph stated in §3 of the paper comes out
+// exactly:
+//
+//   - Alice and John work at Acme, Celine at HAL, Frank at {CWI, MIT}
+//     (multi-valued), Peter is unemployed (no employer property) —
+//     the join/IN/unrolling examples of lines 5–19;
+//   - knows pairs (each drawn bi-directionally, i.e. two edges):
+//     John↔Peter, John↔Alice, Peter↔Celine, Peter↔Frank;
+//   - everyone lives in Houston (the co-location predicate);
+//   - Celine and Frank like Wagner; none of John's direct friends do;
+//   - exchanged message pairs: John↔Peter 2, Peter↔Celine 3,
+//     Peter↔Frank 1, John↔Alice 0 — giving the nr_messages of Fig. 5
+//     and wKnows costs 1/3, 1/4, 1/2.
+const (
+	John    ppg.NodeID = 401
+	Peter   ppg.NodeID = 402
+	Celine  ppg.NodeID = 403
+	Alice   ppg.NodeID = 404
+	Frank   ppg.NodeID = 405
+	Houston ppg.NodeID = 406
+	Wagner  ppg.NodeID = 407
+
+	// company_graph nodes.
+	Acme ppg.NodeID = 501
+	HAL  ppg.NodeID = 502
+	CWI  ppg.NodeID = 503
+	MIT  ppg.NodeID = 504
+)
+
+// Directed knows edges of the toy graph, exported for tests.
+const (
+	KnowsJohnPeter   ppg.EdgeID = 601
+	KnowsPeterJohn   ppg.EdgeID = 602
+	KnowsJohnAlice   ppg.EdgeID = 603
+	KnowsAliceJohn   ppg.EdgeID = 604
+	KnowsPeterCeline ppg.EdgeID = 605
+	KnowsCelinePeter ppg.EdgeID = 606
+	KnowsPeterFrank  ppg.EdgeID = 607
+	KnowsFrankPeter  ppg.EdgeID = 608
+)
+
+// SocialGraph builds the Figure 4 toy instance.
+func SocialGraph() *ppg.Graph {
+	g := ppg.New("social_graph")
+	person := func(id ppg.NodeID, first, last string, employer value.Value) {
+		p := props("firstName", value.Str(first), "lastName", value.Str(last))
+		if !employer.IsNull() {
+			p.Set("employer", employer)
+		}
+		must(g.AddNode(&ppg.Node{ID: id, Labels: ppg.NewLabels("Person"), Props: p}))
+	}
+	person(John, "John", "Doe", value.Str("Acme"))
+	person(Peter, "Peter", "Smith", value.Null) // unemployed: no employer property
+	person(Celine, "Celine", "Mayer", value.Str("HAL"))
+	person(Alice, "Alice", "Hacker", value.Str("Acme"))
+	person(Frank, "Frank", "Gold", value.Set(value.Str("CWI"), value.Str("MIT")))
+
+	must(g.AddNode(&ppg.Node{ID: Houston, Labels: ppg.NewLabels("City"),
+		Props: props("name", value.Str("Houston"))}))
+	must(g.AddNode(&ppg.Node{ID: Wagner, Labels: ppg.NewLabels("Tag"),
+		Props: props("name", value.Str("Wagner"))}))
+
+	eid := ppg.EdgeID(620)
+	edge := func(src, dst ppg.NodeID, label string) {
+		must(g.AddEdge(&ppg.Edge{ID: eid, Src: src, Dst: dst, Labels: ppg.NewLabels(label)}))
+		eid++
+	}
+	knows := func(id ppg.EdgeID, src, dst ppg.NodeID) {
+		must(g.AddEdge(&ppg.Edge{ID: id, Src: src, Dst: dst, Labels: ppg.NewLabels("knows")}))
+	}
+	knows(KnowsJohnPeter, John, Peter)
+	knows(KnowsPeterJohn, Peter, John)
+	knows(KnowsJohnAlice, John, Alice)
+	knows(KnowsAliceJohn, Alice, John)
+	knows(KnowsPeterCeline, Peter, Celine)
+	knows(KnowsCelinePeter, Celine, Peter)
+	knows(KnowsPeterFrank, Peter, Frank)
+	knows(KnowsFrankPeter, Frank, Peter)
+
+	for _, p := range []ppg.NodeID{John, Peter, Celine, Alice, Frank} {
+		edge(p, Houston, "isLocatedIn")
+	}
+	edge(Celine, Wagner, "hasInterest")
+	edge(Frank, Wagner, "hasInterest")
+
+	// Messages: per exchanged pair one Post and one Comment replying
+	// to it, with has_creator edges to the two correspondents.
+	nid := ppg.NodeID(700)
+	addMessagePair := func(a, b ppg.NodeID) {
+		post := nid
+		comment := nid + 1
+		nid += 2
+		must(g.AddNode(&ppg.Node{ID: post, Labels: ppg.NewLabels("Post")}))
+		must(g.AddNode(&ppg.Node{ID: comment, Labels: ppg.NewLabels("Comment")}))
+		edge(post, a, "has_creator")
+		edge(comment, b, "has_creator")
+		edge(comment, post, "reply_of")
+	}
+	exchange := func(a, b ppg.NodeID, pairs int) {
+		for i := 0; i < pairs; i++ {
+			if i%2 == 0 {
+				addMessagePair(a, b)
+			} else {
+				addMessagePair(b, a)
+			}
+		}
+	}
+	exchange(John, Peter, 2)
+	exchange(Peter, Celine, 3)
+	exchange(Peter, Frank, 1)
+	return g
+}
+
+// CompanyGraph builds the unconnected company nodes of the data
+// integration example (lines 5–22): Acme, HAL, CWI and MIT.
+func CompanyGraph() *ppg.Graph {
+	g := ppg.New("company_graph")
+	for id, name := range map[ppg.NodeID]string{Acme: "Acme", HAL: "HAL", CWI: "CWI", MIT: "MIT"} {
+		must(g.AddNode(&ppg.Node{ID: id, Labels: ppg.NewLabels("Company"),
+			Props: props("name", value.Str(name))}))
+	}
+	return g
+}
+
+// OrdersTable is the binding-table input of the §5 examples (lines
+// 76–85): customer names and product codes.
+func OrdersRows() (cols []string, rows [][]value.Value) {
+	cols = []string{"custName", "prodCode"}
+	rows = [][]value.Value{
+		{value.Str("Ada"), value.Int(1001)},
+		{value.Str("Ada"), value.Int(1002)},
+		{value.Str("Bob"), value.Int(1001)},
+		{value.Str("Cyd"), value.Int(1003)},
+		{value.Str("Bob"), value.Int(1001)}, // repeat purchase: same edge group
+	}
+	return cols, rows
+}

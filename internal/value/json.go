@@ -1,0 +1,159 @@
+package value
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// JSON interchange form for values, used by the graph (de)serialiser
+// and the CLI. Scalars map onto native JSON scalars; the remaining
+// kinds use a one-key wrapper object so decoding is unambiguous:
+//
+//	42            integer
+//	1.5           float (any JSON number with a fraction/exponent)
+//	"x"           string
+//	true          bool
+//	{"date":"1/12/2014"}
+//	{"list":[...]}
+//	{"set":[...]}
+//	{"node":7} {"edge":7} {"path":7}
+//	null          absent
+
+// MarshalJSON encodes v in the interchange form.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.kind {
+	case KindNull:
+		return []byte("null"), nil
+	case KindBool:
+		return json.Marshal(v.b)
+	case KindInt:
+		return json.Marshal(v.i)
+	case KindFloat:
+		if v.f == float64(int64(v.f)) {
+			// Force a fraction so the value round-trips as a float.
+			return []byte(fmt.Sprintf("%.1f", v.f)), nil
+		}
+		return json.Marshal(v.f)
+	case KindString:
+		return json.Marshal(v.s)
+	case KindDate:
+		return json.Marshal(map[string]string{"date": v.String()})
+	case KindList:
+		return json.Marshal(map[string][]Value{"list": v.elems})
+	case KindSet:
+		return json.Marshal(map[string][]Value{"set": v.elems})
+	case KindNode:
+		return json.Marshal(map[string]uint64{"node": uint64(v.i)})
+	case KindEdge:
+		return json.Marshal(map[string]uint64{"edge": uint64(v.i)})
+	case KindPath:
+		return json.Marshal(map[string]uint64{"path": uint64(v.i)})
+	}
+	return nil, fmt.Errorf("value: cannot marshal kind %v", v.kind)
+}
+
+// UnmarshalJSON decodes the interchange form.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var raw any
+	if err := dec.Decode(&raw); err != nil {
+		return err
+	}
+	got, err := fromJSON(raw)
+	if err != nil {
+		return err
+	}
+	*v = got
+	return nil
+}
+
+func fromJSON(raw any) (Value, error) {
+	switch x := raw.(type) {
+	case nil:
+		return Null, nil
+	case bool:
+		return Bool(x), nil
+	case string:
+		return Str(x), nil
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return Int(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return Null, fmt.Errorf("value: bad number %q", x.String())
+		}
+		return Float(f), nil
+	case float64: // defensive: decoder without UseNumber
+		if x == float64(int64(x)) {
+			return Int(int64(x)), nil
+		}
+		return Float(x), nil
+	case map[string]any:
+		if len(x) != 1 {
+			return Null, fmt.Errorf("value: wrapper object must have exactly one key, got %d", len(x))
+		}
+		for k, inner := range x {
+			switch k {
+			case "date":
+				s, ok := inner.(string)
+				if !ok {
+					return Null, fmt.Errorf("value: date wrapper needs a string")
+				}
+				return ParseDate(s)
+			case "list", "set":
+				arr, ok := inner.([]any)
+				if !ok {
+					return Null, fmt.Errorf("value: %s wrapper needs an array", k)
+				}
+				elems := make([]Value, len(arr))
+				for i, e := range arr {
+					v, err := fromJSON(e)
+					if err != nil {
+						return Null, err
+					}
+					elems[i] = v
+				}
+				if k == "list" {
+					return List(elems...), nil
+				}
+				return Set(elems...), nil
+			case "node", "edge", "path":
+				id, err := jsonID(inner)
+				if err != nil {
+					return Null, err
+				}
+				switch k {
+				case "node":
+					return NodeRef(id), nil
+				case "edge":
+					return EdgeRef(id), nil
+				default:
+					return PathRef(id), nil
+				}
+			default:
+				return Null, fmt.Errorf("value: unknown wrapper key %q", k)
+			}
+		}
+	}
+	return Null, fmt.Errorf("value: cannot decode %T", raw)
+}
+
+func jsonID(inner any) (uint64, error) {
+	switch n := inner.(type) {
+	case json.Number:
+		i, err := n.Int64()
+		if err != nil || i < 0 {
+			return 0, fmt.Errorf("value: bad identifier %v", inner)
+		}
+		return uint64(i), nil
+	case float64:
+		if n < 0 || n != float64(uint64(n)) {
+			return 0, fmt.Errorf("value: bad identifier %v", n)
+		}
+		return uint64(n), nil
+	}
+	return 0, fmt.Errorf("value: identifier must be a number, got %T", inner)
+}

@@ -1,0 +1,149 @@
+package value
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func roundTripJSON(t *testing.T, v Value) Value {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %v: %v", v, err)
+	}
+	var back Value
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	return back
+}
+
+func TestJSONRoundTripAllKinds(t *testing.T) {
+	d, _ := ParseDate("1/12/2014")
+	vals := []Value{
+		Null, True, False, Int(42), Int(-1), Float(2.5), Float(3.0),
+		Str("x"), Str(""), d,
+		List(Int(1), Str("a")), Set(Str("CWI"), Str("MIT")),
+		NodeRef(7), EdgeRef(8), PathRef(9),
+		List(Set(Int(1)), List()),
+	}
+	for _, v := range vals {
+		back := roundTripJSON(t, v)
+		if !Equal(v, back) {
+			t.Errorf("round trip changed %v (%v) to %v (%v)", v, v.Kind(), back, back.Kind())
+		}
+		if v.Kind() != back.Kind() {
+			t.Errorf("round trip changed kind of %v: %v → %v", v, v.Kind(), back.Kind())
+		}
+	}
+}
+
+func TestJSONFloatStaysFloat(t *testing.T) {
+	// Integral floats must keep their kind through JSON.
+	back := roundTripJSON(t, Float(4.0))
+	if back.Kind() != KindFloat {
+		t.Errorf("4.0 decoded as %v", back.Kind())
+	}
+}
+
+func TestJSONDecodeErrors(t *testing.T) {
+	bad := []string{
+		`{"date": 5}`,
+		`{"date": "nope"}`,
+		`{"list": 5}`,
+		`{"set": "x"}`,
+		`{"node": "x"}`,
+		`{"node": -1}`,
+		`{"node": 1.5}`,
+		`{"bogus": 1}`,
+		`{"list": [1], "set": [2]}`,
+		`[{"bogus": 1}]`,
+		`{`,
+	}
+	for _, src := range bad {
+		var v Value
+		if err := json.Unmarshal([]byte(src), &v); err == nil {
+			t.Errorf("decoded invalid %q as %v", src, v)
+		}
+	}
+	// Top-level arrays are not a Value form.
+	var v Value
+	if err := json.Unmarshal([]byte(`[1,2]`), &v); err == nil {
+		t.Error("bare array must not decode")
+	}
+}
+
+func TestJSONLargeNumbers(t *testing.T) {
+	back := roundTripJSON(t, Int(1<<53+1))
+	if i, ok := back.AsInt(); !ok || i != 1<<53+1 {
+		t.Errorf("large int round trip = %v", back)
+	}
+}
+
+func TestMarshalUnknownKind(t *testing.T) {
+	v := Value{kind: Kind(99)}
+	if _, err := json.Marshal(v); err == nil {
+		t.Error("unknown kind must fail to marshal")
+	}
+}
+
+func TestAsDateDays(t *testing.T) {
+	d, _ := ParseDate("2/1/1970")
+	days, ok := d.AsDateDays()
+	if !ok || days != 1 {
+		t.Errorf("2/1/1970 = %d days, ok=%v", days, ok)
+	}
+	if _, ok := Int(1).AsDateDays(); ok {
+		t.Error("non-date must not report days")
+	}
+}
+
+func TestOpsErrorMessages(t *testing.T) {
+	_, err := Add(Bool(true), Int(1))
+	if err == nil {
+		t.Fatal("expected type error")
+	}
+	if te, ok := err.(*TypeError); !ok || te.Error() == "" {
+		t.Errorf("error = %v", err)
+	}
+	if _, err := Neg(Str("x")); err == nil {
+		t.Error("negating a string must fail")
+	}
+	if v, err := Neg(Null); err != nil || !v.IsNull() {
+		t.Error("negating null is null")
+	}
+	if v, err := Neg(Float(1.5)); err != nil || !Equal(v, Float(-1.5)) {
+		t.Error("negating float failed")
+	}
+	if _, err := And(Int(1), True); err == nil {
+		t.Error("AND with integer must fail")
+	}
+	if _, err := Or(True, Int(1)); err == nil {
+		t.Error("OR with integer must fail")
+	}
+	if _, err := Sub(Str("a"), Str("b")); err == nil {
+		t.Error("string subtraction must fail")
+	}
+	if _, err := Mul(Str("a"), Int(2)); err == nil {
+		t.Error("string multiplication must fail")
+	}
+	if v, err := Mod(Float(7.5), Float(2)); err != nil || !Equal(v, Float(1.5)) {
+		t.Errorf("float mod = %v, %v", v, err)
+	}
+	if _, err := Div(Str("a"), Int(1)); err == nil {
+		t.Error("dividing a string must fail")
+	}
+	if _, err := Div(Int(1), Str("a")); err == nil {
+		t.Error("dividing by a string must fail")
+	}
+}
+
+func TestSubsetWithListOperands(t *testing.T) {
+	// Lists coerce to sets for SUBSET.
+	if v := Subset(List(Int(1), Int(1)), Set(Int(1), Int(2))); !v.b {
+		t.Error("list SUBSET set failed")
+	}
+	if v := Subset(Int(1), Set(Int(1))); !v.b {
+		t.Error("scalar SUBSET singleton failed")
+	}
+}

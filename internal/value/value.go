@@ -1,0 +1,438 @@
+// Package value implements the literal domain V of the Path Property
+// Graph model (G-CORE, Definition 2.1) together with the expression
+// value semantics of Appendix A.1.
+//
+// A Value is an immutable tagged union. Besides the scalar literals of
+// the paper (integers, reals, strings, dates and the truth values ⊤
+// and ⊥), the domain contains finite lists and finite sets — property
+// lookups σ(x,k) yield a *set* of values (FSET(V)) — and references to
+// graph objects (node, edge and path identifiers), which is how
+// bindings µ : variables → N ∪ E ∪ P ∪ V are represented uniformly.
+package value
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind discriminates the variants of a Value.
+type Kind uint8
+
+// The kinds of values, ordered. The order is significant: Compare sorts
+// values of different kinds by kind first, which gives the fixed total
+// order on the literal domain that the deterministic evaluation
+// semantics relies on (paper §A.1, footnote 4).
+const (
+	KindNull Kind = iota // absent value; the zero Value
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindDate
+	KindList
+	KindSet
+	KindNode // node identifier (element of N)
+	KindEdge // edge identifier (element of E)
+	KindPath // path identifier (element of P)
+)
+
+// String returns the name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "integer"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindDate:
+		return "date"
+	case KindList:
+		return "list"
+	case KindSet:
+		return "set"
+	case KindNode:
+		return "node"
+	case KindEdge:
+		return "edge"
+	case KindPath:
+		return "path"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// DateLayout is the textual form used for date literals. The guided
+// tour of the paper writes dates as day/month/year (e.g. 1/12/2014).
+const DateLayout = "2/1/2006"
+
+// Value is an immutable literal, collection or graph-object reference.
+// The zero Value is the null (absent) value.
+type Value struct {
+	kind  Kind
+	b     bool
+	i     int64 // integer; date as days since Unix epoch; object identifier
+	f     float64
+	s     string
+	elems []Value // list elements, or set elements (sorted, deduplicated)
+}
+
+// Null is the absent value. It is what property access on an object
+// that lacks the property evaluates to (the paper models this as the
+// empty set; Null and the empty set behave identically in comparisons).
+var Null = Value{}
+
+// Bool returns a boolean value (⊤ or ⊥ in the paper's notation).
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// True and False are the truth values ⊤ and ⊥.
+var (
+	True  = Bool(true)
+	False = Bool(false)
+)
+
+// Int returns an integer literal.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a real-number literal.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Str returns a string literal.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Date returns a date literal from days since the Unix epoch.
+func Date(days int64) Value { return Value{kind: KindDate, i: days} }
+
+// ParseDate parses a date literal in DateLayout form ("1/12/2014").
+func ParseDate(s string) (Value, error) {
+	t, err := time.Parse(DateLayout, s)
+	if err != nil {
+		return Null, fmt.Errorf("value: invalid date %q: %w", s, err)
+	}
+	return Date(t.Unix() / 86400), nil
+}
+
+// List returns a list value preserving order and duplicates.
+func List(elems ...Value) Value {
+	cp := make([]Value, len(elems))
+	copy(cp, elems)
+	return Value{kind: KindList, elems: cp}
+}
+
+// Set returns a set value: elements are deduplicated and kept in the
+// canonical Compare order, so equal sets are structurally identical.
+func Set(elems ...Value) Value {
+	cp := make([]Value, 0, len(elems))
+	for _, e := range elems {
+		if e.IsNull() {
+			continue // the empty set already represents absence
+		}
+		cp = append(cp, e)
+	}
+	sort.Slice(cp, func(i, j int) bool { return Compare(cp[i], cp[j]) < 0 })
+	out := cp[:0]
+	for i, e := range cp {
+		if i == 0 || Compare(cp[i-1], e) != 0 {
+			out = append(out, e)
+		}
+	}
+	return Value{kind: KindSet, elems: out}
+}
+
+// EmptySet is the set with no elements; property lookup on an object
+// without the property yields it (σ(x,k) = ∅).
+var EmptySet = Set()
+
+// NodeRef returns a reference to the node with the given identifier.
+func NodeRef(id uint64) Value { return Value{kind: KindNode, i: int64(id)} }
+
+// EdgeRef returns a reference to the edge with the given identifier.
+func EdgeRef(id uint64) Value { return Value{kind: KindEdge, i: int64(id)} }
+
+// PathRef returns a reference to the path with the given identifier.
+func PathRef(id uint64) Value { return Value{kind: KindPath, i: int64(id)} }
+
+// Kind reports the variant of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the absent value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsRef reports whether v references a graph object (node, edge, path).
+func (v Value) IsRef() bool {
+	return v.kind == KindNode || v.kind == KindEdge || v.kind == KindPath
+}
+
+// IsNumeric reports whether v is an integer or a float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// AsBool returns the boolean content; ok is false if v is not a bool.
+func (v Value) AsBool() (b, ok bool) { return v.b, v.kind == KindBool }
+
+// AsInt returns the integer content; ok is false if v is not an integer.
+func (v Value) AsInt() (int64, bool) { return v.i, v.kind == KindInt }
+
+// AsFloat returns the numeric content widened to float64; ok is false
+// if v is neither an integer nor a float.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	}
+	return 0, false
+}
+
+// AsString returns the string content; ok is false if v is not a string.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// AsDateDays returns the date content in days since the Unix epoch.
+func (v Value) AsDateDays() (int64, bool) { return v.i, v.kind == KindDate }
+
+// RefID returns the object identifier of a node/edge/path reference.
+func (v Value) RefID() (uint64, bool) { return uint64(v.i), v.IsRef() }
+
+// Elems returns the elements of a list or set (nil otherwise). The
+// returned slice must not be modified.
+func (v Value) Elems() []Value {
+	if v.kind == KindList || v.kind == KindSet {
+		return v.elems
+	}
+	return nil
+}
+
+// Len returns the number of elements of a list or set, the length of a
+// string, 0 for Null, and -1 for other kinds.
+func (v Value) Len() int {
+	switch v.kind {
+	case KindList, KindSet:
+		return len(v.elems)
+	case KindString:
+		return len(v.s)
+	case KindNull:
+		return 0
+	}
+	return -1
+}
+
+// Index returns element i of a list or set (sets use canonical order),
+// following the paper's 0-based indexing ("G-CORE starts counting at
+// 0", §3). Out-of-range access yields Null.
+func (v Value) Index(i int) Value {
+	es := v.Elems()
+	if i < 0 || i >= len(es) {
+		return Null
+	}
+	return es[i]
+}
+
+// Singleton reports whether v is a one-element set, and unwraps it.
+// The paper writes singleton property sets without braces ("we simply
+// write "MIT" instead of {"MIT"}"): scalar contexts treat a singleton
+// set as its sole element.
+func (v Value) Singleton() (Value, bool) {
+	if v.kind == KindSet && len(v.elems) == 1 {
+		return v.elems[0], true
+	}
+	return Null, false
+}
+
+// Scalarize unwraps singleton sets; other values pass through. An
+// empty set scalarizes to Null (absent).
+func (v Value) Scalarize() Value {
+	if v.kind == KindSet {
+		switch len(v.elems) {
+		case 0:
+			return Null
+		case 1:
+			return v.elems[0]
+		}
+	}
+	return v
+}
+
+// Compare imposes the fixed total order on the value domain used for
+// deterministic evaluation: by kind, then by content. It returns a
+// negative number, zero, or a positive number as a < b, a == b, a > b.
+// Integers and floats compare numerically across the two kinds.
+func Compare(a, b Value) int {
+	// Numeric cross-kind comparison.
+	if a.IsNumeric() && b.IsNumeric() && a.kind != b.kind {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		// Numerically equal integers and floats are the same value,
+		// matching Eq and the grouping Key.
+		return 0
+	}
+	if a.kind != b.kind {
+		return int(a.kind) - int(b.kind)
+	}
+	switch a.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		switch {
+		case a.b == b.b:
+			return 0
+		case !a.b:
+			return -1
+		}
+		return 1
+	case KindInt, KindDate, KindNode, KindEdge, KindPath:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		switch {
+		case a.f < b.f:
+			return -1
+		case a.f > b.f:
+			return 1
+		case a.f == b.f:
+			return 0
+		}
+		// NaNs sort before everything else, equal among themselves.
+		an, bn := math.IsNaN(a.f), math.IsNaN(b.f)
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			return -1
+		}
+		return 1
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	case KindList, KindSet:
+		for i := 0; i < len(a.elems) && i < len(b.elems); i++ {
+			if c := Compare(a.elems[i], b.elems[i]); c != 0 {
+				return c
+			}
+		}
+		return len(a.elems) - len(b.elems)
+	}
+	return 0
+}
+
+// Equal reports whether a and b are the same value under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Key returns a string that is equal for equal values and distinct for
+// distinct values, suitable as a map key for grouping and hashing.
+func (v Value) Key() string {
+	var sb strings.Builder
+	v.appendKey(&sb)
+	return sb.String()
+}
+
+func (v Value) appendKey(sb *strings.Builder) {
+	switch v.kind {
+	case KindNull:
+		sb.WriteByte('_')
+	case KindBool:
+		if v.b {
+			sb.WriteString("b1")
+		} else {
+			sb.WriteString("b0")
+		}
+	case KindInt:
+		sb.WriteByte('i')
+		sb.WriteString(strconv.FormatInt(v.i, 10))
+	case KindFloat:
+		// Integral floats must hash like the equal integer.
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && math.Abs(v.f) < 1e18 {
+			sb.WriteByte('i')
+			sb.WriteString(strconv.FormatInt(int64(v.f), 10))
+			return
+		}
+		sb.WriteByte('f')
+		sb.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
+	case KindString:
+		sb.WriteByte('s')
+		sb.WriteString(strconv.Quote(v.s))
+	case KindDate:
+		sb.WriteByte('d')
+		sb.WriteString(strconv.FormatInt(v.i, 10))
+	case KindList:
+		sb.WriteByte('[')
+		for _, e := range v.elems {
+			e.appendKey(sb)
+			sb.WriteByte(',')
+		}
+		sb.WriteByte(']')
+	case KindSet:
+		sb.WriteByte('{')
+		for _, e := range v.elems {
+			e.appendKey(sb)
+			sb.WriteByte(',')
+		}
+		sb.WriteByte('}')
+	case KindNode:
+		sb.WriteByte('N')
+		sb.WriteString(strconv.FormatInt(v.i, 10))
+	case KindEdge:
+		sb.WriteByte('E')
+		sb.WriteString(strconv.FormatInt(v.i, 10))
+	case KindPath:
+		sb.WriteByte('P')
+		sb.WriteString(strconv.FormatInt(v.i, 10))
+	}
+}
+
+// String renders the value in the paper's display notation: strings
+// are quoted, sets use curly braces with singleton sets unwrapped,
+// dates use the DateLayout form, references print as #<id>.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindDate:
+		return time.Unix(v.i*86400, 0).UTC().Format(DateLayout)
+	case KindList:
+		parts := make([]string, len(v.elems))
+		for i, e := range v.elems {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case KindSet:
+		if s, ok := v.Singleton(); ok {
+			return s.String()
+		}
+		parts := make([]string, len(v.elems))
+		for i, e := range v.elems {
+			parts[i] = e.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case KindNode, KindEdge, KindPath:
+		return "#" + strconv.FormatInt(v.i, 10)
+	}
+	return "?"
+}

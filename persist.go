@@ -1,0 +1,130 @@
+package gcore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Catalog persistence: an engine's graphs (including materialised
+// views) and tables can be saved to a directory of JSON files and
+// loaded back. The layout is
+//
+//	<dir>/catalog.json              names + default graph
+//	<dir>/graph_<name>.json         one per graph
+//	<dir>/table_<name>.json         one per table
+//
+// Identifiers are preserved exactly, so saved stored paths, the
+// identity-based set operations, and cross-references keep working
+// after a reload.
+
+type catalogManifest struct {
+	Default string   `json:"default,omitempty"`
+	Graphs  []string `json:"graphs"`
+	Tables  []string `json:"tables"`
+}
+
+// fileSafe guards against names that would escape the directory.
+func fileSafe(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return fmt.Errorf("gcore: name %q is not usable as a file name", name)
+	}
+	return nil
+}
+
+// SaveCatalog writes every registered graph and table to dir,
+// creating it if needed.
+func (e *Engine) SaveCatalog(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	man := catalogManifest{Default: e.cat.DefaultName()}
+	for _, name := range e.cat.GraphNames() {
+		if err := fileSafe(name); err != nil {
+			return err
+		}
+		g, _ := e.cat.Graph(name)
+		data, err := g.MarshalJSON()
+		if err != nil {
+			return fmt.Errorf("gcore: encoding graph %s: %w", name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "graph_"+name+".json"), data, 0o644); err != nil {
+			return err
+		}
+		man.Graphs = append(man.Graphs, name)
+	}
+	for _, name := range e.cat.TableNames() {
+		if err := fileSafe(name); err != nil {
+			return err
+		}
+		t, _ := e.cat.Table(name)
+		data, err := t.MarshalJSON()
+		if err != nil {
+			return fmt.Errorf("gcore: encoding table %s: %w", name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "table_"+name+".json"), data, 0o644); err != nil {
+			return err
+		}
+		man.Tables = append(man.Tables, name)
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "catalog.json"), data, 0o644)
+}
+
+// LoadCatalog reads a directory written by SaveCatalog into the
+// engine, registering every graph and table and restoring the default
+// graph. Names already present in the engine cause an error.
+func (e *Engine) LoadCatalog(dir string) error {
+	data, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		return err
+	}
+	var man catalogManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return fmt.Errorf("gcore: decoding catalog manifest: %w", err)
+	}
+	for _, name := range man.Graphs {
+		if err := fileSafe(name); err != nil {
+			return err
+		}
+		fh, err := os.Open(filepath.Join(dir, "graph_"+name+".json"))
+		if err != nil {
+			return err
+		}
+		g, err := e.LoadGraphJSON(fh)
+		fh.Close()
+		if err != nil {
+			return fmt.Errorf("gcore: loading graph %s: %w", name, err)
+		}
+		if g.Name() != name {
+			return fmt.Errorf("gcore: graph file for %s contains graph %q", name, g.Name())
+		}
+	}
+	for _, name := range man.Tables {
+		if err := fileSafe(name); err != nil {
+			return err
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, "table_"+name+".json"))
+		if err != nil {
+			return err
+		}
+		t := NewTable(name)
+		if err := t.UnmarshalJSON(raw); err != nil {
+			return fmt.Errorf("gcore: loading table %s: %w", name, err)
+		}
+		if err := e.RegisterTable(t); err != nil {
+			return err
+		}
+	}
+	if man.Default != "" {
+		return e.SetDefaultGraph(man.Default)
+	}
+	return nil
+}

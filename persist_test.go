@@ -1,0 +1,127 @@
+package gcore_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gcore"
+	"gcore/internal/repro"
+)
+
+func TestSaveLoadCatalog(t *testing.T) {
+	eng, err := repro.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialise the Fig. 5 views so stored paths are persisted too.
+	if _, err := eng.Eval(`GRAPH VIEW sg1 AS (
+CONSTRUCT social_graph, (n)-[e]->(m) SET e.nr_messages := COUNT(*)
+MATCH (n)-[e:knows]->(m) WHERE (n:Person) AND (m:Person)
+OPTIONAL (n)<-[c1]-(msg1:Post|Comment), (msg1)-[:reply_of]-(msg2),
+         (msg2:Post|Comment)-[c2]->(m)
+WHERE (c1:has_creator) AND (c2:has_creator))`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Eval(`GRAPH VIEW wagner AS (
+PATH wKnows = (x)-[e:knows]->(y) WHERE NOT 'Acme' IN y.employer
+     COST 1 / (1 + e.nr_messages)
+CONSTRUCT sg1, (n)-/@p:toWagner/->(m)
+MATCH (n:Person)-/p<~wKnows*>/->(m:Person) ON sg1
+WHERE (m)-[:hasInterest]->(:Tag {name='Wagner'})
+AND n.firstName = 'John')`); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := eng.SaveCatalog(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Files exist.
+	for _, f := range []string{"catalog.json", "graph_social_graph.json", "graph_wagner.json", "table_orders.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+
+	// Load into a fresh engine; everything must still work.
+	eng2 := gcore.NewEngine()
+	if err := eng2.LoadCatalog(dir); err != nil {
+		t.Fatal(err)
+	}
+	g, ok := eng2.Graph("wagner")
+	if !ok || g.NumPaths() != 2 {
+		t.Fatalf("wagner view after reload: %v (paths=%d)", ok, g.NumPaths())
+	}
+	// The default graph is restored: this MATCH has no ON.
+	res, err := eng2.Eval(`SELECT n.firstName AS name MATCH (n:Person) ORDER BY name LIMIT 1`)
+	if err != nil || res.Table.Len() != 1 {
+		t.Fatalf("query after reload: %v, %v", res, err)
+	}
+	// Stored paths survive and are queryable.
+	res, err = eng2.Eval(`SELECT id(p) AS pid MATCH ()-/@p:toWagner/->() ON wagner`)
+	if err != nil || res.Table.Len() != 2 {
+		t.Fatalf("stored paths after reload: %v, %v", res, err)
+	}
+	// The orders table works.
+	res, err = eng2.Eval(`SELECT custName AS c FROM orders`)
+	if err != nil || res.Table.Len() != 5 {
+		t.Fatalf("table after reload: %v, %v", res, err)
+	}
+	// Fresh identifiers do not collide with loaded ones.
+	res2, err := eng2.Eval(`CONSTRUCT (x :New) MATCH (n:Person) WHERE n.firstName = 'John'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newID := res2.Graph.NodeIDs()[0]
+	for _, name := range eng2.GraphNames() {
+		old, _ := eng2.Graph(name)
+		if _, clash := old.Node(newID); clash {
+			t.Fatalf("fresh id %d collides with graph %s", newID, name)
+		}
+	}
+}
+
+func TestLoadCatalogErrors(t *testing.T) {
+	eng := gcore.NewEngine()
+	if err := eng.LoadCatalog("/nonexistent-dir"); err == nil {
+		t.Error("missing directory must fail")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "catalog.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadCatalog(dir); err == nil {
+		t.Error("corrupt manifest must fail")
+	}
+	// Manifest referencing a missing graph file.
+	if err := os.WriteFile(filepath.Join(dir, "catalog.json"),
+		[]byte(`{"graphs":["ghost"],"tables":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadCatalog(dir); err == nil {
+		t.Error("missing graph file must fail")
+	}
+	// Path-escaping names are rejected.
+	if err := os.WriteFile(filepath.Join(dir, "catalog.json"),
+		[]byte(`{"graphs":["../evil"],"tables":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadCatalog(dir); err == nil {
+		t.Error("path-escaping name must fail")
+	}
+}
+
+func TestSaveCatalogRejectsUnsafeNames(t *testing.T) {
+	eng := gcore.NewEngine()
+	g := gcore.NewGraph("weird/name")
+	if err := g.AddNode(&gcore.Node{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SaveCatalog(t.TempDir()); err == nil {
+		t.Error("unsafe graph name must fail to save")
+	}
+}
