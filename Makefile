@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench repro fuzz cover fmt vet
+.PHONY: all build test race bench benchbase benchcmp repro fuzz cover fmt vet
 
 all: build test
 
@@ -10,8 +10,30 @@ build:
 test:
 	go test ./...
 
+race:
+	go test -race ./...
+
 bench:
 	go test -bench=. -benchmem ./...
+
+# Benchmark comparison workflow: `make benchbase` on the baseline
+# commit writes bench.base.txt, then `make benchcmp` on the changed
+# tree benchmarks again and compares (via benchstat when installed,
+# plain side-by-side otherwise). BENCH narrows the benchmark regexp,
+# e.g. BENCH=BenchmarkParallelMatch.
+BENCH ?= .
+
+benchbase:
+	go test -bench='$(BENCH)' -benchmem -count=5 -run '^$$' . | tee bench.base.txt
+
+benchcmp:
+	go test -bench='$(BENCH)' -benchmem -count=5 -run '^$$' . | tee bench.head.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench.base.txt bench.head.txt; \
+	else \
+		echo '--- benchstat not installed; raw baseline vs head ---'; \
+		grep '^Benchmark' bench.base.txt; echo '---'; grep '^Benchmark' bench.head.txt; \
+	fi
 
 repro:
 	go run ./cmd/gcore-repro

@@ -251,6 +251,63 @@ func BenchmarkWeightedShortest(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexedScan measures label-selective node scans backed by
+// the secondary label indexes: the query touches only the City nodes
+// (a small fraction of the graph), so time should track the bucket
+// size, not |V|.
+func BenchmarkIndexedScan(b *testing.B) {
+	eng := gcore.NewEngine()
+	social, _ := eng.GenerateSNB(gcore.SNBConfig{Persons: 400, Seed: 1})
+	if err := eng.RegisterGraph(social); err != nil {
+		b.Fatal(err)
+	}
+	q := fmt.Sprintf(`SELECT c.name AS name MATCH (c:City) ON %s`, social.Name())
+	stmt, err := gcore.Parse(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.EvalStatement(stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Table.Len() == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}
+
+// BenchmarkParallelMatch compares sequential and parallel evaluation
+// of the CPLX1 match query on one graph. On a multi-core machine the
+// parallel sub-benchmark should win; results are identical either way
+// (the in-order merge guarantee, tested in internal/core).
+func BenchmarkParallelMatch(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			eng := gcore.NewEngine()
+			social, _ := eng.GenerateSNB(gcore.SNBConfig{Persons: 400, Seed: 1})
+			if err := eng.RegisterGraph(social); err != nil {
+				b.Fatal(err)
+			}
+			eng.SetParallelism(cfg.workers)
+			stmt, err := gcore.Parse(repro.MatchQueryAt(social))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.EvalStatement(stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkParse measures parser throughput over all paper queries.
 func BenchmarkParse(b *testing.B) {
 	srcs := make([]string, 0, len(parser.PaperQueries))

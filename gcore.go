@@ -168,6 +168,18 @@ func (e *Engine) SetMaxBindings(n int) {
 	e.ev.SetMaxBindings(n)
 }
 
+// SetParallelism sets the worker count used for intra-query
+// parallelism (node scans, edge expansion, per-source path searches).
+// Zero (the default) uses runtime.GOMAXPROCS; one forces fully
+// sequential evaluation. Partition results are merged in input order,
+// so query results are identical for every setting — parallelism
+// never changes query semantics.
+func (e *Engine) SetParallelism(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ev.SetParallelism(n)
+}
+
 // SetDefaultGraph selects the graph used when MATCH omits ON.
 func (e *Engine) SetDefaultGraph(name string) error {
 	e.mu.Lock()

@@ -418,10 +418,13 @@ func findEdge(graphs []*ppg.Graph, id ppg.EdgeID) (*ppg.Edge, *ppg.Graph) {
 	return nil, nil
 }
 
-// ensureNode adds or merges a node in the item graph.
+// ensureNode adds or merges a node in the item graph. Label merges go
+// through SetNodeLabels so the graph's label index stays consistent.
 func ensureNode(g *ppg.Graph, n *ppg.Node) {
 	if existing, ok := g.Node(n.ID); ok {
-		existing.Labels = existing.Labels.Union(n.Labels)
+		if err := g.SetNodeLabels(n.ID, existing.Labels.Union(n.Labels)); err != nil {
+			panic("core: ensureNode: " + err.Error())
+		}
 		for k, v := range n.Props {
 			existing.Props[k] = v
 		}
@@ -437,7 +440,9 @@ func ensureEdge(g *ppg.Graph, e *ppg.Edge) error {
 		if existing.Src != e.Src || existing.Dst != e.Dst {
 			return errf("edge #%d constructed with conflicting endpoints", e.ID)
 		}
-		existing.Labels = existing.Labels.Union(e.Labels)
+		if err := g.SetEdgeLabels(e.ID, existing.Labels.Union(e.Labels)); err != nil {
+			return errf("%v", err)
+		}
 		for k, v := range e.Props {
 			existing.Props[k] = v
 		}

@@ -22,7 +22,9 @@ import (
 	"gcore/internal/ast"
 	"gcore/internal/bindings"
 	"gcore/internal/catalog"
+	"gcore/internal/par"
 	"gcore/internal/ppg"
+	"gcore/internal/rpq"
 	"gcore/internal/table"
 )
 
@@ -30,6 +32,7 @@ import (
 type Evaluator struct {
 	cat     *catalog.Catalog
 	maxRows int // 0 = unlimited
+	workers int // 0 = GOMAXPROCS, 1 = sequential
 }
 
 // New creates an evaluator over the given catalog.
@@ -37,6 +40,14 @@ func New(cat *catalog.Catalog) *Evaluator { return &Evaluator{cat: cat} }
 
 // Catalog returns the evaluator's catalog.
 func (ev *Evaluator) Catalog() *catalog.Catalog { return ev.cat }
+
+// SetParallelism sets the worker count for intra-query parallelism
+// (node scans, edge expansion, per-source path searches). Zero (the
+// default) means runtime.GOMAXPROCS; one forces fully sequential
+// evaluation. Parallel evaluation merges partition results in input
+// order, so the produced binding tables — and therefore all query
+// results — are identical for every setting.
+func (ev *Evaluator) SetParallelism(n int) { ev.workers = n }
 
 // SetMaxBindings bounds the size of intermediate binding tables; a
 // query whose evaluation would exceed the bound fails with a clear
@@ -132,18 +143,52 @@ type tempPath struct {
 	cost       float64
 }
 
+// nfaKey identifies a compiled automaton: the regex node of the
+// statement AST (ASTs are immutable during evaluation, so pointer
+// identity suffices) plus the traversal orientation.
+type nfaKey struct {
+	rx       *ast.Regex
+	reversed bool
+}
+
 // evalCtx carries the per-statement mutable state.
 type evalCtx struct {
 	ev        *Evaluator
 	tempPaths map[ppg.PathID]*tempPath
 	anonSeq   int
+
+	// nfaCache holds automata compiled during this statement, so a
+	// regular path expression is compiled once per statement rather
+	// than once per pattern evaluation (pattern predicates in WHERE
+	// re-evaluate their pattern per row, which would otherwise
+	// recompile the same regex per row).
+	nfaCache map[nfaKey]*rpq.NFA
 }
 
 func (ev *Evaluator) newCtx() *evalCtx {
 	return &evalCtx{
 		ev:        ev,
 		tempPaths: map[ppg.PathID]*tempPath{},
+		nfaCache:  map[nfaKey]*rpq.NFA{},
 	}
+}
+
+// minParallelItems is the fan-out size below which chunked jobs stay
+// sequential: goroutine + merge overhead only pays off past this.
+const minParallelItems = 64
+
+// mapRows runs a chunked row-production job over n items and returns
+// the per-chunk row slices in input order; appending them in that
+// order reproduces the sequential output exactly. The job runs
+// concurrently only when it is marked safe (its predicates are free
+// of subqueries, which may touch evaluator state) and large enough to
+// amortise the fan-out.
+func (c *evalCtx) mapRows(n int, safe bool, fn func(lo, hi int) ([]bindings.Binding, error)) ([][]bindings.Binding, error) {
+	w := par.Workers(c.ev.workers)
+	if !safe || n < minParallelItems {
+		w = 1
+	}
+	return par.MapChunks(n, w, fn)
 }
 
 func (c *evalCtx) freshAnon() string {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"gcore/internal/ast"
 	"gcore/internal/bindings"
 	"gcore/internal/ppg"
@@ -259,7 +261,70 @@ func bindProps(props ppg.Properties, specs []*ast.PropSpec, base bindings.Bindin
 	return rows
 }
 
-// scanNodes produces the binding table of a single node pattern.
+// exprParallelSafe reports whether an expression can be evaluated
+// concurrently with other rows: it must be free of subqueries (EXISTS,
+// pattern predicates) and aggregates, which touch shared evaluator
+// state. collectExprVars already classifies exactly this ("pushable").
+func exprParallelSafe(e ast.Expr) bool {
+	return collectExprVars(e, map[string]bool{})
+}
+
+// specsParallelSafe reports whether every filter entry of a pattern's
+// property specs is parallel-safe. Bind entries never evaluate
+// expressions, so only filters matter.
+func specsParallelSafe(specs []*ast.PropSpec) bool {
+	for _, ps := range specs {
+		if ps.Mode == ast.PropFilter && !exprParallelSafe(ps.Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+// indexedNodeCandidates consults the graph's label index for a node
+// pattern: the most selective conjunct of the label spec yields the
+// candidate set (the sorted union of its disjuncts' buckets), which
+// is exactly the set of nodes satisfying that conjunct. The remaining
+// conjuncts and property filters are checked per candidate. ok is
+// false when the spec has no conjunct to index on.
+func indexedNodeCandidates(g *ppg.Graph, spec ast.LabelSpec) ([]ppg.NodeID, bool) {
+	if len(spec) == 0 {
+		return nil, false
+	}
+	best := -1
+	bestSize := 0
+	for i, disj := range spec {
+		size := 0
+		for _, l := range disj {
+			size += len(g.NodesWithLabel(l))
+		}
+		if best == -1 || size < bestSize {
+			best, bestSize = i, size
+		}
+	}
+	disj := spec[best]
+	if len(disj) == 1 {
+		return g.NodesWithLabel(disj[0]), true
+	}
+	// Union of the disjuncts' sorted buckets, ascending, deduplicated.
+	set := map[ppg.NodeID]bool{}
+	for _, l := range disj {
+		for _, id := range g.NodesWithLabel(l) {
+			set[id] = true
+		}
+	}
+	out := make([]ppg.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}
+
+// scanNodes produces the binding table of a single node pattern,
+// consulting the graph's label index instead of scanning all nodes
+// whenever the pattern names a label. Candidate chunks are matched
+// concurrently and merged in input order.
 func (c *evalCtx) scanNodes(g *ppg.Graph, np *ast.NodePattern, varName string) (*bindings.Table, error) {
 	if np.Copy {
 		return nil, errf("the copy form (=%s) is only allowed in CONSTRUCT", np.Var)
@@ -271,17 +336,31 @@ func (c *evalCtx) scanNodes(g *ppg.Graph, np *ast.NodePattern, varName string) (
 		}
 	}
 	tbl := bindings.EmptyTable(vars...)
-	for _, id := range g.NodeIDs() {
-		n, _ := g.Node(id)
-		ok, err := c.nodeMatches(g, n, np)
-		if err != nil {
-			return nil, err
+	ids, indexed := indexedNodeCandidates(g, np.Labels)
+	if !indexed {
+		ids = g.NodeIDs()
+	}
+	parts, err := c.mapRows(len(ids), specsParallelSafe(np.Props), func(lo, hi int) ([]bindings.Binding, error) {
+		var rows []bindings.Binding
+		for _, id := range ids[lo:hi] {
+			n, _ := g.Node(id)
+			ok, err := c.nodeMatches(g, n, np)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			base := bindings.Binding{varName: value.NodeRef(uint64(id))}
+			rows = append(rows, bindProps(n.Props, np.Props, base)...)
 		}
-		if !ok {
-			continue
-		}
-		base := bindings.Binding{varName: value.NodeRef(uint64(id))}
-		for _, row := range bindProps(n.Props, np.Props, base) {
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range parts {
+		for _, row := range part {
 			tbl.Add(row)
 		}
 	}
@@ -306,10 +385,13 @@ func (c *evalCtx) extendEdge(g *ppg.Graph, tbl *bindings.Table, leftVar string, 
 		}
 	}
 	out := bindings.EmptyTable(vars...)
-	for _, row := range tbl.Rows() {
+
+	// expandRow produces the extensions of one row in deterministic
+	// order (out-edges ascending, then in-edges ascending).
+	expandRow := func(row bindings.Binding, acc []bindings.Binding) ([]bindings.Binding, error) {
 		uid, ok := nodeOf(row[leftVar])
 		if !ok {
-			continue
+			return acc, nil
 		}
 		emit := func(e *ppg.Edge, other ppg.NodeID) error {
 			// Edge label/property tests.
@@ -339,13 +421,8 @@ func (c *evalCtx) extendEdge(g *ppg.Graph, tbl *bindings.Table, leftVar string, 
 			base := row.Clone()
 			base[edgeVar] = value.EdgeRef(uint64(e.ID))
 			base[rightVar] = value.NodeRef(uint64(other))
-			rows := bindProps(e.Props, ep.Props, base)
-			var final []bindings.Binding
-			for _, r := range rows {
-				final = append(final, bindProps(on.Props, rightNp.Props, r)...)
-			}
-			for _, r := range final {
-				out.Add(r)
+			for _, r := range bindProps(e.Props, ep.Props, base) {
+				acc = append(acc, bindProps(on.Props, rightNp.Props, r)...)
 			}
 			return nil
 		}
@@ -367,6 +444,29 @@ func (c *evalCtx) extendEdge(g *ppg.Graph, tbl *bindings.Table, leftVar string, 
 					return nil, err
 				}
 			}
+		}
+		return acc, nil
+	}
+
+	rows := tbl.Rows()
+	safe := specsParallelSafe(ep.Props) && specsParallelSafe(rightNp.Props)
+	parts, err := c.mapRows(len(rows), safe, func(lo, hi int) ([]bindings.Binding, error) {
+		var acc []bindings.Binding
+		var err error
+		for _, row := range rows[lo:hi] {
+			acc, err = expandRow(row, acc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range parts {
+		for _, r := range part {
+			out.Add(r)
 		}
 	}
 	return out, nil

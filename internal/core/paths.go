@@ -1,12 +1,11 @@
 package core
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 
 	"gcore/internal/ast"
 	"gcore/internal/bindings"
+	"gcore/internal/par"
 	"gcore/internal/ppg"
 	"gcore/internal/rpq"
 	"gcore/internal/value"
@@ -227,10 +226,112 @@ func reverseRegex(rx *ast.Regex) (*ast.Regex, error) {
 	return nil, errf("cannot reverse regex op %d", rx.Op)
 }
 
-// defaultRegex is the expression used when a path pattern omits the
-// angle brackets: any-edge Kleene star.
-func defaultRegex() *ast.Regex {
-	return &ast.Regex{Op: ast.RxStar, Subs: []*ast.Regex{{Op: ast.RxAnyEdge}}}
+// anyStarRegex is the expression used when a path pattern omits the
+// angle brackets: any-edge Kleene star. It is a shared immutable
+// singleton so the per-statement NFA cache (keyed by regex pointer)
+// hits for every bare path pattern.
+var anyStarRegex = &ast.Regex{Op: ast.RxStar, Subs: []*ast.Regex{{Op: ast.RxAnyEdge}}}
+
+func defaultRegex() *ast.Regex { return anyStarRegex }
+
+// compiledNFA compiles a regular path expression — reversed first when
+// the pattern is traversed against the arrow — memoising per statement
+// in the evalCtx cache.
+func (c *evalCtx) compiledNFA(rx *ast.Regex, reversed bool) (*rpq.NFA, error) {
+	key := nfaKey{rx: rx, reversed: reversed}
+	if n, ok := c.nfaCache[key]; ok {
+		return n, nil
+	}
+	use := rx
+	if reversed {
+		var err error
+		use, err = reverseRegex(rx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n, err := rpq.Compile(use)
+	if err != nil {
+		return nil, errf("%v", err)
+	}
+	c.nfaCache[key] = n
+	return n, nil
+}
+
+// searchKey identifies one product search: a source node and the
+// automaton index (orientation) it ran under.
+type searchKey struct {
+	src ppg.NodeID
+	ni  int
+}
+
+// prefillSearches runs the path searches needed by extendPath's row
+// loop concurrently, filling the given caches. Jobs are the distinct
+// (source, automaton) pairs in the order the sequential loop first
+// meets them; errors surface for the lowest-ordered failing job, so
+// the reported error matches sequential evaluation.
+func (c *evalCtx) prefillSearches(eng *rpq.Engine, tbl *bindings.Table, leftVar string, pp *ast.PathPattern, nfas []*rpq.NFA,
+	shortCache map[searchKey]map[ppg.NodeID][]rpq.PathResult, reachCache map[searchKey][]ppg.NodeID, allCache map[searchKey]*rpq.AllPaths) error {
+	var srcs []ppg.NodeID
+	seen := map[ppg.NodeID]bool{}
+	for _, row := range tbl.Rows() {
+		if s, ok := nodeOf(row[leftVar]); ok && !seen[s] {
+			seen[s] = true
+			srcs = append(srcs, s)
+		}
+	}
+	jobs := make([]searchKey, 0, len(srcs)*len(nfas))
+	for _, src := range srcs {
+		for ni := range nfas {
+			jobs = append(jobs, searchKey{src, ni})
+		}
+	}
+	workers := par.Workers(c.ev.workers)
+	if workers <= 1 || len(jobs) < 2 {
+		return nil // the row loop searches lazily, as before
+	}
+	switch pp.Mode {
+	case ast.PathReach:
+		results := make([][]ppg.NodeID, len(jobs))
+		err := par.ForEachIdx(len(jobs), workers, func(i int) error {
+			r, err := eng.Reachable(jobs[i].src, nfas[jobs[i].ni])
+			results[i] = r
+			return err
+		})
+		if err != nil {
+			return errf("%v", err)
+		}
+		for i, job := range jobs {
+			reachCache[job] = results[i]
+		}
+	case ast.PathShortest:
+		results := make([]map[ppg.NodeID][]rpq.PathResult, len(jobs))
+		err := par.ForEachIdx(len(jobs), workers, func(i int) error {
+			r, err := eng.ShortestPaths(jobs[i].src, nfas[jobs[i].ni], pp.K)
+			results[i] = r
+			return err
+		})
+		if err != nil {
+			return errf("%v", err)
+		}
+		for i, job := range jobs {
+			shortCache[job] = results[i]
+		}
+	case ast.PathAll:
+		results := make([]*rpq.AllPaths, len(jobs))
+		err := par.ForEachIdx(len(jobs), workers, func(i int) error {
+			r, err := eng.AllPaths(jobs[i].src, nfas[jobs[i].ni])
+			results[i] = r
+			return err
+		})
+		if err != nil {
+			return errf("%v", err)
+		}
+		for i, job := range jobs {
+			allCache[job] = results[i]
+		}
+	}
+	return nil
 }
 
 // extendPath extends every row of tbl over one path pattern.
@@ -246,33 +347,25 @@ func (c *evalCtx) extendPath(s *scope, g *ppg.Graph, tbl *bindings.Table, leftVa
 	var nfas []*rpq.NFA
 	switch pp.Dir {
 	case ast.DirOut:
-		n, err := rpq.Compile(rx)
+		n, err := c.compiledNFA(rx, false)
 		if err != nil {
-			return nil, errf("%v", err)
+			return nil, err
 		}
 		nfas = []*rpq.NFA{n}
 	case ast.DirIn:
-		rev, err := reverseRegex(rx)
+		n, err := c.compiledNFA(rx, true)
 		if err != nil {
 			return nil, err
-		}
-		n, err := rpq.Compile(rev)
-		if err != nil {
-			return nil, errf("%v", err)
 		}
 		nfas = []*rpq.NFA{n}
 	case ast.DirBoth:
-		fwd, err := rpq.Compile(rx)
-		if err != nil {
-			return nil, errf("%v", err)
-		}
-		rev, err := reverseRegex(rx)
+		fwd, err := c.compiledNFA(rx, false)
 		if err != nil {
 			return nil, err
 		}
-		bwd, err := rpq.Compile(rev)
+		bwd, err := c.compiledNFA(rx, true)
 		if err != nil {
-			return nil, errf("%v", err)
+			return nil, err
 		}
 		nfas = []*rpq.NFA{fwd, bwd}
 	}
@@ -288,10 +381,6 @@ func (c *evalCtx) extendPath(s *scope, g *ppg.Graph, tbl *bindings.Table, leftVa
 	out := bindings.EmptyTable(vars...)
 
 	// Cache searches per source node: many rows share a source.
-	type searchKey struct {
-		src ppg.NodeID
-		ni  int
-	}
 	shortCache := map[searchKey]map[ppg.NodeID][]rpq.PathResult{}
 	reachCache := map[searchKey][]ppg.NodeID{}
 	allCache := map[searchKey]*rpq.AllPaths{}
@@ -300,6 +389,19 @@ func (c *evalCtx) extendPath(s *scope, g *ppg.Graph, tbl *bindings.Table, leftVa
 	for _, n := range nfas {
 		if n.HasViews() {
 			hasViews = true
+		}
+	}
+
+	// Parallel prefill: the per-source product searches dominate path
+	// pattern cost and are pure graph reads, so they run concurrently
+	// — one job per (distinct source, automaton), ordered exactly as
+	// the sequential row loop would first encounter them — and land in
+	// the caches before the (sequential, deterministic) emit loop
+	// below. View-backed automata materialise PATH views through the
+	// evaluator context and stay sequential.
+	if !hasViews {
+		if err := c.prefillSearches(eng, tbl, leftVar, pp, nfas, shortCache, reachCache, allCache); err != nil {
+			return nil, err
 		}
 	}
 
@@ -381,7 +483,7 @@ func (c *evalCtx) extendPath(s *scope, g *ppg.Graph, tbl *bindings.Table, leftVa
 					return cands[i].pr.Hops < cands[j].pr.Hops
 				})
 				taken := 0
-				seenWalks := map[string]bool{}
+				seenWalks := map[rpq.WalkSig]bool{}
 				for _, cd := range cands {
 					if taken >= pp.K {
 						break
@@ -454,15 +556,8 @@ func (c *evalCtx) extendPath(s *scope, g *ppg.Graph, tbl *bindings.Table, leftVa
 
 // walkSignature identifies a walk by its oriented node/edge sequence
 // so that equal walks found via different orientations collapse.
-func walkSignature(p *ppg.Path) string {
-	var sb strings.Builder
-	for _, n := range p.Nodes {
-		fmt.Fprintf(&sb, "n%d,", n)
-	}
-	for _, e := range p.Edges {
-		fmt.Fprintf(&sb, "e%d,", e)
-	}
-	return sb.String()
+func walkSignature(p *ppg.Path) rpq.WalkSig {
+	return rpq.SignatureOf(p.Nodes, p.Edges)
 }
 
 func reversePath(p *ppg.Path) *ppg.Path {
@@ -518,9 +613,9 @@ func (c *evalCtx) extendStoredPath(g *ppg.Graph, tbl *bindings.Table, leftVar st
 
 	var nfa *rpq.NFA
 	if pp.Regex != nil {
-		n, err := rpq.Compile(pp.Regex)
+		n, err := c.compiledNFA(pp.Regex, false)
 		if err != nil {
-			return nil, errf("%v", err)
+			return nil, err
 		}
 		nfa = n
 	}

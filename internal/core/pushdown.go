@@ -146,23 +146,41 @@ func (c *evalCtx) applyReady(conjs []*conjunct, tbl *bindings.Table, g *ppg.Grap
 	if len(ready) == 0 {
 		return tbl, nil
 	}
-	env := c.newEnv(nil, []*ppg.Graph{g}, g)
-	out, err := tbl.Filter(func(b bindings.Binding) (bool, error) {
-		env.row = b
-		for _, cj := range ready {
-			v, err := env.eval(cj.expr)
-			if err != nil {
-				return false, err
+	// Pushable conjuncts are subquery-free, so rows can be filtered
+	// concurrently; each chunk gets its own environment (env.row is
+	// mutated per row) and chunk results merge in input order.
+	rows := tbl.Rows()
+	parts, err := c.mapRows(len(rows), true, func(lo, hi int) ([]bindings.Binding, error) {
+		env := c.newEnv(nil, []*ppg.Graph{g}, g)
+		var keep []bindings.Binding
+	next:
+		for _, b := range rows[lo:hi] {
+			env.row = b
+			for _, cj := range ready {
+				v, err := env.eval(cj.expr)
+				if err != nil {
+					return nil, err
+				}
+				ok, err := value.Truth(v)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue next
+				}
 			}
-			keep, err := value.Truth(v)
-			if err != nil || !keep {
-				return false, err
-			}
+			keep = append(keep, b)
 		}
-		return true, nil
+		return keep, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	out := bindings.NewTable(tbl.Vars())
+	for _, part := range parts {
+		for _, b := range part {
+			out.Add(b)
+		}
 	}
 	for _, cj := range ready {
 		cj.applied = true

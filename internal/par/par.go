@@ -1,0 +1,137 @@
+// Package par is the evaluator's small worker-pool utility. It runs
+// chunked fan-out/fan-in jobs with a deterministic merge: inputs are
+// partitioned into contiguous chunks, chunks execute concurrently,
+// and results are combined in input order. Callers that append the
+// per-chunk outputs in the returned order therefore produce exactly
+// the sequence a sequential loop would have produced — which is how
+// the query evaluator keeps parallel and sequential evaluation
+// byte-identical (the paper's fixed-order tie-breaking, §A.1
+// footnote 4, extended to the whole binding pipeline).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob: n itself when positive, else
+// runtime.GOMAXPROCS. A result of 1 means "run sequentially".
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// chunkCount picks how many contiguous chunks to cut n items into for
+// w workers: enough slack (4 per worker) that an unlucky expensive
+// chunk does not serialise the tail, but never more chunks than items.
+func chunkCount(n, w int) int {
+	c := w * 4
+	if c > n {
+		c = n
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// MapChunks partitions [0, n) into contiguous chunks, runs fn(lo, hi)
+// on each chunk with up to `workers` goroutines, and returns the
+// per-chunk results in chunk (= input) order. If any chunk fails, the
+// error of the lowest-indexed failing chunk is returned, so the error
+// surfaced is the one sequential evaluation would have hit first.
+// With workers <= 1 (or n <= 1) everything runs on the calling
+// goroutine with no synchronisation.
+func MapChunks[T any](n, workers int, fn func(lo, hi int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 1 || n == 1 {
+		out := make([]T, 1)
+		res, err := fn(0, n)
+		if err != nil {
+			return nil, err
+		}
+		out[0] = res
+		return out, nil
+	}
+	chunks := chunkCount(n, workers)
+	bounds := make([]int, chunks+1)
+	for i := 0; i <= chunks; i++ {
+		bounds[i] = i * n / chunks
+	}
+	results := make([]T, chunks)
+	errs := make([]error, chunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	if workers > chunks {
+		workers = chunks
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= chunks {
+					return
+				}
+				results[i], errs[i] = fn(bounds[i], bounds[i+1])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// ForEachIdx runs fn(i) for every i in [0, n) with up to `workers`
+// goroutines. Each index is visited exactly once; fn must confine its
+// writes to per-index state (e.g. slot i of a pre-allocated slice).
+// The lowest-index error wins, as in MapChunks.
+func ForEachIdx(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

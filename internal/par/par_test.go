@@ -1,0 +1,104 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Fatalf("Workers(0) = %d, want >= 1", got)
+	}
+	if got := Workers(-2); got < 1 {
+		t.Fatalf("Workers(-2) = %d, want >= 1", got)
+	}
+}
+
+// TestMapChunksOrder: concatenating chunk results in returned order
+// must reproduce the sequential order, for every worker count.
+func TestMapChunksOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			parts, err := MapChunks(n, workers, func(lo, hi int) ([]int, error) {
+				out := make([]int, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					out = append(out, i*i)
+				}
+				return out, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var flat []int
+			for _, p := range parts {
+				flat = append(flat, p...)
+			}
+			if len(flat) != n {
+				t.Fatalf("workers=%d n=%d: got %d items", workers, n, len(flat))
+			}
+			for i, v := range flat {
+				if v != i*i {
+					t.Fatalf("workers=%d n=%d: item %d = %d, want %d", workers, n, i, v, i*i)
+				}
+			}
+		}
+	}
+}
+
+// TestMapChunksError: the error of the chunk containing the smallest
+// failing index is the one reported, matching what a sequential left-
+// to-right loop would surface first.
+func TestMapChunksError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := MapChunks(100, workers, func(lo, hi int) (int, error) {
+			for i := lo; i < hi; i++ {
+				if i >= 20 {
+					return 0, fmt.Errorf("err@%d", i)
+				}
+			}
+			return 0, nil
+		})
+		if err == nil || err.Error() != "err@20" {
+			t.Fatalf("workers=%d: err = %v, want err@20", workers, err)
+		}
+	}
+}
+
+func TestForEachIdx(t *testing.T) {
+	for _, workers := range []int{1, 2, 16} {
+		n := 200
+		hits := make([]int32, n)
+		err := ForEachIdx(n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachIdxError(t *testing.T) {
+	err := ForEachIdx(100, 8, func(i int) error {
+		if i >= 70 {
+			return fmt.Errorf("late %d", i)
+		}
+		if i >= 30 {
+			return errors.New("first")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "first" {
+		t.Fatalf("err = %v, want the lowest-index error", err)
+	}
+}

@@ -243,17 +243,25 @@ type Graph struct {
 	// incoming edges, kept sorted for deterministic traversal.
 	out map[NodeID][]EdgeID
 	in  map[NodeID][]EdgeID
+
+	// Secondary label indexes: per label the identifiers of the nodes
+	// and edges carrying it, kept sorted so indexed scans visit
+	// elements in the same ascending order as full scans.
+	nodesByLabel map[string][]NodeID
+	edgesByLabel map[string][]EdgeID
 }
 
 // New creates an empty graph with the given name.
 func New(name string) *Graph {
 	return &Graph{
-		name:  name,
-		nodes: map[NodeID]*Node{},
-		edges: map[EdgeID]*Edge{},
-		paths: map[PathID]*Path{},
-		out:   map[NodeID][]EdgeID{},
-		in:    map[NodeID][]EdgeID{},
+		name:         name,
+		nodes:        map[NodeID]*Node{},
+		edges:        map[EdgeID]*Edge{},
+		paths:        map[PathID]*Path{},
+		out:          map[NodeID][]EdgeID{},
+		in:           map[NodeID][]EdgeID{},
+		nodesByLabel: map[string][]NodeID{},
+		edgesByLabel: map[string][]EdgeID{},
 	}
 }
 
@@ -286,6 +294,9 @@ func (g *Graph) AddNode(n *Node) error {
 		n.Props = Properties{}
 	}
 	g.nodes[n.ID] = n
+	for _, l := range n.Labels {
+		g.nodesByLabel[l] = insertSorted(g.nodesByLabel[l], n.ID)
+	}
 	return nil
 }
 
@@ -307,6 +318,51 @@ func (g *Graph) AddEdge(e *Edge) error {
 	g.edges[e.ID] = e
 	g.out[e.Src] = insertSorted(g.out[e.Src], e.ID)
 	g.in[e.Dst] = insertSorted(g.in[e.Dst], e.ID)
+	for _, l := range e.Labels {
+		g.edgesByLabel[l] = insertSorted(g.edgesByLabel[l], e.ID)
+	}
+	return nil
+}
+
+// SetNodeLabels replaces λ(n) for an already-inserted node, keeping
+// the label index consistent. Mutating a node's Labels field directly
+// after insertion leaves the index stale; all engine code goes
+// through this method instead.
+func (g *Graph) SetNodeLabels(id NodeID, ls Labels) error {
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("ppg: graph %q has no node #%d", g.name, id)
+	}
+	for _, l := range n.Labels {
+		g.nodesByLabel[l] = removeSorted(g.nodesByLabel[l], id)
+		if len(g.nodesByLabel[l]) == 0 {
+			delete(g.nodesByLabel, l)
+		}
+	}
+	n.Labels = ls
+	for _, l := range n.Labels {
+		g.nodesByLabel[l] = insertSorted(g.nodesByLabel[l], id)
+	}
+	return nil
+}
+
+// SetEdgeLabels replaces λ(e) for an already-inserted edge, keeping
+// the label index consistent.
+func (g *Graph) SetEdgeLabels(id EdgeID, ls Labels) error {
+	e, ok := g.edges[id]
+	if !ok {
+		return fmt.Errorf("ppg: graph %q has no edge #%d", g.name, id)
+	}
+	for _, l := range e.Labels {
+		g.edgesByLabel[l] = removeSorted(g.edgesByLabel[l], id)
+		if len(g.edgesByLabel[l]) == 0 {
+			delete(g.edgesByLabel, l)
+		}
+	}
+	e.Labels = ls
+	for _, l := range e.Labels {
+		g.edgesByLabel[l] = insertSorted(g.edgesByLabel[l], id)
+	}
 	return nil
 }
 
@@ -395,16 +451,32 @@ func (g *Graph) OutEdges(n NodeID) []EdgeID { return g.out[n] }
 // InEdges returns the identifiers of edges entering n, ascending.
 func (g *Graph) InEdges(n NodeID) []EdgeID { return g.in[n] }
 
+// NodesWithLabel returns, ascending, the identifiers of the nodes
+// carrying the label. The slice is shared with the index and must not
+// be modified.
+func (g *Graph) NodesWithLabel(label string) []NodeID { return g.nodesByLabel[label] }
+
+// EdgesWithLabel returns, ascending, the identifiers of the edges
+// carrying the label. The slice is shared with the index and must not
+// be modified.
+func (g *Graph) EdgesWithLabel(label string) []EdgeID { return g.edgesByLabel[label] }
+
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	cp := New(g.name)
 	for id, n := range g.nodes {
 		cp.nodes[id] = n.Clone()
+		for _, l := range n.Labels {
+			cp.nodesByLabel[l] = insertSorted(cp.nodesByLabel[l], id)
+		}
 	}
 	for id, e := range g.edges {
 		cp.edges[id] = e.Clone()
 		cp.out[e.Src] = insertSorted(cp.out[e.Src], e.ID)
 		cp.in[e.Dst] = insertSorted(cp.in[e.Dst], e.ID)
+		for _, l := range e.Labels {
+			cp.edgesByLabel[l] = insertSorted(cp.edgesByLabel[l], id)
+		}
 	}
 	for id, p := range g.paths {
 		cp.paths[id] = p.Clone()
@@ -472,7 +544,7 @@ func (g *Graph) Validate() error {
 		if _, ok := g.nodes[e.Dst]; !ok {
 			return fmt.Errorf("ppg: dangling edge #%d (missing destination #%d)", e.ID, e.Dst)
 		}
-		if !containsEdge(g.out[e.Src], e.ID) || !containsEdge(g.in[e.Dst], e.ID) {
+		if !containsSorted(g.out[e.Src], e.ID) || !containsSorted(g.in[e.Dst], e.ID) {
 			return fmt.Errorf("ppg: adjacency index missing edge #%d", e.ID)
 		}
 	}
@@ -505,6 +577,36 @@ func (g *Graph) Validate() error {
 			}
 		}
 	}
+	for _, n := range g.nodes {
+		for _, l := range n.Labels {
+			if !containsSorted(g.nodesByLabel[l], n.ID) {
+				return fmt.Errorf("ppg: label index missing node #%d under %q", n.ID, l)
+			}
+		}
+	}
+	for l, ids := range g.nodesByLabel {
+		for _, id := range ids {
+			n, ok := g.nodes[id]
+			if !ok || !n.Labels.Has(l) {
+				return fmt.Errorf("ppg: stale label-index entry: node #%d under %q", id, l)
+			}
+		}
+	}
+	for _, e := range g.edges {
+		for _, l := range e.Labels {
+			if !containsSorted(g.edgesByLabel[l], e.ID) {
+				return fmt.Errorf("ppg: label index missing edge #%d under %q", e.ID, l)
+			}
+		}
+	}
+	for l, ids := range g.edgesByLabel {
+		for _, id := range ids {
+			e, ok := g.edges[id]
+			if !ok || !e.Labels.Has(l) {
+				return fmt.Errorf("ppg: stale label-index entry: edge #%d under %q", id, l)
+			}
+		}
+	}
 	return nil
 }
 
@@ -513,7 +615,7 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("graph %q (%d nodes, %d edges, %d paths)", g.name, len(g.nodes), len(g.edges), len(g.paths))
 }
 
-func insertSorted(s []EdgeID, id EdgeID) []EdgeID {
+func insertSorted[T ~uint64](s []T, id T) []T {
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
 	if i < len(s) && s[i] == id {
 		return s
@@ -524,7 +626,15 @@ func insertSorted(s []EdgeID, id EdgeID) []EdgeID {
 	return s
 }
 
-func containsEdge(s []EdgeID, id EdgeID) bool {
+func removeSorted[T ~uint64](s []T, id T) []T {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+func containsSorted[T ~uint64](s []T, id T) bool {
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
 	return i < len(s) && s[i] == id
 }

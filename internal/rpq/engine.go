@@ -4,7 +4,6 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
-	"strings"
 
 	"gcore/internal/ppg"
 )
@@ -47,17 +46,6 @@ type PathResult struct {
 	Hops     int
 	Nodes    []ppg.NodeID
 	Edges    []ppg.EdgeID
-}
-
-func (r PathResult) signature() string {
-	var sb strings.Builder
-	for _, n := range r.Nodes {
-		fmt.Fprintf(&sb, "n%d,", n)
-	}
-	for _, e := range r.Edges {
-		fmt.Fprintf(&sb, "e%d,", e)
-	}
-	return sb.String()
 }
 
 // cfg is a product-automaton configuration.
@@ -120,7 +108,7 @@ func (e *Engine) ShortestPaths(src ppg.NodeID, nfa *NFA, k int) (map[ppg.NodeID]
 	seq := 1
 	pops := map[cfg]int{}
 	results := map[ppg.NodeID][]PathResult{}
-	sigs := map[ppg.NodeID]map[string]bool{}
+	sigs := map[ppg.NodeID]map[WalkSig]bool{}
 
 	for h.Len() > 0 {
 		it := heap.Pop(h).(pqItem)
@@ -131,9 +119,9 @@ func (e *Engine) ShortestPaths(src ppg.NodeID, nfa *NFA, k int) (map[ppg.NodeID]
 		pops[a.c]++
 		if a.c.q == nfa.accept && len(results[a.c.n]) < k {
 			res := e.reconstruct(src, arrivals, it.idx)
-			sig := res.signature()
+			sig := res.Signature()
 			if sigs[a.c.n] == nil {
-				sigs[a.c.n] = map[string]bool{}
+				sigs[a.c.n] = map[WalkSig]bool{}
 			}
 			if !sigs[a.c.n][sig] {
 				sigs[a.c.n][sig] = true

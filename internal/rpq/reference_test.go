@@ -188,15 +188,15 @@ func TestQuickKShortestMonotone(t *testing.T) {
 			return false
 		}
 		for _, paths := range res {
-			seen := map[string]bool{}
+			seen := map[WalkSig]bool{}
 			for i, p := range paths {
 				if i > 0 && p.Cost < paths[i-1].Cost {
 					return false
 				}
-				if seen[p.signature()] {
+				if seen[p.Signature()] {
 					return false
 				}
-				seen[p.signature()] = true
+				seen[p.Signature()] = true
 			}
 		}
 		return true

@@ -1,0 +1,35 @@
+package rpq
+
+import (
+	"testing"
+
+	"gcore/internal/ppg"
+)
+
+func TestWalkSig(t *testing.T) {
+	a := SignatureOf([]ppg.NodeID{1, 2, 3}, []ppg.EdgeID{10, 11})
+	if b := SignatureOf([]ppg.NodeID{1, 2, 3}, []ppg.EdgeID{10, 11}); a != b {
+		t.Error("equal walks must have equal signatures")
+	}
+	if b := SignatureOf([]ppg.NodeID{3, 2, 1}, []ppg.EdgeID{10, 11}); a == b {
+		t.Error("node order must matter")
+	}
+	if b := SignatureOf([]ppg.NodeID{1, 2, 3}, []ppg.EdgeID{11, 10}); a == b {
+		t.Error("edge order must matter")
+	}
+	if b := SignatureOf([]ppg.NodeID{1, 2}, []ppg.EdgeID{10, 11}); a == b {
+		t.Error("length must matter")
+	}
+	// A node sequence must not collide with the same IDs read as edges
+	// (the node and edge hashes accumulate separately).
+	if b := SignatureOf([]ppg.NodeID{1, 2, 3, 10, 11}, nil); a == b {
+		t.Error("node/edge split must matter")
+	}
+	empty := SignatureOf(nil, nil)
+	if empty.NodeLen != 0 || empty.EdgeLen != 0 {
+		t.Error("empty walk lengths")
+	}
+	if r := (PathResult{Nodes: []ppg.NodeID{1, 2, 3}, Edges: []ppg.EdgeID{10, 11}}); r.Signature() != a {
+		t.Error("PathResult.Signature must agree with SignatureOf")
+	}
+}
