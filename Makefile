@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench benchbase benchcmp repro fuzz cover fmt vet
+.PHONY: all build test race bench benchjson benchbase benchcmp repro fuzz cover fmt vet
 
 all: build test
 
@@ -15,6 +15,11 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Machine-readable benchmark snapshot: runs the root-package suite and
+# writes BENCH_<date>.json (name, ns/op, B/op, allocs/op per line).
+benchjson:
+	go test -bench . -benchmem -run '^$$' . | go run ./cmd/benchjson
 
 # Benchmark comparison workflow: `make benchbase` on the baseline
 # commit writes bench.base.txt, then `make benchcmp` on the changed
@@ -41,6 +46,7 @@ repro:
 
 fuzz:
 	go test -fuzz=FuzzParse -fuzztime=60s -run '^$$' .
+	go test -fuzz=FuzzSnapshot -fuzztime=60s -run '^$$' .
 	go test -fuzz=FuzzEval -fuzztime=60s -run '^$$' .
 
 cover:

@@ -5,8 +5,11 @@ import (
 	"testing"
 
 	"gcore"
+	"gcore/internal/ast"
+	"gcore/internal/csr"
 	"gcore/internal/parser"
 	"gcore/internal/repro"
+	"gcore/internal/rpq"
 )
 
 // Benchmark harness: one benchmark per reproduced figure/table (the
@@ -305,6 +308,63 @@ func BenchmarkParallelMatch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCSRShortest measures the k-shortest regular-path kernel
+// itself — multi-source <:knows*> product search over the SNB graph —
+// under the CSR snapshot and under the legacy map-based expansion.
+// The csr/legacy gap is what the snapshot layer buys in the search
+// inner loop, free of parse/bind/materialize overhead.
+func BenchmarkCSRShortest(b *testing.B) {
+	social, _ := gcore.GenerateSNB(gcore.SNBConfig{Persons: 400, Seed: 1})
+	nfa, err := rpq.Compile(&ast.Regex{Op: ast.RxStar, Subs: []*ast.Regex{{Op: ast.RxLabel, Label: "knows"}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	persons := social.NodesWithLabel("Person")
+	// Every 16th person is a source: enough sweeps to dominate setup.
+	var srcs []gcore.NodeID
+	for i := 0; i < len(persons); i += 16 {
+		srcs = append(srcs, persons[i])
+	}
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{{"csr", false}, {"legacy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			rpq.UseLegacy = mode.legacy
+			defer func() { rpq.UseLegacy = false }()
+			eng := rpq.NewEngine(social, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				total := 0
+				for _, src := range srcs {
+					res, err := eng.ShortestPaths(src, nfa, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += len(res)
+				}
+				if total == 0 {
+					b.Fatal("no paths found")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCSRBuild measures constructing the CSR snapshot itself —
+// the one-off cost a mutation generation pays before queries run at
+// snapshot speed again.
+func BenchmarkCSRBuild(b *testing.B) {
+	social, _ := gcore.GenerateSNB(gcore.SNBConfig{Persons: 400, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := csr.Build(social)
+		if s.NumNodes() != social.NumNodes() {
+			b.Fatal("bad snapshot")
+		}
 	}
 }
 

@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// snapshot for dashboards and regression tracking. It reads benchmark
+// text from stdin and writes BENCH_<date>.json (or -o <path>) holding
+// one record per benchmark line: name, iterations, ns/op, B/op,
+// allocs/op.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' ./... | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is one benchmark measurement. Memory fields are pointers so
+// runs without -benchmem serialize as null rather than a false zero.
+type Record struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// parseLine decodes one `BenchmarkX-8  N  12.3 ns/op  4 B/op  2 allocs/op`
+// line; ok is false for non-benchmark lines (headers, PASS, ok …).
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{Name: fields[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			rec.NsPerOp = v
+			seen = true
+		case "B/op":
+			b := v
+			rec.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			rec.AllocsPerOp = &a
+		}
+	}
+	return rec, seen
+}
+
+func run(out string) error {
+	var records []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if rec, ok := parseLine(sc.Text()); ok {
+			records = append(records, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench . -benchmem` output in)")
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(records), out)
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
+	flag.Parse()
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	}
+	if err := run(path); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	rec, ok := parseLine("BenchmarkCSRShortest/csr-4  \t  48\t  24038435 ns/op\t18760346 B/op\t  143654 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line rejected")
+	}
+	if rec.Name != "BenchmarkCSRShortest/csr-4" || rec.Iterations != 48 {
+		t.Fatalf("bad header fields: %+v", rec)
+	}
+	if rec.NsPerOp != 24038435 {
+		t.Fatalf("ns/op = %v", rec.NsPerOp)
+	}
+	if rec.BytesPerOp == nil || *rec.BytesPerOp != 18760346 {
+		t.Fatalf("B/op = %v", rec.BytesPerOp)
+	}
+	if rec.AllocsPerOp == nil || *rec.AllocsPerOp != 143654 {
+		t.Fatalf("allocs/op = %v", rec.AllocsPerOp)
+	}
+
+	if rec, ok := parseLine("BenchmarkParse-4  1000  523 ns/op"); !ok || rec.BytesPerOp != nil {
+		t.Fatalf("plain ns/op line: ok=%v rec=%+v", ok, rec)
+	}
+	for _, line := range []string{
+		"", "PASS", "ok  \tgcore\t8.2s",
+		"goos: linux", "cpu: Intel",
+		"Benchmark", "BenchmarkX notanumber 5 ns/op",
+		"BenchmarkX 5 bad ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("non-benchmark line accepted: %q", line)
+		}
+	}
+}

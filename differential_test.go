@@ -1,0 +1,139 @@
+package gcore_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"gcore"
+	"gcore/internal/core"
+	"gcore/internal/parser"
+	"gcore/internal/repro"
+	"gcore/internal/rpq"
+)
+
+// Differential tests between the CSR evaluation path (the default)
+// and the legacy map-based path (core.DisableCSR + rpq.UseLegacy).
+// Every paper example and a set of SNB-toy queries must produce
+// byte-identical serialized results under both paths, sequentially
+// and in parallel — the CSR snapshot layer is a pure performance
+// optimisation with no observable behaviour of its own.
+
+// renderResult serializes a query outcome deterministically: the
+// table rendering, the graph's canonical JSON, or the error text.
+func renderResult(res *gcore.Result, err error) string {
+	if err != nil {
+		return "ERR: " + err.Error()
+	}
+	out := ""
+	if res.Table != nil {
+		out += "TABLE\n" + res.Table.String()
+	}
+	if res.Graph != nil {
+		data, jerr := res.Graph.MarshalJSON()
+		if jerr != nil {
+			return "MARSHAL-ERR: " + jerr.Error()
+		}
+		out += "GRAPH\n" + string(data)
+	}
+	return out
+}
+
+// evalConfigured runs one query on a fresh engine built by setup,
+// with the CSR path on or off and the given worker count.
+func evalConfigured(t *testing.T, setup func(t *testing.T) *gcore.Engine, query string, legacy bool, workers int) string {
+	t.Helper()
+	core.DisableCSR = legacy
+	rpq.UseLegacy = legacy
+	defer func() {
+		core.DisableCSR = false
+		rpq.UseLegacy = false
+	}()
+	eng := setup(t)
+	eng.SetParallelism(workers)
+	res, err := eng.Eval(query)
+	return renderResult(res, err)
+}
+
+// tourEngine builds the guided-tour toy database.
+func tourEngine(t *testing.T) *gcore.Engine {
+	t.Helper()
+	eng, err := repro.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// snbQueries returns an SNB toy engine setup and the query set
+// exercising the hot kernels: indexed scans, multi-hop joins,
+// reachability, stored shortest paths and weighted view search.
+func snbQueries() (func(t *testing.T) *gcore.Engine, []string) {
+	setup := func(t *testing.T) *gcore.Engine {
+		t.Helper()
+		eng := gcore.NewEngine()
+		social, _ := eng.GenerateSNB(gcore.SNBConfig{Persons: 60, Seed: 1})
+		if err := eng.RegisterGraph(social); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.SetDefaultGraph(social.Name()); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	queries := []string{
+		`SELECT c.name AS name MATCH (c:City) ORDER BY name`,
+		`SELECT n.firstName AS a, m.firstName AS b
+MATCH (n:Person)-[:knows]->(m:Person)-[:isLocatedIn]->(c:City)
+WHERE c.name = 'City0' ORDER BY a, b`,
+		`CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) WHERE n.anchor = TRUE`,
+		`CONSTRUCT (n)-/@p:reach/->(m)
+MATCH (n:Person)-/p<:knows*>/->(m:Person) WHERE n.anchor = TRUE`,
+		`CONSTRUCT (n)-[e]->(m) SET e.nr_messages := COUNT(*)
+MATCH (n)-[e:knows]->(m) WHERE (n:Person) AND (m:Person)`,
+		`SELECT n.firstName AS a, m.firstName AS b
+MATCH (n:Person)<-[:has_creator]-(msg:Post|Comment)-[:has_creator]->(m:Person)
+ORDER BY a, b`,
+	}
+	return setup, queries
+}
+
+// TestCSRDifferentialPaper: every paper example query renders
+// byte-identically with and without the CSR kernels, sequentially and
+// in parallel.
+func TestCSRDifferentialPaper(t *testing.T) {
+	keys := make([]string, 0, len(parser.PaperQueries))
+	for k := range parser.PaperQueries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		query := parser.PaperQueries[key]
+		t.Run(key, func(t *testing.T) {
+			for _, workers := range []int{1, 0} {
+				want := evalConfigured(t, tourEngine, query, true, workers)
+				got := evalConfigured(t, tourEngine, query, false, workers)
+				if got != want {
+					t.Fatalf("workers=%d: CSR result diverged from legacy\ncsr:\n%s\nlegacy:\n%s", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCSRDifferentialSNB: the same byte-identity on the synthetic SNB
+// toy graph.
+func TestCSRDifferentialSNB(t *testing.T) {
+	setup, queries := snbQueries()
+	for i, query := range queries {
+		t.Run(fmt.Sprintf("q%d", i), func(t *testing.T) {
+			for _, workers := range []int{1, 0} {
+				want := evalConfigured(t, setup, query, true, workers)
+				got := evalConfigured(t, setup, query, false, workers)
+				if got != want {
+					t.Fatalf("workers=%d: CSR result diverged from legacy\ncsr:\n%s\nlegacy:\n%s", workers, got, want)
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"gcore"
+	"gcore/internal/csr"
 	"gcore/internal/parser"
 	"gcore/internal/repro"
 )
@@ -57,6 +58,96 @@ func FuzzParse(f *testing.F) {
 		}
 		if again.String() != printed {
 			t.Fatalf("printing is not a fixpoint:\nfirst: %q\nsecond: %q", printed, again.String())
+		}
+	})
+}
+
+// FuzzSnapshot drives the CSR remap boundary with random graph
+// shapes: for any graph, Snapshot() ordinals must round-trip through
+// identifiers, adjacency must agree with the ppg maps edge for edge
+// (in order), and label membership must agree with the string sets.
+func FuzzSnapshot(f *testing.F) {
+	f.Add(uint32(1), uint8(8), uint8(12))
+	f.Add(uint32(42), uint8(1), uint8(0))
+	f.Add(uint32(7), uint8(40), uint8(90))
+	f.Fuzz(func(t *testing.T, seed uint32, nNodes, nEdges uint8) {
+		g := gcore.NewGraph("fuzz")
+		labels := []string{"A", "B", "C", "knows", "likes"}
+		rnd := seed
+		next := func(mod int) int {
+			// xorshift: deterministic, no time dependence
+			rnd ^= rnd << 13
+			rnd ^= rnd >> 17
+			rnd ^= rnd << 5
+			return int(rnd % uint32(mod))
+		}
+		var ids []gcore.NodeID
+		for i := 0; i < int(nNodes); i++ {
+			id := gcore.NodeID(next(1000))
+			ls := gcore.NewLabels()
+			if next(2) == 0 {
+				ls = gcore.NewLabels(labels[next(len(labels))])
+			}
+			if g.AddNode(&gcore.Node{ID: id, Labels: ls}) == nil {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) > 0 {
+			for i := 0; i < int(nEdges); i++ {
+				e := &gcore.Edge{
+					ID:  gcore.EdgeID(10_000 + next(10_000)),
+					Src: ids[next(len(ids))], Dst: ids[next(len(ids))],
+					Labels: gcore.NewLabels(labels[next(len(labels))]),
+				}
+				_ = g.AddEdge(e)
+			}
+		}
+
+		s := csr.Of(g)
+		if s.NumNodes() != g.NumNodes() || s.NumEdges() != g.NumEdges() {
+			t.Fatalf("snapshot size mismatch: %d/%d nodes, %d/%d edges",
+				s.NumNodes(), g.NumNodes(), s.NumEdges(), g.NumEdges())
+		}
+		for u := int32(0); u < int32(s.NumNodes()); u++ {
+			id := s.NodeID(u)
+			back, ok := s.Ord(id)
+			if !ok || back != u {
+				t.Fatalf("ordinal %d → id %d → ordinal %d (%v): round trip broken", u, id, back, ok)
+			}
+			out := g.OutEdges(id)
+			if len(out) != len(s.Out(u)) {
+				t.Fatalf("out degree of #%d: csr %d, ppg %d", id, len(s.Out(u)), len(out))
+			}
+			for i, eo := range s.Out(u) {
+				if s.EdgeID(eo) != out[i] {
+					t.Fatalf("out adjacency of #%d diverges at %d: csr #%d, ppg #%d", id, i, s.EdgeID(eo), out[i])
+				}
+			}
+			in := g.InEdges(id)
+			if len(in) != len(s.In(u)) {
+				t.Fatalf("in degree of #%d: csr %d, ppg %d", id, len(s.In(u)), len(in))
+			}
+			for i, eo := range s.In(u) {
+				if s.EdgeID(eo) != in[i] {
+					t.Fatalf("in adjacency of #%d diverges at %d: csr #%d, ppg #%d", id, i, s.EdgeID(eo), in[i])
+				}
+			}
+			nd, _ := g.Node(id)
+			for _, l := range labels {
+				if s.NodeHasLabel(u, s.LabelID(l)) != nd.Labels.Has(l) {
+					t.Fatalf("label %q membership of #%d diverges", l, id)
+				}
+			}
+		}
+		for e := int32(0); e < int32(s.NumEdges()); e++ {
+			eo, ok := s.EdgeOrd(s.EdgeID(e))
+			if !ok || eo != e {
+				t.Fatalf("edge ordinal %d round trip broken", e)
+			}
+			ed, _ := g.Edge(s.EdgeID(e))
+			if s.NodeID(s.Src(e)) != ed.Src || s.NodeID(s.Dst(e)) != ed.Dst {
+				t.Fatalf("edge #%d endpoints diverge", ed.ID)
+			}
 		}
 	})
 }

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"sort"
+
+	"gcore/internal/ast"
+	"gcore/internal/bindings"
+	"gcore/internal/csr"
+	"gcore/internal/ppg"
+	"gcore/internal/value"
+)
+
+// CSR pattern kernels. scanNodes, extendEdge and the pushdown label
+// fast path run over the graph's CSR snapshot: dense node/edge
+// ordinals, flat adjacency arrays and interned integer labels replace
+// the map probes and string comparisons of the ppg layout. Candidate
+// order, edge iteration order and every accept/reject decision mirror
+// the legacy code exactly, so the binding tables are identical row
+// for row; the differential tests at the repository root enforce
+// this against the DisableCSR ablation.
+
+// DisableCSR turns the CSR kernels off, evaluating patterns and path
+// searches over the mutable ppg maps directly. Results are identical
+// either way (tested); the knob exists for differential tests and
+// ablation benchmarks.
+var DisableCSR bool
+
+// snapOf returns the graph's snapshot, or nil when CSR evaluation is
+// disabled. The snapshot is cached per generation inside the graph,
+// so repeated calls during one evaluation are cheap.
+func (c *evalCtx) snapOf(g *ppg.Graph) *csr.Snapshot {
+	if DisableCSR {
+		return nil
+	}
+	return csr.Of(g)
+}
+
+// resolvedSpec is a label spec with every name interned against one
+// snapshot. Labels absent from the snapshot resolve to csr.NoLabel,
+// which no element can carry — exactly the legacy "no node has this
+// label" outcome.
+type resolvedSpec [][]int32
+
+func resolveSpec(snap *csr.Snapshot, spec ast.LabelSpec) resolvedSpec {
+	rs := make(resolvedSpec, len(spec))
+	for i, disj := range spec {
+		lids := make([]int32, len(disj))
+		for j, l := range disj {
+			lids[j] = snap.LabelID(l)
+		}
+		rs[i] = lids
+	}
+	return rs
+}
+
+func (rs resolvedSpec) matchesNode(snap *csr.Snapshot, u int32) bool {
+	for _, disj := range rs {
+		found := false
+		for _, lid := range disj {
+			if snap.NodeHasLabel(u, lid) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func (rs resolvedSpec) matchesEdge(snap *csr.Snapshot, e int32) bool {
+	for _, disj := range rs {
+		found := false
+		for _, lid := range disj {
+			if snap.EdgeHasLabel(e, lid) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// indexedNodeOrdinals is indexedNodeCandidates over the snapshot's
+// per-label partitions: the most selective conjunct yields the sorted
+// candidate ordinals.
+func indexedNodeOrdinals(snap *csr.Snapshot, rs resolvedSpec) ([]int32, bool) {
+	if len(rs) == 0 {
+		return nil, false
+	}
+	best := -1
+	bestSize := 0
+	for i, disj := range rs {
+		size := 0
+		for _, lid := range disj {
+			size += len(snap.NodesWithLabel(lid))
+		}
+		if best == -1 || size < bestSize {
+			best, bestSize = i, size
+		}
+	}
+	disj := rs[best]
+	if len(disj) == 1 {
+		return snap.NodesWithLabel(disj[0]), true
+	}
+	set := map[int32]bool{}
+	for _, lid := range disj {
+		for _, u := range snap.NodesWithLabel(lid) {
+			set[u] = true
+		}
+	}
+	out := make([]int32, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}
+
+// scanNodesCSR is the snapshot form of scanNodes: candidates come
+// from the ordinal partitions (or the full ordinal range), label
+// conjuncts are integer tests, and only property checks touch the
+// live ppg structs.
+func (c *evalCtx) scanNodesCSR(snap *csr.Snapshot, g *ppg.Graph, np *ast.NodePattern, varName string) (*bindings.Table, error) {
+	vars := []string{varName}
+	for _, ps := range np.Props {
+		if ps.Mode == ast.PropBind {
+			vars = append(vars, ps.Var)
+		}
+	}
+	tbl := bindings.EmptyTable(vars...)
+	rs := resolveSpec(snap, np.Labels)
+	ords, indexed := indexedNodeOrdinals(snap, rs)
+	if !indexed {
+		ords = make([]int32, snap.NumNodes())
+		for i := range ords {
+			ords[i] = int32(i)
+		}
+	}
+	parts, err := c.mapRows(len(ords), specsParallelSafe(np.Props), func(lo, hi int) ([]bindings.Binding, error) {
+		var rows []bindings.Binding
+		for _, u := range ords[lo:hi] {
+			if !rs.matchesNode(snap, u) {
+				continue
+			}
+			n := snap.Node(u)
+			ok, err := c.propsMatch(g, n.Props, np.Props)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			base := bindings.Binding{varName: value.NodeRef(uint64(snap.NodeID(u)))}
+			rows = append(rows, bindProps(n.Props, np.Props, base)...)
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range parts {
+		for _, row := range part {
+			tbl.Add(row)
+		}
+	}
+	return tbl, nil
+}
+
+// extendEdgeCSR is the snapshot form of extendEdge: adjacency walks
+// the flat CSR arrays and the label tests are integer comparisons, in
+// the same deterministic order (out ascending, then in ascending,
+// self-loops emitted once under DirBoth).
+func (c *evalCtx) extendEdgeCSR(snap *csr.Snapshot, g *ppg.Graph, tbl *bindings.Table, leftVar string, ep *ast.EdgePattern, edgeVar string, rightNp *ast.NodePattern, rightVar string) (*bindings.Table, error) {
+	vars := append(tbl.Vars(), edgeVar, rightVar)
+	for _, ps := range ep.Props {
+		if ps.Mode == ast.PropBind {
+			vars = append(vars, ps.Var)
+		}
+	}
+	for _, ps := range rightNp.Props {
+		if ps.Mode == ast.PropBind {
+			vars = append(vars, ps.Var)
+		}
+	}
+	out := bindings.EmptyTable(vars...)
+	eSpec := resolveSpec(snap, ep.Labels)
+	nSpec := resolveSpec(snap, rightNp.Labels)
+
+	expandRow := func(row bindings.Binding, acc []bindings.Binding) ([]bindings.Binding, error) {
+		uid, ok := nodeOf(row[leftVar])
+		if !ok {
+			return acc, nil
+		}
+		u, ok := snap.Ord(uid)
+		if !ok {
+			return acc, nil
+		}
+		emit := func(eo, otherOrd int32) error {
+			if !eSpec.matchesEdge(snap, eo) {
+				return nil
+			}
+			e := snap.Edge(eo)
+			if ok, err := c.propsMatch(g, e.Props, ep.Props); err != nil || !ok {
+				return err
+			}
+			if prev, bound := row[edgeVar]; bound && !value.Equal(prev, value.EdgeRef(uint64(e.ID))) {
+				return nil
+			}
+			other := snap.NodeID(otherOrd)
+			if prev, bound := row[rightVar]; bound {
+				if pid, isNode := nodeOf(prev); !isNode || pid != other {
+					return nil
+				}
+			}
+			if !nSpec.matchesNode(snap, otherOrd) {
+				return nil
+			}
+			on := snap.Node(otherOrd)
+			if ok, err := c.propsMatch(g, on.Props, rightNp.Props); err != nil || !ok {
+				return err
+			}
+			base := row.Clone()
+			base[edgeVar] = value.EdgeRef(uint64(e.ID))
+			base[rightVar] = value.NodeRef(uint64(other))
+			for _, r := range bindProps(e.Props, ep.Props, base) {
+				acc = append(acc, bindProps(on.Props, rightNp.Props, r)...)
+			}
+			return nil
+		}
+		if ep.Dir == ast.DirOut || ep.Dir == ast.DirBoth {
+			for _, eo := range snap.Out(u) {
+				if err := emit(eo, snap.Dst(eo)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if ep.Dir == ast.DirIn || ep.Dir == ast.DirBoth {
+			for _, eo := range snap.In(u) {
+				if ep.Dir == ast.DirBoth && snap.Src(eo) == snap.Dst(eo) {
+					continue // self-loop already emitted by the out pass
+				}
+				if err := emit(eo, snap.Src(eo)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return acc, nil
+	}
+
+	rows := tbl.Rows()
+	safe := specsParallelSafe(ep.Props) && specsParallelSafe(rightNp.Props)
+	parts, err := c.mapRows(len(rows), safe, func(lo, hi int) ([]bindings.Binding, error) {
+		var acc []bindings.Binding
+		var err error
+		for _, row := range rows[lo:hi] {
+			acc, err = expandRow(row, acc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range parts {
+		for _, r := range part {
+			out.Add(r)
+		}
+	}
+	return out, nil
+}
+
+// labelTestFast answers a pushed-down label test (x:A|B) on one row
+// through the snapshot when the referenced element belongs to the
+// pattern graph: an interned-label membership probe instead of a full
+// expression evaluation. handled is false when the row's value is a
+// ref the snapshot does not know (another graph's element, a path) —
+// the caller falls back to the interpreter, which searches all graphs
+// in scope.
+func labelTestFast(snap *csr.Snapshot, lids []int32, v value.Value, bound bool) (pass, handled bool) {
+	if !bound || !v.IsRef() {
+		return false, true // unbound or non-ref: the interpreter yields FALSE
+	}
+	id, _ := v.RefID()
+	switch v.Kind() {
+	case value.KindNode:
+		if u, ok := snap.Ord(ppg.NodeID(id)); ok {
+			for _, lid := range lids {
+				if snap.NodeHasLabel(u, lid) {
+					return true, true
+				}
+			}
+			return false, true
+		}
+	case value.KindEdge:
+		if e, ok := snap.EdgeOrd(ppg.EdgeID(id)); ok {
+			for _, lid := range lids {
+				if snap.EdgeHasLabel(e, lid) {
+					return true, true
+				}
+			}
+			return false, true
+		}
+	}
+	return false, false
+}

@@ -329,6 +329,9 @@ func (c *evalCtx) scanNodes(g *ppg.Graph, np *ast.NodePattern, varName string) (
 	if np.Copy {
 		return nil, errf("the copy form (=%s) is only allowed in CONSTRUCT", np.Var)
 	}
+	if snap := c.snapOf(g); snap != nil {
+		return c.scanNodesCSR(snap, g, np, varName)
+	}
 	vars := []string{varName}
 	for _, ps := range np.Props {
 		if ps.Mode == ast.PropBind {
@@ -372,6 +375,9 @@ func (c *evalCtx) scanNodes(g *ppg.Graph, np *ast.NodePattern, varName string) (
 func (c *evalCtx) extendEdge(g *ppg.Graph, tbl *bindings.Table, leftVar string, ep *ast.EdgePattern, edgeVar string, rightNp *ast.NodePattern, rightVar string) (*bindings.Table, error) {
 	if ep.Copy {
 		return nil, errf("the copy form [=%s] is only allowed in CONSTRUCT", ep.Var)
+	}
+	if snap := c.snapOf(g); snap != nil {
+		return c.extendEdgeCSR(snap, g, tbl, leftVar, ep, edgeVar, rightNp, rightVar)
 	}
 	vars := append(tbl.Vars(), edgeVar, rightVar)
 	for _, ps := range ep.Props {

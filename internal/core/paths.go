@@ -369,7 +369,13 @@ func (c *evalCtx) extendPath(s *scope, g *ppg.Graph, tbl *bindings.Table, leftVa
 		}
 		nfas = []*rpq.NFA{fwd, bwd}
 	}
-	eng := rpq.NewEngine(g, &viewAdapter{c: c, s: s, g: g})
+	views := &viewAdapter{c: c, s: s, g: g}
+	var eng *rpq.Engine
+	if DisableCSR {
+		eng = rpq.NewLegacyEngine(g, views)
+	} else {
+		eng = rpq.NewEngine(g, views)
+	}
 
 	vars := append(tbl.Vars(), rightVar)
 	if pp.Mode != ast.PathReach {

@@ -146,6 +146,27 @@ func (c *evalCtx) applyReady(conjs []*conjunct, tbl *bindings.Table, g *ppg.Grap
 	if len(ready) == 0 {
 		return tbl, nil
 	}
+	// Label tests (x:A|B) over the pattern graph short-circuit to an
+	// interned-label probe on the CSR snapshot; every other conjunct —
+	// and any ref the snapshot does not know — goes through the
+	// interpreter as before.
+	snap := c.snapOf(g)
+	type labelFast struct {
+		v    string
+		lids []int32
+	}
+	fasts := make([]*labelFast, len(ready))
+	if snap != nil {
+		for i, cj := range ready {
+			if lt, ok := cj.expr.(*ast.LabelTest); ok {
+				lids := make([]int32, len(lt.Labels))
+				for j, l := range lt.Labels {
+					lids[j] = snap.LabelID(l)
+				}
+				fasts[i] = &labelFast{v: lt.Var, lids: lids}
+			}
+		}
+	}
 	// Pushable conjuncts are subquery-free, so rows can be filtered
 	// concurrently; each chunk gets its own environment (env.row is
 	// mutated per row) and chunk results merge in input order.
@@ -156,7 +177,16 @@ func (c *evalCtx) applyReady(conjs []*conjunct, tbl *bindings.Table, g *ppg.Grap
 	next:
 		for _, b := range rows[lo:hi] {
 			env.row = b
-			for _, cj := range ready {
+			for i, cj := range ready {
+				if f := fasts[i]; f != nil {
+					v, bound := b[f.v]
+					if pass, handled := labelTestFast(snap, f.lids, v, bound); handled {
+						if !pass {
+							continue next
+						}
+						continue
+					}
+				}
 				v, err := env.eval(cj.expr)
 				if err != nil {
 					return nil, err

@@ -1,0 +1,324 @@
+// Package csr provides an immutable, cache-friendly snapshot of a
+// Path Property Graph in compressed-sparse-row form. The ppg.Graph of
+// the data model is optimised for mutation: nodes and edges live in
+// maps, adjacency in per-node slices, labels as sorted string sets.
+// That layout makes every hot-loop step of pattern matching and path
+// search a pointer chase — a map probe per node, a string comparison
+// per label test. The snapshot re-materialises the same graph as flat
+// arrays over dense ordinals:
+//
+//	ordinal u ∈ [0, NumNodes)   nodes, ascending by ppg.NodeID
+//	ordinal e ∈ [0, NumEdges)   edges, ascending by ppg.EdgeID
+//
+// with out/in adjacency as offset+target arrays (CSR, both
+// directions), label sets interned to small integer identifiers, and
+// per-label node/edge partitions for indexed scans. Because ordinals
+// ascend with identifiers, iterating a CSR range visits elements in
+// exactly the order the ppg iteration does — the deterministic
+// evaluation order is preserved by construction.
+//
+// Snapshots are immutable and generation-tagged: ppg.Graph counts its
+// structural mutations, and Of serves the cached snapshot only while
+// the generation matches, rebuilding otherwise. Property maps are NOT
+// copied — the snapshot holds the live *ppg.Node/*ppg.Edge pointers,
+// so property reads always see current values (property mutation does
+// not change structure and needs no invalidation).
+package csr
+
+import (
+	"sort"
+
+	"gcore/internal/ppg"
+)
+
+// NoLabel is returned by LabelID for a label no element carries: no
+// node or edge can match it in this snapshot.
+const NoLabel int32 = -1
+
+// Snapshot is the CSR image of one graph at one generation.
+type Snapshot struct {
+	gen uint64
+
+	// Node columns, indexed by node ordinal.
+	nodeIDs []ppg.NodeID
+	nodes   []*ppg.Node
+	ord     map[ppg.NodeID]int32
+
+	// Edge columns, indexed by edge ordinal.
+	edgeIDs []ppg.EdgeID
+	edges   []*ppg.Edge
+	edgeOrd map[ppg.EdgeID]int32
+	edgeSrc []int32
+	edgeDst []int32
+
+	// Adjacency, CSR in both directions: the out-edges of node ordinal
+	// u are outList[outOff[u]:outOff[u+1]] (edge ordinals, ascending —
+	// i.e. ascending ppg.EdgeID, matching ppg.Graph.OutEdges order).
+	outOff  []int32
+	outList []int32
+	inOff   []int32
+	inList  []int32
+
+	// Label interning: names sorted ascending, so label identifiers
+	// are deterministic for a given graph.
+	labelNames []string
+	labelOf    map[string]int32
+
+	// Per-element label sets as CSR over interned identifiers, sorted
+	// within each element.
+	nodeLabelOff []int32
+	nodeLabelIDs []int32
+	edgeLabelOff []int32
+	edgeLabelIDs []int32
+
+	// Per-label partitions: sorted ordinals of the elements carrying
+	// the label.
+	nodesByLabel [][]int32
+	edgesByLabel [][]int32
+}
+
+// Of returns the snapshot of g at its current generation, building it
+// on first use and reusing the cached build until g mutates. Safe for
+// concurrent readers.
+func Of(g *ppg.Graph) *Snapshot {
+	return g.Snapshot(func() any { return Build(g) }).(*Snapshot)
+}
+
+// Build constructs a fresh snapshot of g, bypassing the cache.
+func Build(g *ppg.Graph) *Snapshot {
+	s := &Snapshot{gen: g.Generation()}
+
+	s.nodeIDs = g.NodeIDs()
+	n := len(s.nodeIDs)
+	s.nodes = make([]*ppg.Node, n)
+	s.ord = make(map[ppg.NodeID]int32, n)
+	for i, id := range s.nodeIDs {
+		nd, _ := g.Node(id)
+		s.nodes[i] = nd
+		s.ord[id] = int32(i)
+	}
+
+	s.edgeIDs = g.EdgeIDs()
+	m := len(s.edgeIDs)
+	s.edges = make([]*ppg.Edge, m)
+	s.edgeOrd = make(map[ppg.EdgeID]int32, m)
+	s.edgeSrc = make([]int32, m)
+	s.edgeDst = make([]int32, m)
+	for i, id := range s.edgeIDs {
+		ed, _ := g.Edge(id)
+		s.edges[i] = ed
+		s.edgeOrd[id] = int32(i)
+		s.edgeSrc[i] = s.ord[ed.Src]
+		s.edgeDst[i] = s.ord[ed.Dst]
+	}
+
+	s.internLabels()
+	s.buildAdjacency(n, m)
+	s.buildPartitions()
+	return s
+}
+
+// internLabels assigns dense identifiers to every label in use,
+// ascending by name, and encodes each element's label set as sorted
+// interned identifiers.
+func (s *Snapshot) internLabels() {
+	seen := map[string]bool{}
+	for _, nd := range s.nodes {
+		for _, l := range nd.Labels {
+			seen[l] = true
+		}
+	}
+	for _, ed := range s.edges {
+		for _, l := range ed.Labels {
+			seen[l] = true
+		}
+	}
+	s.labelNames = make([]string, 0, len(seen))
+	for l := range seen {
+		s.labelNames = append(s.labelNames, l)
+	}
+	sort.Strings(s.labelNames)
+	s.labelOf = make(map[string]int32, len(s.labelNames))
+	for i, l := range s.labelNames {
+		s.labelOf[l] = int32(i)
+	}
+
+	encode := func(count int, labels func(int) ppg.Labels) ([]int32, []int32) {
+		off := make([]int32, count+1)
+		total := 0
+		for i := 0; i < count; i++ {
+			total += len(labels(i))
+		}
+		ids := make([]int32, 0, total)
+		for i := 0; i < count; i++ {
+			off[i] = int32(len(ids))
+			ls := labels(i)
+			// ppg.Labels is sorted by name and interned identifiers
+			// ascend with names, so the encoded run is already sorted.
+			for _, l := range ls {
+				ids = append(ids, s.labelOf[l])
+			}
+		}
+		off[count] = int32(len(ids))
+		return off, ids
+	}
+	s.nodeLabelOff, s.nodeLabelIDs = encode(len(s.nodes), func(i int) ppg.Labels { return s.nodes[i].Labels })
+	s.edgeLabelOff, s.edgeLabelIDs = encode(len(s.edges), func(i int) ppg.Labels { return s.edges[i].Labels })
+}
+
+// buildAdjacency fills the two CSR directions by counting degrees and
+// then appending edge ordinals in ascending order — each per-node run
+// therefore ascends by ppg.EdgeID, reproducing ppg adjacency order.
+func (s *Snapshot) buildAdjacency(n, m int) {
+	s.outOff = make([]int32, n+1)
+	s.inOff = make([]int32, n+1)
+	for e := 0; e < m; e++ {
+		s.outOff[s.edgeSrc[e]+1]++
+		s.inOff[s.edgeDst[e]+1]++
+	}
+	for u := 0; u < n; u++ {
+		s.outOff[u+1] += s.outOff[u]
+		s.inOff[u+1] += s.inOff[u]
+	}
+	s.outList = make([]int32, m)
+	s.inList = make([]int32, m)
+	outNext := make([]int32, n)
+	inNext := make([]int32, n)
+	copy(outNext, s.outOff[:n])
+	copy(inNext, s.inOff[:n])
+	for e := 0; e < m; e++ {
+		u, v := s.edgeSrc[e], s.edgeDst[e]
+		s.outList[outNext[u]] = int32(e)
+		outNext[u]++
+		s.inList[inNext[v]] = int32(e)
+		inNext[v]++
+	}
+}
+
+// buildPartitions groups node and edge ordinals per interned label.
+// Iterating ordinals ascending keeps each partition sorted.
+func (s *Snapshot) buildPartitions() {
+	s.nodesByLabel = make([][]int32, len(s.labelNames))
+	s.edgesByLabel = make([][]int32, len(s.labelNames))
+	for u := range s.nodes {
+		for _, lid := range s.nodeLabelIDs[s.nodeLabelOff[u]:s.nodeLabelOff[u+1]] {
+			s.nodesByLabel[lid] = append(s.nodesByLabel[lid], int32(u))
+		}
+	}
+	for e := range s.edges {
+		for _, lid := range s.edgeLabelIDs[s.edgeLabelOff[e]:s.edgeLabelOff[e+1]] {
+			s.edgesByLabel[lid] = append(s.edgesByLabel[lid], int32(e))
+		}
+	}
+}
+
+// Generation returns the graph generation the snapshot was built at.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// NumNodes returns the number of nodes (the ordinal range).
+func (s *Snapshot) NumNodes() int { return len(s.nodeIDs) }
+
+// NumEdges returns the number of edges.
+func (s *Snapshot) NumEdges() int { return len(s.edgeIDs) }
+
+// NumLabels returns the number of distinct labels in use.
+func (s *Snapshot) NumLabels() int { return len(s.labelNames) }
+
+// Ord maps a node identifier to its dense ordinal.
+func (s *Snapshot) Ord(id ppg.NodeID) (int32, bool) {
+	u, ok := s.ord[id]
+	return u, ok
+}
+
+// NodeID maps a node ordinal back to its identifier.
+func (s *Snapshot) NodeID(u int32) ppg.NodeID { return s.nodeIDs[u] }
+
+// Node returns the node at an ordinal. The pointer aliases the live
+// graph: labels must be read through the snapshot (they are frozen at
+// build time), properties through the pointer (always current).
+func (s *Snapshot) Node(u int32) *ppg.Node { return s.nodes[u] }
+
+// EdgeID maps an edge ordinal back to its identifier.
+func (s *Snapshot) EdgeID(e int32) ppg.EdgeID { return s.edgeIDs[e] }
+
+// EdgeOrd maps an edge identifier to its dense ordinal.
+func (s *Snapshot) EdgeOrd(id ppg.EdgeID) (int32, bool) {
+	e, ok := s.edgeOrd[id]
+	return e, ok
+}
+
+// Edge returns the edge at an ordinal (live pointer, as with Node).
+func (s *Snapshot) Edge(e int32) *ppg.Edge { return s.edges[e] }
+
+// Src returns the source-node ordinal of an edge ordinal.
+func (s *Snapshot) Src(e int32) int32 { return s.edgeSrc[e] }
+
+// Dst returns the destination-node ordinal of an edge ordinal.
+func (s *Snapshot) Dst(e int32) int32 { return s.edgeDst[e] }
+
+// Out returns the out-edge ordinals of node ordinal u, ascending by
+// edge identifier. The slice aliases the snapshot and is read-only.
+func (s *Snapshot) Out(u int32) []int32 { return s.outList[s.outOff[u]:s.outOff[u+1]] }
+
+// In returns the in-edge ordinals of node ordinal u, ascending by edge
+// identifier, read-only.
+func (s *Snapshot) In(u int32) []int32 { return s.inList[s.inOff[u]:s.inOff[u+1]] }
+
+// LabelID resolves a label name to its interned identifier, or NoLabel
+// if no element of the snapshot carries it.
+func (s *Snapshot) LabelID(name string) int32 {
+	if id, ok := s.labelOf[name]; ok {
+		return id
+	}
+	return NoLabel
+}
+
+// LabelName resolves an interned identifier back to its name.
+func (s *Snapshot) LabelName(id int32) string { return s.labelNames[id] }
+
+// NodeHasLabel reports whether the node at ordinal u carries the
+// interned label. Label runs are short sorted slices; a linear scan
+// with early exit beats binary search at these sizes.
+func (s *Snapshot) NodeHasLabel(u, lid int32) bool {
+	for _, l := range s.nodeLabelIDs[s.nodeLabelOff[u]:s.nodeLabelOff[u+1]] {
+		if l == lid {
+			return true
+		}
+		if l > lid {
+			return false
+		}
+	}
+	return false
+}
+
+// EdgeHasLabel reports whether the edge at ordinal e carries the
+// interned label.
+func (s *Snapshot) EdgeHasLabel(e, lid int32) bool {
+	for _, l := range s.edgeLabelIDs[s.edgeLabelOff[e]:s.edgeLabelOff[e+1]] {
+		if l == lid {
+			return true
+		}
+		if l > lid {
+			return false
+		}
+	}
+	return false
+}
+
+// NodesWithLabel returns the sorted node ordinals carrying the
+// interned label (read-only; nil for NoLabel).
+func (s *Snapshot) NodesWithLabel(lid int32) []int32 {
+	if lid < 0 || int(lid) >= len(s.nodesByLabel) {
+		return nil
+	}
+	return s.nodesByLabel[lid]
+}
+
+// EdgesWithLabel returns the sorted edge ordinals carrying the
+// interned label (read-only; nil for NoLabel).
+func (s *Snapshot) EdgesWithLabel(lid int32) []int32 {
+	if lid < 0 || int(lid) >= len(s.edgesByLabel) {
+		return nil
+	}
+	return s.edgesByLabel[lid]
+}

@@ -131,7 +131,7 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 			return err
 		}
 	}
-	*g = *out
+	g.replace(out)
 	return nil
 }
 

@@ -15,6 +15,7 @@ package ppg
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"gcore/internal/value"
 )
@@ -249,6 +250,20 @@ type Graph struct {
 	// elements in the same ascending order as full scans.
 	nodesByLabel map[string][]NodeID
 	edgesByLabel map[string][]EdgeID
+
+	// gen counts structural mutations (nodes, edges, paths, labels).
+	// Derived read-only structures — the CSR snapshot of internal/csr
+	// — are tagged with the generation they were built at, so a stale
+	// one is never served after a mutation.
+	gen uint64
+
+	// Generation-tagged snapshot cache. The cached value is opaque to
+	// ppg (internal/csr stores its Snapshot here; keeping the type
+	// abstract avoids an import cycle between the data model and its
+	// derived layouts).
+	snapMu  sync.Mutex
+	snapGen uint64
+	snapVal any
 }
 
 // New creates an empty graph with the given name.
@@ -267,6 +282,50 @@ func New(name string) *Graph {
 
 // Name returns the graph's name (the gid it is registered under).
 func (g *Graph) Name() string { return g.name }
+
+// Generation returns the structural mutation counter. It increases on
+// every successful AddNode/AddEdge/AddPath/SetNodeLabels/SetEdgeLabels
+// (and therefore on the graphs the set operations build, which insert
+// element by element). Derived structures built at generation G are
+// valid exactly while Generation() == G.
+func (g *Graph) Generation() uint64 { return g.gen }
+
+// bump invalidates derived structures after a structural mutation.
+func (g *Graph) bump() { g.gen++ }
+
+// Snapshot returns the value cached for the current generation,
+// building and caching it via build on a miss. It is safe for
+// concurrent readers; the build function runs under the cache lock, so
+// concurrent first readers share one build. Mutating the graph bumps
+// the generation and makes the cached value unreachable — a stale
+// snapshot is never served.
+func (g *Graph) Snapshot(build func() any) any {
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	if g.snapVal != nil && g.snapGen == g.gen {
+		return g.snapVal
+	}
+	g.snapVal = build()
+	g.snapGen = g.gen
+	return g.snapVal
+}
+
+// replace moves out's contents into g field by field, leaving g's
+// snapshot-cache lock in place (a whole-struct copy would copy the
+// mutex). Any snapshot cached for g's previous contents is dropped.
+func (g *Graph) replace(out *Graph) {
+	g.name = out.name
+	g.nodes = out.nodes
+	g.edges = out.edges
+	g.paths = out.paths
+	g.out = out.out
+	g.in = out.in
+	g.nodesByLabel = out.nodesByLabel
+	g.edgesByLabel = out.edgesByLabel
+	g.gen = out.gen
+	g.snapGen = 0
+	g.snapVal = nil
+}
 
 // SetName renames the graph.
 func (g *Graph) SetName(name string) { g.name = name }
@@ -297,6 +356,7 @@ func (g *Graph) AddNode(n *Node) error {
 	for _, l := range n.Labels {
 		g.nodesByLabel[l] = insertSorted(g.nodesByLabel[l], n.ID)
 	}
+	g.bump()
 	return nil
 }
 
@@ -321,6 +381,7 @@ func (g *Graph) AddEdge(e *Edge) error {
 	for _, l := range e.Labels {
 		g.edgesByLabel[l] = insertSorted(g.edgesByLabel[l], e.ID)
 	}
+	g.bump()
 	return nil
 }
 
@@ -343,6 +404,7 @@ func (g *Graph) SetNodeLabels(id NodeID, ls Labels) error {
 	for _, l := range n.Labels {
 		g.nodesByLabel[l] = insertSorted(g.nodesByLabel[l], id)
 	}
+	g.bump()
 	return nil
 }
 
@@ -363,6 +425,7 @@ func (g *Graph) SetEdgeLabels(id EdgeID, ls Labels) error {
 	for _, l := range e.Labels {
 		g.edgesByLabel[l] = insertSorted(g.edgesByLabel[l], id)
 	}
+	g.bump()
 	return nil
 }
 
@@ -380,6 +443,7 @@ func (g *Graph) AddPath(p *Path) error {
 		p.Props = Properties{}
 	}
 	g.paths[p.ID] = p
+	g.bump()
 	return nil
 }
 
@@ -445,21 +509,35 @@ func (g *Graph) PathIDs() []PathID {
 	return ids
 }
 
-// OutEdges returns the identifiers of edges leaving n, ascending.
-func (g *Graph) OutEdges(n NodeID) []EdgeID { return g.out[n] }
+// OutEdges returns the identifiers of edges leaving n, ascending. The
+// slice is the caller's to keep: it is a copy, detached from the
+// adjacency index. Hot loops use the CSR snapshot (internal/csr)
+// instead, which exposes zero-copy ranges.
+func (g *Graph) OutEdges(n NodeID) []EdgeID { return append([]EdgeID(nil), g.out[n]...) }
 
-// InEdges returns the identifiers of edges entering n, ascending.
-func (g *Graph) InEdges(n NodeID) []EdgeID { return g.in[n] }
+// InEdges returns the identifiers of edges entering n, ascending, as a
+// copy detached from the adjacency index.
+func (g *Graph) InEdges(n NodeID) []EdgeID { return append([]EdgeID(nil), g.in[n]...) }
 
 // NodesWithLabel returns, ascending, the identifiers of the nodes
-// carrying the label. The slice is shared with the index and must not
-// be modified.
-func (g *Graph) NodesWithLabel(label string) []NodeID { return g.nodesByLabel[label] }
+// carrying the label, as a copy detached from the label index.
+func (g *Graph) NodesWithLabel(label string) []NodeID {
+	return append([]NodeID(nil), g.nodesByLabel[label]...)
+}
 
 // EdgesWithLabel returns, ascending, the identifiers of the edges
-// carrying the label. The slice is shared with the index and must not
-// be modified.
-func (g *Graph) EdgesWithLabel(label string) []EdgeID { return g.edgesByLabel[label] }
+// carrying the label, as a copy detached from the label index.
+func (g *Graph) EdgesWithLabel(label string) []EdgeID {
+	return append([]EdgeID(nil), g.edgesByLabel[label]...)
+}
+
+// NumNodesWithLabel reports the size of a label's node bucket without
+// copying it (selectivity estimation).
+func (g *Graph) NumNodesWithLabel(label string) int { return len(g.nodesByLabel[label]) }
+
+// NumEdgesWithLabel reports the size of a label's edge bucket without
+// copying it.
+func (g *Graph) NumEdgesWithLabel(label string) int { return len(g.edgesByLabel[label]) }
 
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {

@@ -4,7 +4,9 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
 
+	"gcore/internal/csr"
 	"gcore/internal/ppg"
 )
 
@@ -29,11 +31,35 @@ type ViewResolver interface {
 type Engine struct {
 	g     *ppg.Graph
 	views ViewResolver
+
+	// snap is the graph's CSR snapshot; non-nil engines run the CSR
+	// kernels (csr_search.go), nil ones the legacy map-based kernels
+	// below. The resolved-transition cache is shared by concurrent
+	// searches on the same engine, hence the mutex.
+	snap     *csr.Snapshot
+	mu       sync.Mutex
+	resCache map[*NFA][][]rtrans
 }
 
+// UseLegacy forces NewEngine to return legacy (map-based) engines.
+// Exported for differential tests and ablation benchmarks only.
+var UseLegacy = false
+
 // NewEngine creates an engine; views may be nil if the regexes used
-// contain no ~view references.
+// contain no ~view references. Searches run over the graph's CSR
+// snapshot (built or reused via the generation-tagged cache) unless
+// UseLegacy is set.
 func NewEngine(g *ppg.Graph, views ViewResolver) *Engine {
+	if UseLegacy {
+		return NewLegacyEngine(g, views)
+	}
+	return &Engine{g: g, views: views, snap: csr.Of(g)}
+}
+
+// NewLegacyEngine creates an engine that evaluates over the mutable
+// ppg maps directly, bypassing the CSR snapshot. It exists so
+// differential tests can compare the two evaluation paths.
+func NewLegacyEngine(g *ppg.Graph, views ViewResolver) *Engine {
 	return &Engine{g: g, views: views}
 }
 
@@ -99,6 +125,9 @@ func (p *pq) Pop() any     { old := *p; x := old[len(old)-1]; *p = old[:len(old)
 func (e *Engine) ShortestPaths(src ppg.NodeID, nfa *NFA, k int) (map[ppg.NodeID][]PathResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("rpq: k must be at least 1, got %d", k)
+	}
+	if e.snap != nil {
+		return e.shortestCSR(src, nfa, k)
 	}
 	if _, ok := e.g.Node(src); !ok {
 		return map[ppg.NodeID][]PathResult{}, nil
@@ -225,6 +254,9 @@ func (e *Engine) expand(nfa *NFA, c cfg, emit func(next cfg, cost float64, hops 
 // to m conforms to the regex — the reachability-test semantics that a
 // path pattern without a variable gets (§3, line 29).
 func (e *Engine) Reachable(src ppg.NodeID, nfa *NFA) ([]ppg.NodeID, error) {
+	if e.snap != nil {
+		return e.reachableCSR(src, nfa)
+	}
 	if _, ok := e.g.Node(src); !ok {
 		return nil, nil
 	}
@@ -275,10 +307,19 @@ type AllPaths struct {
 	reached map[cfg]bool
 	rev     map[cfg][]int // incoming product-edge indexes per config
 	edges   []prodEdge
+
+	// CSR form (snap non-nil): the same sweep over ordinals.
+	snap     *csr.Snapshot
+	cReached map[ccfg]bool
+	cRev     map[ccfg][]int32
+	cEdges   []cprodEdge
 }
 
 // AllPaths performs the forward sweep from src.
 func (e *Engine) AllPaths(src ppg.NodeID, nfa *NFA) (*AllPaths, error) {
+	if e.snap != nil {
+		return e.allPathsCSR(src, nfa)
+	}
 	ap := &AllPaths{src: src, nfa: nfa, reached: map[cfg]bool{}, rev: map[cfg][]int{}}
 	if _, ok := e.g.Node(src); !ok {
 		return ap, nil
@@ -307,6 +348,9 @@ func (e *Engine) AllPaths(src ppg.NodeID, nfa *NFA) (*AllPaths, error) {
 // Destinations returns, sorted, the nodes for which some conforming
 // path from the sweep's source exists.
 func (a *AllPaths) Destinations() []ppg.NodeID {
+	if a.snap != nil {
+		return a.destinationsCSR()
+	}
 	set := map[ppg.NodeID]bool{}
 	for c := range a.reached {
 		if c.q == a.nfa.accept {
@@ -325,6 +369,9 @@ func (a *AllPaths) Destinations() []ppg.NodeID {
 // to dst as the sets of nodes and edges lying on at least one such
 // path. ok is false if no conforming path exists.
 func (a *AllPaths) Projection(dst ppg.NodeID) (nodes []ppg.NodeID, edges []ppg.EdgeID, ok bool) {
+	if a.snap != nil {
+		return a.projectionCSR(dst)
+	}
 	target := cfg{dst, a.nfa.accept}
 	if !a.reached[target] {
 		return nil, nil, false

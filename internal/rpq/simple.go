@@ -76,7 +76,7 @@ func (e *Engine) SimplePathSearch(src ppg.NodeID, nfa *NFA, maxVisits int) (map[
 				}
 				delete(epsSeen, t.to)
 			case tEdge:
-				step := func(eid ppg.EdgeID, next ppg.NodeID) error {
+				err := e.eachEdgeStep(c.n, t.inverse, t.label, func(eid ppg.EdgeID, next ppg.NodeID) error {
 					if onPath[next] {
 						return nil // simple: never revisit a node
 					}
@@ -88,25 +88,9 @@ func (e *Engine) SimplePathSearch(src ppg.NodeID, nfa *NFA, maxVisits int) (map[
 					nodes = nodes[:len(nodes)-1]
 					edges = edges[:len(edges)-1]
 					return err
-				}
-				if t.inverse {
-					for _, eid := range e.g.InEdges(c.n) {
-						ed, _ := e.g.Edge(eid)
-						if t.label == "" || ed.Labels.Has(t.label) {
-							if err := step(eid, ed.Src); err != nil {
-								return err
-							}
-						}
-					}
-				} else {
-					for _, eid := range e.g.OutEdges(c.n) {
-						ed, _ := e.g.Edge(eid)
-						if t.label == "" || ed.Labels.Has(t.label) {
-							if err := step(eid, ed.Dst); err != nil {
-								return err
-							}
-						}
-					}
+				})
+				if err != nil {
+					return err
 				}
 			}
 		}
@@ -153,29 +137,15 @@ func (e *Engine) CountSimplePaths(src, dst ppg.NodeID, nfa *NFA, maxVisits int) 
 				dfs(cfg{c.n, t.to}, epsSeen)
 				delete(epsSeen, t.to)
 			case tEdge:
-				step := func(next ppg.NodeID) {
+				_ = e.eachEdgeStep(c.n, t.inverse, t.label, func(_ ppg.EdgeID, next ppg.NodeID) error {
 					if onPath[next] {
-						return
+						return nil
 					}
 					onPath[next] = true
 					dfs(cfg{next, t.to}, map[int]bool{t.to: true})
 					onPath[next] = false
-				}
-				if t.inverse {
-					for _, eid := range e.g.InEdges(c.n) {
-						ed, _ := e.g.Edge(eid)
-						if t.label == "" || ed.Labels.Has(t.label) {
-							step(ed.Src)
-						}
-					}
-				} else {
-					for _, eid := range e.g.OutEdges(c.n) {
-						ed, _ := e.g.Edge(eid)
-						if t.label == "" || ed.Labels.Has(t.label) {
-							step(ed.Dst)
-						}
-					}
-				}
+					return nil
+				})
 			}
 		}
 	}

@@ -64,9 +64,9 @@ func (e *Engine) TrailSearch(src ppg.NodeID, nfa *NFA, maxVisits int) (map[ppg.N
 				dfs(cfg{c.n, t.to}, epsSeen)
 				delete(epsSeen, t.to)
 			case tEdge:
-				step := func(eid ppg.EdgeID, next ppg.NodeID) {
+				_ = e.eachEdgeStep(c.n, t.inverse, t.label, func(eid ppg.EdgeID, next ppg.NodeID) error {
 					if onTrail[eid] {
-						return // trails: never reuse an edge
+						return nil // trails: never reuse an edge
 					}
 					onTrail[eid] = true
 					nodes = append(nodes, next)
@@ -75,22 +75,8 @@ func (e *Engine) TrailSearch(src ppg.NodeID, nfa *NFA, maxVisits int) (map[ppg.N
 					onTrail[eid] = false
 					nodes = nodes[:len(nodes)-1]
 					edges = edges[:len(edges)-1]
-				}
-				if t.inverse {
-					for _, eid := range e.g.InEdges(c.n) {
-						ed, _ := e.g.Edge(eid)
-						if t.label == "" || ed.Labels.Has(t.label) {
-							step(eid, ed.Src)
-						}
-					}
-				} else {
-					for _, eid := range e.g.OutEdges(c.n) {
-						ed, _ := e.g.Edge(eid)
-						if t.label == "" || ed.Labels.Has(t.label) {
-							step(eid, ed.Dst)
-						}
-					}
-				}
+					return nil
+				})
 			}
 		}
 	}
@@ -132,29 +118,15 @@ func (e *Engine) CountTrails(src, dst ppg.NodeID, nfa *NFA, maxVisits int) (coun
 				dfs(cfg{c.n, t.to}, epsSeen)
 				delete(epsSeen, t.to)
 			case tEdge:
-				step := func(eid ppg.EdgeID, next ppg.NodeID) {
+				_ = e.eachEdgeStep(c.n, t.inverse, t.label, func(eid ppg.EdgeID, next ppg.NodeID) error {
 					if onTrail[eid] {
-						return
+						return nil
 					}
 					onTrail[eid] = true
 					dfs(cfg{next, t.to}, map[int]bool{t.to: true})
 					onTrail[eid] = false
-				}
-				if t.inverse {
-					for _, eid := range e.g.InEdges(c.n) {
-						ed, _ := e.g.Edge(eid)
-						if t.label == "" || ed.Labels.Has(t.label) {
-							step(eid, ed.Src)
-						}
-					}
-				} else {
-					for _, eid := range e.g.OutEdges(c.n) {
-						ed, _ := e.g.Edge(eid)
-						if t.label == "" || ed.Labels.Has(t.label) {
-							step(eid, ed.Dst)
-						}
-					}
-				}
+					return nil
+				})
 			}
 		}
 	}
