@@ -15,21 +15,29 @@
 //	-script file         evaluate a ;-separated script and exit
 //	-json                print result graphs/tables as JSON
 //	-out file            write the last result graph as JSON
+//	-timeout duration    per-statement evaluation timeout (0 disables)
 //
 // With a query argument the command evaluates it and exits; otherwise
 // it starts a read-eval-print loop. In the REPL, statements end with
 // ';' and the commands \graphs, \tables, \ast, \save, \help and \quit
 // are available.
+//
+// SIGINT (Ctrl-C) or SIGTERM during an evaluation cancels the running
+// query: the REPL prints the typed error and keeps running; one-shot
+// and script invocations exit non-zero.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"gcore"
 )
@@ -62,6 +70,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	outFile := fs.String("out", "", "write the last result graph as JSON")
 	loadDir := fs.String("load", "", "load a saved catalog directory before evaluating")
 	saveDir := fs.String("save", "", "save the catalog directory after evaluating")
+	timeout := fs.Duration("timeout", 0, "per-statement evaluation timeout (e.g. 30s); 0 disables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,8 +159,25 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return nil
 	}
 
+	if *timeout > 0 {
+		limits := eng.Limits()
+		limits.Timeout = *timeout
+		eng.SetLimits(limits)
+	}
+
+	// evalScript runs one script under a signal-aware context: SIGINT
+	// or SIGTERM mid-evaluation cancels the in-flight statement, which
+	// surfaces as a typed KindCanceled error. The handler is released
+	// after each batch, so a second Ctrl-C at an idle prompt behaves
+	// normally.
+	evalScript := func(src string) ([]*gcore.Result, error) {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return eng.EvalScriptContext(ctx, src)
+	}
+
 	evalAll := func(src string) error {
-		results, err := eng.EvalScript(src)
+		results, err := evalScript(src)
 		if err != nil {
 			return err
 		}
@@ -177,7 +203,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 	default:
-		if err := repl(eng, stdin, stdout, show); err != nil {
+		if err := repl(eng, stdin, stdout, show, evalScript); err != nil {
 			return err
 		}
 	}
@@ -204,7 +230,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	return nil
 }
 
-func repl(eng *gcore.Engine, stdin io.Reader, stdout io.Writer, show func(*gcore.Result) error) error {
+func repl(eng *gcore.Engine, stdin io.Reader, stdout io.Writer, show func(*gcore.Result) error, evalScript func(string) ([]*gcore.Result, error)) error {
 	fmt.Fprintln(stdout, "G-CORE shell — statements end with ';', \\help for commands")
 	scanner := bufio.NewScanner(stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -232,7 +258,7 @@ func repl(eng *gcore.Engine, stdin io.Reader, stdout io.Writer, show func(*gcore
 		if strings.Contains(line, ";") {
 			src := buf.String()
 			buf.Reset()
-			results, err := eng.EvalScript(src)
+			results, err := evalScript(src)
 			if err != nil {
 				fmt.Fprintln(stdout, "error:", err)
 			}

@@ -28,6 +28,7 @@
 package gcore
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -35,6 +36,7 @@ import (
 	"gcore/internal/ast"
 	"gcore/internal/catalog"
 	"gcore/internal/core"
+	"gcore/internal/gov"
 	"gcore/internal/parser"
 	"gcore/internal/ppg"
 	"gcore/internal/table"
@@ -122,6 +124,44 @@ func ListOf(elems ...Value) Value { return value.List(elems...) }
 // Graph and Table is non-nil (Table only for the SELECT extension).
 type Result = core.Result
 
+// Execution governance. Every evaluation entry point has a *Context
+// variant; failures of governed evaluations are *QueryError values
+// classified by Kind, so callers can distinguish a user mistake
+// (KindEval) from an interrupted query (KindCanceled, KindTimeout), an
+// exhausted resource budget (KindBudget) and an engine defect caught
+// by panic containment (KindInternal). A failed statement never leaves
+// partial state behind: catalog registrations (GRAPH VIEW) are
+// committed only when the whole statement succeeds.
+type (
+	// QueryError is the typed error returned by governed evaluation.
+	QueryError = gov.QueryError
+	// ErrorKind classifies a QueryError.
+	ErrorKind = gov.Kind
+	// Limits bounds one statement's resource consumption; the zero
+	// value means ungoverned. See Engine.SetLimits.
+	Limits = gov.Limits
+)
+
+// The error kinds.
+const (
+	// KindEval is an ordinary evaluation error (bad query, missing
+	// graph, type error).
+	KindEval = gov.KindEval
+	// KindCanceled reports that the evaluation's context was cancelled.
+	KindCanceled = gov.KindCanceled
+	// KindTimeout reports a deadline hit (Limits.Timeout or a caller
+	// deadline on the context).
+	KindTimeout = gov.KindTimeout
+	// KindBudget reports an exhausted resource budget; the message
+	// names the limit and the progress when it tripped.
+	KindBudget = gov.KindBudget
+	// KindInternal reports a panic contained inside the evaluator.
+	KindInternal = gov.KindInternal
+)
+
+// AsQueryError unwraps err to the typed query error, if any.
+func AsQueryError(err error) (*QueryError, bool) { return gov.AsQueryError(err) }
+
 // Engine is a G-CORE engine: a catalog of named graphs, views and
 // tables plus the evaluator. Safe for concurrent use; statements are
 // serialised.
@@ -166,6 +206,27 @@ func (e *Engine) SetMaxBindings(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.ev.SetMaxBindings(n)
+}
+
+// SetLimits installs per-statement resource limits: intermediate
+// binding rows (MaxBindings — also settable via SetMaxBindings),
+// explored path-search product states (MaxPathFrontier), constructed
+// result elements (MaxResultElements) and wall-clock time (Timeout).
+// A zero field means unlimited for that resource. Exceeding a limit
+// fails the statement with a *QueryError of KindBudget (KindTimeout
+// for the deadline) naming the limit and the progress when it tripped;
+// the engine and its graphs are untouched.
+func (e *Engine) SetLimits(l Limits) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ev.SetLimits(l)
+}
+
+// Limits returns the currently installed per-statement limits.
+func (e *Engine) Limits() Limits {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ev.Limits()
 }
 
 // SetParallelism sets the worker count used for intra-query
@@ -214,18 +275,32 @@ func Parse(src string) (*Statement, error) { return parser.Parse(src) }
 // Eval parses and evaluates one statement. GRAPH VIEW definitions
 // register their materialised graph in the engine's catalog.
 func (e *Engine) Eval(src string) (*Result, error) {
+	return e.EvalContext(context.Background(), src)
+}
+
+// EvalContext parses and evaluates one statement under ctx: cancelling
+// the context (or hitting its deadline) aborts the evaluation at the
+// next checkpoint — including inside parallel workers and path-search
+// frontier loops — and returns a *QueryError of KindCanceled or
+// KindTimeout. A cancelled statement leaves the engine unmodified.
+func (e *Engine) EvalContext(ctx context.Context, src string) (*Result, error) {
 	stmt, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.EvalStatement(stmt)
+	return e.EvalStatementContext(ctx, stmt)
 }
 
 // EvalStatement evaluates an already-parsed statement.
 func (e *Engine) EvalStatement(stmt *Statement) (*Result, error) {
+	return e.EvalStatementContext(context.Background(), stmt)
+}
+
+// EvalStatementContext evaluates an already-parsed statement under ctx.
+func (e *Engine) EvalStatementContext(ctx context.Context, stmt *Statement) (*Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.ev.EvalStatement(stmt)
+	return e.ev.EvalStatementContext(ctx, stmt)
 }
 
 // Explain returns the static evaluation plan of a statement: the
@@ -243,17 +318,25 @@ func (e *Engine) Explain(src string) (string, error) {
 }
 
 // EvalScript evaluates a script of semicolon-separated statements and
-// returns one result per statement.
+// returns one result per statement. A failing statement's error is
+// prefixed with its 1-based index and source position ("statement 2 at
+// 3:1: …"); the results of the statements before it are returned.
 func (e *Engine) EvalScript(src string) ([]*Result, error) {
+	return e.EvalScriptContext(context.Background(), src)
+}
+
+// EvalScriptContext evaluates a script under ctx; evaluation stops at
+// the first statement that fails (including by cancellation).
+func (e *Engine) EvalScriptContext(ctx context.Context, src string) ([]*Result, error) {
 	stmts, err := parser.ParseAll(src)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Result, 0, len(stmts))
 	for i, stmt := range stmts {
-		res, err := e.EvalStatement(stmt)
+		res, err := e.EvalStatementContext(ctx, stmt)
 		if err != nil {
-			return out, fmt.Errorf("statement %d: %w", i+1, err)
+			return out, fmt.Errorf("statement %d at %s: %w", i+1, stmt.Pos(), err)
 		}
 		out = append(out, res)
 	}

@@ -24,6 +24,29 @@ type Statement struct {
 	Query  Query // nil for definition-only statements
 }
 
+// Pos returns the source position of the statement's first clause, for
+// error messages that locate a failing statement inside a script. The
+// zero position (line 0) is returned for a statement with no clauses.
+func (s *Statement) Pos() lexer.Pos {
+	if len(s.Paths) > 0 {
+		return s.Paths[0].P
+	}
+	if len(s.Graphs) > 0 {
+		return s.Graphs[0].P
+	}
+	q := s.Query
+	for {
+		switch x := q.(type) {
+		case *BasicQuery:
+			return x.P
+		case *SetQuery:
+			q = x.Left
+		default:
+			return lexer.Pos{}
+		}
+	}
+}
+
 // Query is a full graph query: a basic query or a set operation.
 type Query interface{ queryNode() }
 

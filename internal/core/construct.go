@@ -7,6 +7,7 @@ import (
 
 	"gcore/internal/ast"
 	"gcore/internal/bindings"
+	"gcore/internal/faultinject"
 	"gcore/internal/ppg"
 	"gcore/internal/value"
 )
@@ -134,6 +135,9 @@ func (c *evalCtx) evalConstructItems(s *scope, items []*ast.ConstructItem, tbl *
 				return nil, err
 			}
 			for _, grp := range groups {
+				if err := c.gov.Checkpoint(faultinject.SiteCoreConstruct); err != nil {
+					return nil, err
+				}
 				rep := rows[grp.rows[0]]
 				var (
 					id     ppg.NodeID
@@ -179,6 +183,9 @@ func (c *evalCtx) evalConstructItems(s *scope, items []*ast.ConstructItem, tbl *
 				}
 				labels = addPatternLabels(labels, np.Labels)
 				if err := c.applyAssignments(env, rows, grp.rows, varName, &labels, props, np.Props, ic.extra[varName]); err != nil {
+					return nil, err
+				}
+				if err := c.gov.AddResults(1); err != nil {
 					return nil, err
 				}
 				ensureNode(out, &ppg.Node{ID: id, Labels: labels, Props: props})
@@ -521,6 +528,9 @@ func (c *evalCtx) constructEdge(env *env, out *ppg.Graph, ep *ast.EdgePattern, n
 	sort.SliceStable(groups, func(i, j int) bool { return groups[i].key < groups[j].key })
 
 	for _, grp := range groups {
+		if err := c.gov.Checkpoint(faultinject.SiteCoreConstruct); err != nil {
+			return err
+		}
 		rep := grp.rows[0]
 		sv, ok1 := rowBind[rep][leftVar]
 		dv, ok2 := rowBind[rep][rightVar]
@@ -584,6 +594,9 @@ func (c *evalCtx) constructEdge(env *env, out *ppg.Graph, ep *ast.EdgePattern, n
 		if _, ok := out.Node(dst); !ok {
 			continue
 		}
+		if err := c.gov.AddResults(1); err != nil {
+			return err
+		}
 		if err := ensureEdge(out, &ppg.Edge{ID: id, Src: src, Dst: dst, Labels: labels, Props: props}); err != nil {
 			return err
 		}
@@ -617,6 +630,9 @@ func (c *evalCtx) constructPath(env *env, out *ppg.Graph, pp *ast.PathPattern, n
 		return err
 	}
 	for _, grp := range groups {
+		if err := c.gov.Checkpoint(faultinject.SiteCoreConstruct); err != nil {
+			return err
+		}
 		rep := rows[grp.rows[0]]
 		ref := rep[pp.Var]
 		if ref.Kind() != value.KindPath {
@@ -656,6 +672,9 @@ func (c *evalCtx) constructPath(env *env, out *ppg.Graph, pp *ast.PathPattern, n
 			if n == nil {
 				return errf("path #%d references node #%d outside its source graph", pid, nid)
 			}
+			if err := c.gov.AddResults(1); err != nil {
+				return err
+			}
 			ensureNode(out, n.Clone())
 		}
 		for _, eid := range pobj.Edges {
@@ -665,6 +684,9 @@ func (c *evalCtx) constructPath(env *env, out *ppg.Graph, pp *ast.PathPattern, n
 			e, _ := srcGraph.Edge(eid)
 			if e == nil {
 				return errf("path #%d references edge #%d outside its source graph", pid, eid)
+			}
+			if err := c.gov.AddResults(1); err != nil {
+				return err
 			}
 			if err := ensureEdge(out, e.Clone()); err != nil {
 				return err
@@ -691,6 +713,9 @@ func (c *evalCtx) constructPath(env *env, out *ppg.Graph, pp *ast.PathPattern, n
 			Edges:  append([]ppg.EdgeID(nil), pobj.Edges...),
 			Labels: labels,
 			Props:  props,
+		}
+		if err := c.gov.AddResults(1); err != nil {
+			return err
 		}
 		if err := ensurePath(out, stored); err != nil {
 			return err

@@ -17,11 +17,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gcore/internal/ast"
 	"gcore/internal/bindings"
 	"gcore/internal/catalog"
+	"gcore/internal/faultinject"
+	"gcore/internal/gov"
 	"gcore/internal/par"
 	"gcore/internal/ppg"
 	"gcore/internal/rpq"
@@ -31,8 +34,8 @@ import (
 // Evaluator evaluates statements against a catalog.
 type Evaluator struct {
 	cat     *catalog.Catalog
-	maxRows int // 0 = unlimited
-	workers int // 0 = GOMAXPROCS, 1 = sequential
+	limits  gov.Limits // zero fields = ungoverned
+	workers int        // 0 = GOMAXPROCS, 1 = sequential
 }
 
 // New creates an evaluator over the given catalog.
@@ -52,36 +55,41 @@ func (ev *Evaluator) SetParallelism(n int) { ev.workers = n }
 // SetMaxBindings bounds the size of intermediate binding tables; a
 // query whose evaluation would exceed the bound fails with a clear
 // error instead of exhausting memory (resource governance for
-// adversarial cartesian products). Zero means unlimited.
-func (ev *Evaluator) SetMaxBindings(n int) { ev.maxRows = n }
+// adversarial cartesian products). Zero means unlimited. It is a
+// shorthand for setting Limits.MaxBindings.
+func (ev *Evaluator) SetMaxBindings(n int) { ev.limits.MaxBindings = n }
+
+// SetLimits installs the per-statement resource budget.
+func (ev *Evaluator) SetLimits(l gov.Limits) { ev.limits = l }
+
+// Limits returns the current per-statement resource budget.
+func (ev *Evaluator) Limits() gov.Limits { return ev.limits }
 
 // checkBudget enforces the binding-table bound.
 func (c *evalCtx) checkBudget(tbl *bindings.Table) error {
-	if limit := c.ev.maxRows; limit > 0 && tbl.Len() > limit {
-		return c.budgetErr()
+	if limit := c.gov.Limits().MaxBindings; limit > 0 && tbl.Len() > limit {
+		return c.gov.BindingsError(tbl.Len())
 	}
 	return nil
-}
-
-func (c *evalCtx) budgetErr() error {
-	return errf("evaluation exceeded the binding limit (%d rows); narrow the patterns or raise the limit", c.ev.maxRows)
 }
 
 // joinBudget joins two tables under the binding budget, aborting the
 // materialisation as soon as it overflows.
 func (c *evalCtx) joinBudget(a, b *bindings.Table) (*bindings.Table, error) {
-	out, over := bindings.JoinLimited(a, b, c.ev.maxRows)
+	limit := c.gov.Limits().MaxBindings
+	out, over := bindings.JoinLimited(a, b, limit)
 	if over {
-		return nil, c.budgetErr()
+		return nil, c.gov.BindingsError(limit + 1)
 	}
 	return out, nil
 }
 
 // leftJoinBudget is joinBudget for the OPTIONAL left-outer join.
 func (c *evalCtx) leftJoinBudget(a, b *bindings.Table) (*bindings.Table, error) {
-	out, over := bindings.LeftJoinLimited(a, b, c.ev.maxRows)
+	limit := c.gov.Limits().MaxBindings
+	out, over := bindings.LeftJoinLimited(a, b, limit)
 	if over {
-		return nil, c.budgetErr()
+		return nil, c.gov.BindingsError(limit + 1)
 	}
 	return out, nil
 }
@@ -154,8 +162,17 @@ type nfaKey struct {
 // evalCtx carries the per-statement mutable state.
 type evalCtx struct {
 	ev        *Evaluator
+	gov       *gov.Governor
 	tempPaths map[ppg.PathID]*tempPath
 	anonSeq   int
+
+	// pendingViews holds GRAPH VIEW results defined by this statement,
+	// in definition order. They are visible to the rest of the
+	// statement (resolveGraphName consults them before the catalog)
+	// but reach the catalog only when the whole statement succeeds —
+	// a failed statement therefore leaves the engine's registered
+	// graphs exactly as they were (no partial mutation).
+	pendingViews []*ppg.Graph
 
 	// nfaCache holds automata compiled during this statement, so a
 	// regular path expression is compiled once per statement rather
@@ -165,9 +182,10 @@ type evalCtx struct {
 	nfaCache map[nfaKey]*rpq.NFA
 }
 
-func (ev *Evaluator) newCtx() *evalCtx {
+func (ev *Evaluator) newCtx(gv *gov.Governor) *evalCtx {
 	return &evalCtx{
 		ev:        ev,
+		gov:       gv,
 		tempPaths: map[ppg.PathID]*tempPath{},
 		nfaCache:  map[nfaKey]*rpq.NFA{},
 	}
@@ -188,7 +206,7 @@ func (c *evalCtx) mapRows(n int, safe bool, fn func(lo, hi int) ([]bindings.Bind
 	if !safe || n < minParallelItems {
 		w = 1
 	}
-	return par.MapChunks(n, w, fn)
+	return par.MapChunks(c.gov.Context(), n, w, fn)
 }
 
 func (c *evalCtx) freshAnon() string {
@@ -200,11 +218,63 @@ func (c *evalCtx) freshAnon() string {
 // first, then the query. A definition-only statement returns the last
 // defined graph (or an empty graph for pure PATH definitions).
 func (ev *Evaluator) EvalStatement(stmt *ast.Statement) (*Result, error) {
+	return ev.EvalStatementContext(context.Background(), stmt)
+}
+
+// stmtText renders a statement for error reports, bounded so a
+// pathological query does not flood logs.
+func stmtText(stmt *ast.Statement) string {
+	s := stmt.String()
+	const max = 300
+	if len(s) > max {
+		s = s[:max] + "…"
+	}
+	return s
+}
+
+// EvalStatementContext evaluates one statement under the caller's
+// context and the evaluator's Limits. Cancellation, deadline expiry
+// and exhausted budgets surface as *gov.QueryError with the matching
+// Kind; a panic anywhere in evaluation is contained and returned as a
+// KindInternal error carrying the statement text. On any failure the
+// catalog and every registered graph are left exactly as they were —
+// GRAPH VIEW definitions reach the catalog only after the whole
+// statement has succeeded.
+func (ev *Evaluator) EvalStatementContext(ctx context.Context, stmt *ast.Statement) (res *Result, err error) {
 	if err := analyzeStatement(stmt); err != nil {
 		return nil, err
 	}
-	ctx := ev.newCtx()
-	return ctx.evalStatement(newScope(nil), stmt)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	limits := ev.limits
+	if limits.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, limits.Timeout)
+		defer cancel()
+	}
+	c := ev.newCtx(gov.New(ctx, limits))
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, gov.PanicError(r, stmtText(stmt))
+		}
+	}()
+	// Entry checkpoint: a statement under an already-dead context
+	// fails here, before any clause runs — even one whose evaluation
+	// would otherwise touch no loop (empty scans, pure definitions).
+	if err := c.gov.Checkpoint(faultinject.SiteEvalStart); err != nil {
+		return nil, err
+	}
+	out, err := c.evalStatement(newScope(nil), stmt)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range c.pendingViews {
+		if err := ev.cat.RegisterGraph(g); err != nil {
+			return nil, errf("registering view %s: %v", g.Name(), err)
+		}
+	}
+	return out, nil
 }
 
 func (c *evalCtx) evalStatement(s *scope, stmt *ast.Statement) (*Result, error) {
@@ -227,9 +297,13 @@ func (c *evalCtx) evalStatement(s *scope, stmt *ast.Statement) (*Result, error) 
 		g := res.Graph
 		g.SetName(gc.Name)
 		if gc.View {
-			if err := c.ev.cat.RegisterGraph(g); err != nil {
-				return nil, errf("registering view %s: %v", gc.Name, err)
+			// Stage the view: visible to the rest of this statement
+			// through resolveGraphName, committed to the catalog only
+			// when the whole statement succeeds.
+			if g.Name() == "" {
+				return nil, errf("registering view %s: view needs a name", gc.Name)
 			}
+			c.pendingViews = append(c.pendingViews, g)
 		} else {
 			s.graphs[gc.Name] = g
 		}
@@ -337,6 +411,13 @@ func (c *evalCtx) resolveLocation(s *scope, lp *ast.LocatedPattern) (*ppg.Graph,
 func (c *evalCtx) resolveGraphName(s *scope, name string) (*ppg.Graph, error) {
 	if g, ok := s.lookupGraph(name); ok {
 		return g, nil
+	}
+	// Views defined earlier in this statement but not yet committed
+	// (latest definition wins, matching catalog overwrite semantics).
+	for i := len(c.pendingViews) - 1; i >= 0; i-- {
+		if c.pendingViews[i].Name() == name {
+			return c.pendingViews[i], nil
+		}
 	}
 	g, err := c.ev.cat.Resolve(name)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"gcore/internal/ast"
 	"gcore/internal/bindings"
 	"gcore/internal/csr"
+	"gcore/internal/faultinject"
 	"gcore/internal/ppg"
 	"gcore/internal/value"
 )
@@ -143,7 +144,12 @@ func (c *evalCtx) scanNodesCSR(snap *csr.Snapshot, g *ppg.Graph, np *ast.NodePat
 	}
 	parts, err := c.mapRows(len(ords), specsParallelSafe(np.Props), func(lo, hi int) ([]bindings.Binding, error) {
 		var rows []bindings.Binding
-		for _, u := range ords[lo:hi] {
+		for i, u := range ords[lo:hi] {
+			if i&(checkStride-1) == 0 {
+				if err := c.gov.Checkpoint(faultinject.SiteCoreScan); err != nil {
+					return nil, err
+				}
+			}
 			if !rs.matchesNode(snap, u) {
 				continue
 			}
@@ -163,12 +169,7 @@ func (c *evalCtx) scanNodesCSR(snap *csr.Snapshot, g *ppg.Graph, np *ast.NodePat
 	if err != nil {
 		return nil, err
 	}
-	for _, part := range parts {
-		for _, row := range part {
-			tbl.Add(row)
-		}
-	}
-	return tbl, nil
+	return c.mergeBudget(tbl, parts)
 }
 
 // extendEdgeCSR is the snapshot form of extendEdge: adjacency walks
@@ -258,6 +259,9 @@ func (c *evalCtx) extendEdgeCSR(snap *csr.Snapshot, g *ppg.Graph, tbl *bindings.
 		var acc []bindings.Binding
 		var err error
 		for _, row := range rows[lo:hi] {
+			if err = c.gov.Checkpoint(faultinject.SiteCoreExtend); err != nil {
+				return nil, err
+			}
 			acc, err = expandRow(row, acc)
 			if err != nil {
 				return nil, err
@@ -268,12 +272,7 @@ func (c *evalCtx) extendEdgeCSR(snap *csr.Snapshot, g *ppg.Graph, tbl *bindings.
 	if err != nil {
 		return nil, err
 	}
-	for _, part := range parts {
-		for _, r := range part {
-			out.Add(r)
-		}
-	}
-	return out, nil
+	return c.mergeBudget(out, parts)
 }
 
 // labelTestFast answers a pushed-down label test (x:A|B) on one row

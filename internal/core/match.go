@@ -5,9 +5,32 @@ import (
 
 	"gcore/internal/ast"
 	"gcore/internal/bindings"
+	"gcore/internal/faultinject"
 	"gcore/internal/ppg"
 	"gcore/internal/value"
 )
+
+// checkStride is how many trivial per-element iterations a hot loop
+// runs between governor checkpoints: small enough that cancellation
+// lands within one checkpoint interval, large enough that the
+// non-blocking context poll stays invisible in profiles.
+const checkStride = 256
+
+// mergeBudget folds chunk outputs into a table in input order,
+// enforcing the bindings budget after each chunk so an overflowing
+// materialisation aborts early — at the same logical point on the
+// legacy and CSR paths (the chunks are identical row for row).
+func (c *evalCtx) mergeBudget(tbl *bindings.Table, parts [][]bindings.Binding) (*bindings.Table, error) {
+	for _, part := range parts {
+		for _, row := range part {
+			tbl.Add(row)
+		}
+		if err := c.checkBudget(tbl); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
 
 // evalMatch computes the binding table of a MATCH clause (§A.2):
 // located patterns are evaluated on their graphs and joined; the
@@ -345,7 +368,12 @@ func (c *evalCtx) scanNodes(g *ppg.Graph, np *ast.NodePattern, varName string) (
 	}
 	parts, err := c.mapRows(len(ids), specsParallelSafe(np.Props), func(lo, hi int) ([]bindings.Binding, error) {
 		var rows []bindings.Binding
-		for _, id := range ids[lo:hi] {
+		for i, id := range ids[lo:hi] {
+			if i&(checkStride-1) == 0 {
+				if err := c.gov.Checkpoint(faultinject.SiteCoreScan); err != nil {
+					return nil, err
+				}
+			}
 			n, _ := g.Node(id)
 			ok, err := c.nodeMatches(g, n, np)
 			if err != nil {
@@ -362,12 +390,7 @@ func (c *evalCtx) scanNodes(g *ppg.Graph, np *ast.NodePattern, varName string) (
 	if err != nil {
 		return nil, err
 	}
-	for _, part := range parts {
-		for _, row := range part {
-			tbl.Add(row)
-		}
-	}
-	return tbl, nil
+	return c.mergeBudget(tbl, parts)
 }
 
 // extendEdge extends every row of tbl over one edge pattern to the
@@ -460,6 +483,9 @@ func (c *evalCtx) extendEdge(g *ppg.Graph, tbl *bindings.Table, leftVar string, 
 		var acc []bindings.Binding
 		var err error
 		for _, row := range rows[lo:hi] {
+			if err = c.gov.Checkpoint(faultinject.SiteCoreExtend); err != nil {
+				return nil, err
+			}
 			acc, err = expandRow(row, acc)
 			if err != nil {
 				return nil, err
@@ -470,12 +496,7 @@ func (c *evalCtx) extendEdge(g *ppg.Graph, tbl *bindings.Table, leftVar string, 
 	if err != nil {
 		return nil, err
 	}
-	for _, part := range parts {
-		for _, r := range part {
-			out.Add(r)
-		}
-	}
-	return out, nil
+	return c.mergeBudget(out, parts)
 }
 
 func nodeOf(v value.Value) (ppg.NodeID, bool) {

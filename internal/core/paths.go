@@ -5,11 +5,24 @@ import (
 
 	"gcore/internal/ast"
 	"gcore/internal/bindings"
+	"gcore/internal/faultinject"
+	"gcore/internal/gov"
 	"gcore/internal/par"
 	"gcore/internal/ppg"
 	"gcore/internal/rpq"
 	"gcore/internal/value"
 )
+
+// rpqErr normalises an error from the path-search kernels: typed
+// governance errors (cancellation, budgets, contained panics) pass
+// through unchanged so callers can classify them; anything else
+// becomes a plain evaluation error as before.
+func rpqErr(err error) error {
+	if _, ok := gov.AsQueryError(err); ok {
+		return err
+	}
+	return errf("%v", err)
+}
 
 // Path pattern evaluation (§A.2): the four cases of a path pattern in
 // MATCH position —
@@ -293,39 +306,39 @@ func (c *evalCtx) prefillSearches(eng *rpq.Engine, tbl *bindings.Table, leftVar 
 	switch pp.Mode {
 	case ast.PathReach:
 		results := make([][]ppg.NodeID, len(jobs))
-		err := par.ForEachIdx(len(jobs), workers, func(i int) error {
+		err := par.ForEachIdx(c.gov.Context(), len(jobs), workers, func(i int) error {
 			r, err := eng.Reachable(jobs[i].src, nfas[jobs[i].ni])
 			results[i] = r
 			return err
 		})
 		if err != nil {
-			return errf("%v", err)
+			return rpqErr(err)
 		}
 		for i, job := range jobs {
 			reachCache[job] = results[i]
 		}
 	case ast.PathShortest:
 		results := make([]map[ppg.NodeID][]rpq.PathResult, len(jobs))
-		err := par.ForEachIdx(len(jobs), workers, func(i int) error {
+		err := par.ForEachIdx(c.gov.Context(), len(jobs), workers, func(i int) error {
 			r, err := eng.ShortestPaths(jobs[i].src, nfas[jobs[i].ni], pp.K)
 			results[i] = r
 			return err
 		})
 		if err != nil {
-			return errf("%v", err)
+			return rpqErr(err)
 		}
 		for i, job := range jobs {
 			shortCache[job] = results[i]
 		}
 	case ast.PathAll:
 		results := make([]*rpq.AllPaths, len(jobs))
-		err := par.ForEachIdx(len(jobs), workers, func(i int) error {
+		err := par.ForEachIdx(c.gov.Context(), len(jobs), workers, func(i int) error {
 			r, err := eng.AllPaths(jobs[i].src, nfas[jobs[i].ni])
 			results[i] = r
 			return err
 		})
 		if err != nil {
-			return errf("%v", err)
+			return rpqErr(err)
 		}
 		for i, job := range jobs {
 			allCache[job] = results[i]
@@ -376,6 +389,7 @@ func (c *evalCtx) extendPath(s *scope, g *ppg.Graph, tbl *bindings.Table, leftVa
 	} else {
 		eng = rpq.NewEngine(g, views)
 	}
+	eng.SetGovernor(c.gov)
 
 	vars := append(tbl.Vars(), rightVar)
 	if pp.Mode != ast.PathReach {
@@ -412,6 +426,12 @@ func (c *evalCtx) extendPath(s *scope, g *ppg.Graph, tbl *bindings.Table, leftVa
 	}
 
 	for _, row := range tbl.Rows() {
+		if err := c.gov.Checkpoint(faultinject.SiteCorePath); err != nil {
+			return nil, err
+		}
+		if err := c.checkBudget(out); err != nil {
+			return nil, err
+		}
 		src, ok := nodeOf(row[leftVar])
 		if !ok {
 			continue
@@ -428,7 +448,7 @@ func (c *evalCtx) extendPath(s *scope, g *ppg.Graph, tbl *bindings.Table, leftVa
 					var err error
 					dsts, err = eng.Reachable(src, nfa)
 					if err != nil {
-						return nil, errf("%v", err)
+						return nil, rpqErr(err)
 					}
 					reachCache[key] = dsts
 				}
@@ -464,7 +484,7 @@ func (c *evalCtx) extendPath(s *scope, g *ppg.Graph, tbl *bindings.Table, leftVa
 					var err error
 					res, err = eng.ShortestPaths(src, nfa, pp.K)
 					if err != nil {
-						return nil, errf("%v", err)
+						return nil, rpqErr(err)
 					}
 					shortCache[key] = res
 				}
@@ -534,7 +554,7 @@ func (c *evalCtx) extendPath(s *scope, g *ppg.Graph, tbl *bindings.Table, leftVa
 					var err error
 					ap, err = eng.AllPaths(src, nfa)
 					if err != nil {
-						return nil, errf("%v", err)
+						return nil, rpqErr(err)
 					}
 					allCache[key] = ap
 				}
@@ -626,6 +646,12 @@ func (c *evalCtx) extendStoredPath(g *ppg.Graph, tbl *bindings.Table, leftVar st
 		nfa = n
 	}
 	for _, row := range tbl.Rows() {
+		if err := c.gov.Checkpoint(faultinject.SiteCorePath); err != nil {
+			return nil, err
+		}
+		if err := c.checkBudget(out); err != nil {
+			return nil, err
+		}
 		src, ok := nodeOf(row[leftVar])
 		if !ok {
 			continue

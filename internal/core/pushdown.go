@@ -5,6 +5,7 @@ import (
 
 	"gcore/internal/ast"
 	"gcore/internal/bindings"
+	"gcore/internal/faultinject"
 	"gcore/internal/ppg"
 	"gcore/internal/value"
 )
@@ -175,7 +176,12 @@ func (c *evalCtx) applyReady(conjs []*conjunct, tbl *bindings.Table, g *ppg.Grap
 		env := c.newEnv(nil, []*ppg.Graph{g}, g)
 		var keep []bindings.Binding
 	next:
-		for _, b := range rows[lo:hi] {
+		for ri, b := range rows[lo:hi] {
+			if ri&(checkStride-1) == 0 {
+				if err := c.gov.Checkpoint(faultinject.SiteCoreFilter); err != nil {
+					return nil, err
+				}
+			}
 			env.row = b
 			for i, cj := range ready {
 				if f := fasts[i]; f != nil {
@@ -230,7 +236,14 @@ func (c *evalCtx) residualFilter(conjs []*conjunct, tbl *bindings.Table, env *en
 	if len(rest) == 0 {
 		return tbl, nil
 	}
+	row := 0
 	return tbl.Filter(func(b bindings.Binding) (bool, error) {
+		if row&(checkStride-1) == 0 {
+			if err := c.gov.Checkpoint(faultinject.SiteCoreFilter); err != nil {
+				return false, err
+			}
+		}
+		row++
 		env.row = b
 		for _, cj := range rest {
 			v, err := env.eval(cj.expr)

@@ -7,12 +7,24 @@
 // the query evaluator keeps parallel and sequential evaluation
 // byte-identical (the paper's fixed-order tie-breaking, §A.1
 // footnote 4, extended to the whole binding pipeline).
+//
+// The pool is governed: jobs take a context, a cancelled context
+// stops further chunks from being dispatched (in-flight chunks
+// observe cancellation at their own checkpoints), and a panicking
+// chunk is contained in its worker and surfaced as a typed
+// gov.QueryError instead of tearing the process down — one
+// pathological query cannot take out a process hosting other
+// sessions.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"gcore/internal/faultinject"
+	"gcore/internal/gov"
 )
 
 // Workers resolves a parallelism knob: n itself when positive, else
@@ -38,14 +50,36 @@ func chunkCount(n, w int) int {
 	return c
 }
 
+// protect runs one chunk with panic containment: a panic inside fn
+// becomes a KindInternal error in that chunk's slot, merged like any
+// other chunk error.
+func protect[T any](fn func() (T, error)) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			res, err = zero, gov.PanicError(r, "")
+		}
+	}()
+	return fn()
+}
+
 // MapChunks partitions [0, n) into contiguous chunks, runs fn(lo, hi)
 // on each chunk with up to `workers` goroutines, and returns the
 // per-chunk results in chunk (= input) order. If any chunk fails, the
 // error of the lowest-indexed failing chunk is returned, so the error
 // surfaced is the one sequential evaluation would have hit first.
 // With workers <= 1 (or n <= 1) everything runs on the calling
-// goroutine with no synchronisation.
-func MapChunks[T any](n, workers int, fn func(lo, hi int) (T, error)) ([]T, error) {
+// goroutine with no synchronisation (and no panic containment — the
+// statement-level recover owns sequential panics, keeping sequential
+// and parallel failure surfaces identical to the caller).
+//
+// A cancelled ctx stops workers from claiming further chunks; if no
+// dispatched chunk reported a more specific error, the cancellation
+// itself is surfaced as a typed gov.QueryError.
+func MapChunks[T any](ctx context.Context, n, workers int, fn func(lo, hi int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
 		return nil, nil
 	}
@@ -65,6 +99,7 @@ func MapChunks[T any](n, workers int, fn func(lo, hi int) (T, error)) ([]T, erro
 	}
 	results := make([]T, chunks)
 	errs := make([]error, chunks)
+	done := ctx.Done()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	if workers > chunks {
@@ -75,11 +110,25 @@ func MapChunks[T any](n, workers int, fn func(lo, hi int) (T, error)) ([]T, erro
 		go func() {
 			defer wg.Done()
 			for {
+				// Dispatch checkpoint: stop claiming chunks once the
+				// context dies; chunks already running observe the
+				// cancellation at their own evaluation checkpoints.
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= chunks {
 					return
 				}
-				results[i], errs[i] = fn(bounds[i], bounds[i+1])
+				results[i], errs[i] = protect(func() (T, error) {
+					if err := faultinject.Check(faultinject.SiteParChunk); err != nil {
+						var zero T
+						return zero, err
+					}
+					return fn(bounds[i], bounds[i+1])
+				})
 			}
 		}()
 	}
@@ -89,14 +138,21 @@ func MapChunks[T any](n, workers int, fn func(lo, hi int) (T, error)) ([]T, erro
 			return nil, err
 		}
 	}
+	if err := gov.CancelError(ctx); err != nil {
+		return nil, err
+	}
 	return results, nil
 }
 
 // ForEachIdx runs fn(i) for every i in [0, n) with up to `workers`
 // goroutines. Each index is visited exactly once; fn must confine its
 // writes to per-index state (e.g. slot i of a pre-allocated slice).
-// The lowest-index error wins, as in MapChunks.
-func ForEachIdx(n, workers int, fn func(i int) error) error {
+// The lowest-index error wins, cancellation stops dispatch, and
+// panics are contained, as in MapChunks.
+func ForEachIdx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
 		return nil
 	}
@@ -112,6 +168,7 @@ func ForEachIdx(n, workers int, fn func(i int) error) error {
 		workers = n
 	}
 	errs := make([]error, n)
+	done := ctx.Done()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -119,11 +176,21 @@ func ForEachIdx(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				_, errs[i] = protect(func() (struct{}, error) {
+					if err := faultinject.Check(faultinject.SiteParChunk); err != nil {
+						return struct{}{}, err
+					}
+					return struct{}{}, fn(i)
+				})
 			}
 		}()
 	}
@@ -133,5 +200,5 @@ func ForEachIdx(n, workers int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return gov.CancelError(ctx)
 }

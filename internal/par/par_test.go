@@ -1,10 +1,14 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
+
+	"gcore/internal/gov"
 )
 
 func TestWorkers(t *testing.T) {
@@ -24,7 +28,7 @@ func TestWorkers(t *testing.T) {
 func TestMapChunksOrder(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 8, 64} {
 		for _, n := range []int{0, 1, 2, 7, 100} {
-			parts, err := MapChunks(n, workers, func(lo, hi int) ([]int, error) {
+			parts, err := MapChunks(context.Background(), n, workers, func(lo, hi int) ([]int, error) {
 				out := make([]int, 0, hi-lo)
 				for i := lo; i < hi; i++ {
 					out = append(out, i*i)
@@ -55,7 +59,7 @@ func TestMapChunksOrder(t *testing.T) {
 // to-right loop would surface first.
 func TestMapChunksError(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		_, err := MapChunks(100, workers, func(lo, hi int) (int, error) {
+		_, err := MapChunks(context.Background(), 100, workers, func(lo, hi int) (int, error) {
 			for i := lo; i < hi; i++ {
 				if i >= 20 {
 					return 0, fmt.Errorf("err@%d", i)
@@ -73,7 +77,7 @@ func TestForEachIdx(t *testing.T) {
 	for _, workers := range []int{1, 2, 16} {
 		n := 200
 		hits := make([]int32, n)
-		err := ForEachIdx(n, workers, func(i int) error {
+		err := ForEachIdx(context.Background(), n, workers, func(i int) error {
 			atomic.AddInt32(&hits[i], 1)
 			return nil
 		})
@@ -89,7 +93,7 @@ func TestForEachIdx(t *testing.T) {
 }
 
 func TestForEachIdxError(t *testing.T) {
-	err := ForEachIdx(100, 8, func(i int) error {
+	err := ForEachIdx(context.Background(), 100, 8, func(i int) error {
 		if i >= 70 {
 			return fmt.Errorf("late %d", i)
 		}
@@ -100,5 +104,90 @@ func TestForEachIdxError(t *testing.T) {
 	})
 	if err == nil || err.Error() != "first" {
 		t.Fatalf("err = %v, want the lowest-index error", err)
+	}
+}
+
+// TestMapChunksCanceledContext: an already-cancelled context stops
+// dispatch and surfaces a typed KindCanceled error; no chunk runs.
+func TestMapChunksCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	_, err := MapChunks(ctx, 1000, 8, func(lo, hi int) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	qe, ok := gov.AsQueryError(err)
+	if !ok || qe.Kind != gov.KindCanceled {
+		t.Fatalf("err = %v, want KindCanceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d chunks ran under a dead context", ran.Load())
+	}
+}
+
+// TestMapChunksCancelMidFlight: cancellation raised from inside a
+// chunk stops the remaining dispatch.
+func TestMapChunksCancelMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	_, err := MapChunks(ctx, 10_000, 4, func(lo, hi int) (int, error) {
+		if ran.Add(1) == 1 {
+			cancel()
+		}
+		return 0, nil
+	})
+	if _, ok := gov.AsQueryError(err); !ok {
+		t.Fatalf("err = %v, want a typed QueryError", err)
+	}
+	// 4 workers can each have claimed at most a chunk or two before
+	// observing the cancel; all 16+ chunks must not have run.
+	if int(ran.Load()) >= chunkCount(10_000, 4) {
+		t.Fatalf("all %d chunks ran despite cancellation", ran.Load())
+	}
+}
+
+// TestMapChunksPanicContained: a panicking chunk surfaces as a
+// KindInternal error instead of crashing the process.
+func TestMapChunksPanicContained(t *testing.T) {
+	_, err := MapChunks(context.Background(), 100, 4, func(lo, hi int) (int, error) {
+		if lo == 0 {
+			panic("chunk boom")
+		}
+		return 0, nil
+	})
+	qe, ok := gov.AsQueryError(err)
+	if !ok || qe.Kind != gov.KindInternal {
+		t.Fatalf("err = %v, want KindInternal", err)
+	}
+	if !strings.Contains(qe.Msg, "chunk boom") {
+		t.Fatalf("panic message lost: %q", qe.Msg)
+	}
+}
+
+// TestForEachIdxPanicContained: same containment for the index pool.
+func TestForEachIdxPanicContained(t *testing.T) {
+	err := ForEachIdx(context.Background(), 50, 4, func(i int) error {
+		if i == 7 {
+			panic(fmt.Sprintf("idx %d boom", i))
+		}
+		return nil
+	})
+	qe, ok := gov.AsQueryError(err)
+	if !ok || qe.Kind != gov.KindInternal {
+		t.Fatalf("err = %v, want KindInternal", err)
+	}
+}
+
+// TestForEachIdxCanceled: dispatch stops and the cancellation is
+// surfaced even when every dispatched index succeeded.
+func TestForEachIdxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEachIdx(ctx, 100, 8, func(i int) error { return nil })
+	qe, ok := gov.AsQueryError(err)
+	if !ok || qe.Kind != gov.KindCanceled {
+		t.Fatalf("err = %v, want KindCanceled", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"gcore/internal/csr"
+	"gcore/internal/faultinject"
 	"gcore/internal/ppg"
 )
 
@@ -298,7 +299,14 @@ func (e *Engine) shortestCSR(src ppg.NodeID, nfa *NFA, k int) (map[ppg.NodeID][]
 	results := map[ppg.NodeID][]PathResult{}
 	sigs := map[ppg.NodeID]map[WalkSig]bool{}
 
+	steps := 0
 	for len(st.h) > 0 {
+		if steps&(checkStride-1) == 0 {
+			if err := e.gov.Checkpoint(faultinject.SiteRPQCSRShortest); err != nil {
+				return nil, err
+			}
+		}
+		steps++
 		it := st.h.pop()
 		a := st.arrivals[it.idx]
 		if st.pops.get(a.u, a.q) >= st.k {
@@ -322,6 +330,7 @@ func (e *Engine) shortestCSR(src ppg.NodeID, nfa *NFA, k int) (map[ppg.NodeID][]
 		// Expansion inlined (same transition order as expandOrdinal):
 		// relaxation must not allocate, and a capture-free loop keeps
 		// it that way.
+		before := len(st.arrivals)
 		base := a // copy: st.arrivals may grow during relaxation
 		for _, rt := range trans[a.q] {
 			switch rt.kind {
@@ -372,6 +381,9 @@ func (e *Engine) shortestCSR(src ppg.NodeID, nfa *NFA, k int) (map[ppg.NodeID][]
 				}
 			}
 		}
+		if err := e.gov.GrowFrontier(len(st.arrivals) - before); err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }
@@ -417,12 +429,20 @@ func (e *Engine) reachableCSR(src ppg.NodeID, nfa *NFA) ([]ppg.NodeID, error) {
 	queue := []ccfg{{srcOrd, int32(nfa.start)}}
 	accept := int32(nfa.accept)
 	hit := make([]bool, e.snap.NumNodes())
+	steps := 0
 	for len(queue) > 0 {
+		if steps&(checkStride-1) == 0 {
+			if err := e.gov.Checkpoint(faultinject.SiteRPQCSRReach); err != nil {
+				return nil, err
+			}
+		}
+		steps++
 		c := queue[0]
 		queue = queue[1:]
 		if c.q == accept {
 			hit[c.u] = true
 		}
+		before := len(queue)
 		err := e.expandOrdinal(trans[c.q], c.u, func(v, q int32, _ float64, _ int32, _ int32, _ []ppg.NodeID, _ []ppg.EdgeID) {
 			if seen.get(v, q) == 0 {
 				seen.inc(v, q)
@@ -430,6 +450,9 @@ func (e *Engine) reachableCSR(src ppg.NodeID, nfa *NFA) ([]ppg.NodeID, error) {
 			}
 		})
 		if err != nil {
+			return nil, err
+		}
+		if err := e.gov.GrowFrontier(len(queue) - before); err != nil {
 			return nil, err
 		}
 	}
@@ -462,9 +485,17 @@ func (e *Engine) allPathsCSR(src ppg.NodeID, nfa *NFA) (*AllPaths, error) {
 	start := ccfg{srcOrd, int32(nfa.start)}
 	ap.cReached[start] = true
 	queue := []ccfg{start}
+	steps := 0
 	for len(queue) > 0 {
+		if steps&(checkStride-1) == 0 {
+			if err := e.gov.Checkpoint(faultinject.SiteRPQCSRAll); err != nil {
+				return nil, err
+			}
+		}
+		steps++
 		c := queue[0]
 		queue = queue[1:]
+		before := len(ap.cEdges)
 		err := e.expandOrdinal(trans[c.q], c.u, func(v, q int32, _ float64, _ int32, viaEdge int32, viaNodes []ppg.NodeID, viaEdges []ppg.EdgeID) {
 			next := ccfg{v, q}
 			ap.cEdges = append(ap.cEdges, cprodEdge{from: c, to: next, viaEdge: viaEdge, viaNodes: viaNodes, viaEdges: viaEdges})
@@ -475,6 +506,9 @@ func (e *Engine) allPathsCSR(src ppg.NodeID, nfa *NFA) (*AllPaths, error) {
 			}
 		})
 		if err != nil {
+			return nil, err
+		}
+		if err := e.gov.GrowFrontier(len(ap.cEdges) - before); err != nil {
 			return nil, err
 		}
 	}

@@ -7,8 +7,16 @@ import (
 	"sync"
 
 	"gcore/internal/csr"
+	"gcore/internal/faultinject"
+	"gcore/internal/gov"
 	"gcore/internal/ppg"
 )
+
+// checkStride is the number of frontier iterations a search loop runs
+// between governor checkpoints: cancellation lands within one stride
+// while the non-blocking poll stays invisible in profiles. The first
+// iteration is always checked so injected faults fire deterministically.
+const checkStride = 256
 
 // Segment is one weighted step contributed by a PATH view (§A.4): a
 // pair of endpoint nodes, the evaluated COST (strictly positive), and
@@ -32,6 +40,11 @@ type Engine struct {
 	g     *ppg.Graph
 	views ViewResolver
 
+	// gov governs the search loops: cancellation checkpoints and the
+	// product-frontier budget. A nil governor (engines built directly,
+	// e.g. in tests) runs ungoverned — every method on it is nil-safe.
+	gov *gov.Governor
+
 	// snap is the graph's CSR snapshot; non-nil engines run the CSR
 	// kernels (csr_search.go), nil ones the legacy map-based kernels
 	// below. The resolved-transition cache is shared by concurrent
@@ -40,6 +53,10 @@ type Engine struct {
 	mu       sync.Mutex
 	resCache map[*NFA][][]rtrans
 }
+
+// SetGovernor attaches a query governor to the engine's search loops.
+// Searches already running are unaffected; nil detaches.
+func (e *Engine) SetGovernor(g *gov.Governor) { e.gov = g }
 
 // UseLegacy forces NewEngine to return legacy (map-based) engines.
 // Exported for differential tests and ablation benchmarks only.
@@ -139,7 +156,14 @@ func (e *Engine) ShortestPaths(src ppg.NodeID, nfa *NFA, k int) (map[ppg.NodeID]
 	results := map[ppg.NodeID][]PathResult{}
 	sigs := map[ppg.NodeID]map[WalkSig]bool{}
 
+	steps := 0
 	for h.Len() > 0 {
+		if steps&(checkStride-1) == 0 {
+			if err := e.gov.Checkpoint(faultinject.SiteRPQShortest); err != nil {
+				return nil, err
+			}
+		}
+		steps++
 		it := heap.Pop(h).(pqItem)
 		a := arrivals[it.idx]
 		if pops[a.c] >= k {
@@ -168,7 +192,11 @@ func (e *Engine) ShortestPaths(src ppg.NodeID, nfa *NFA, k int) (map[ppg.NodeID]
 			heap.Push(h, pqItem{cost: a.cost + cost, hops: a.hops + hops, seq: seq, idx: len(arrivals) - 1})
 			seq++
 		}
+		before := len(arrivals)
 		if err := e.expand(nfa, a.c, emit); err != nil {
+			return nil, err
+		}
+		if err := e.gov.GrowFrontier(len(arrivals) - before); err != nil {
 			return nil, err
 		}
 	}
@@ -264,12 +292,20 @@ func (e *Engine) Reachable(src ppg.NodeID, nfa *NFA) ([]ppg.NodeID, error) {
 	seen := map[cfg]bool{start: true}
 	queue := []cfg{start}
 	hit := map[ppg.NodeID]bool{}
+	steps := 0
 	for len(queue) > 0 {
+		if steps&(checkStride-1) == 0 {
+			if err := e.gov.Checkpoint(faultinject.SiteRPQReach); err != nil {
+				return nil, err
+			}
+		}
+		steps++
 		c := queue[0]
 		queue = queue[1:]
 		if c.q == nfa.accept {
 			hit[c.n] = true
 		}
+		before := len(queue)
 		err := e.expand(nfa, c, func(next cfg, _ float64, _ int, _ []ppg.NodeID, _ []ppg.EdgeID) {
 			if !seen[next] {
 				seen[next] = true
@@ -277,6 +313,9 @@ func (e *Engine) Reachable(src ppg.NodeID, nfa *NFA) ([]ppg.NodeID, error) {
 			}
 		})
 		if err != nil {
+			return nil, err
+		}
+		if err := e.gov.GrowFrontier(len(queue) - before); err != nil {
 			return nil, err
 		}
 	}
@@ -327,9 +366,17 @@ func (e *Engine) AllPaths(src ppg.NodeID, nfa *NFA) (*AllPaths, error) {
 	start := cfg{src, nfa.start}
 	ap.reached[start] = true
 	queue := []cfg{start}
+	steps := 0
 	for len(queue) > 0 {
+		if steps&(checkStride-1) == 0 {
+			if err := e.gov.Checkpoint(faultinject.SiteRPQAll); err != nil {
+				return nil, err
+			}
+		}
+		steps++
 		c := queue[0]
 		queue = queue[1:]
+		before := len(ap.edges)
 		err := e.expand(nfa, c, func(next cfg, _ float64, _ int, viaNodes []ppg.NodeID, viaEdges []ppg.EdgeID) {
 			ap.edges = append(ap.edges, prodEdge{from: c, to: next, viaNodes: viaNodes, viaEdges: viaEdges})
 			ap.rev[next] = append(ap.rev[next], len(ap.edges)-1)
@@ -339,6 +386,9 @@ func (e *Engine) AllPaths(src ppg.NodeID, nfa *NFA) (*AllPaths, error) {
 			}
 		})
 		if err != nil {
+			return nil, err
+		}
+		if err := e.gov.GrowFrontier(len(ap.edges) - before); err != nil {
 			return nil, err
 		}
 	}
