@@ -1,6 +1,10 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench benchjson benchbase benchcmp repro fuzz cover fmt vet
+.PHONY: all build test race bench benchjson benchbase benchcmp benchguard repro fuzz cover fmt vet
+
+# Packages with guarded hot-path benchmarks: the root suite (MATCH,
+# paths, construction) and the binding-table operators.
+BENCH_PKGS := . ./internal/bindings
 
 all: build test
 
@@ -16,10 +20,11 @@ race:
 bench:
 	go test -bench=. -benchmem ./...
 
-# Machine-readable benchmark snapshot: runs the root-package suite and
-# writes BENCH_<date>.json (name, ns/op, B/op, allocs/op per line).
+# Machine-readable benchmark snapshot: runs the root-package and
+# binding-table suites and writes BENCH_<date>.json (name, ns/op,
+# B/op, allocs/op per line).
 benchjson:
-	go test -bench . -benchmem -run '^$$' . | go run ./cmd/benchjson
+	go test -bench . -benchmem -run '^$$' $(BENCH_PKGS) | go run ./cmd/benchjson
 
 # Benchmark comparison workflow: `make benchbase` on the baseline
 # commit writes bench.base.txt, then `make benchcmp` on the changed
@@ -29,16 +34,23 @@ benchjson:
 BENCH ?= .
 
 benchbase:
-	go test -bench='$(BENCH)' -benchmem -count=5 -run '^$$' . | tee bench.base.txt
+	go test -bench='$(BENCH)' -benchmem -count=5 -run '^$$' $(BENCH_PKGS) | tee bench.base.txt
 
 benchcmp:
-	go test -bench='$(BENCH)' -benchmem -count=5 -run '^$$' . | tee bench.head.txt
+	go test -bench='$(BENCH)' -benchmem -count=5 -run '^$$' $(BENCH_PKGS) | tee bench.head.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat bench.base.txt bench.head.txt; \
 	else \
 		echo '--- benchstat not installed; raw baseline vs head ---'; \
 		grep '^Benchmark' bench.base.txt; echo '---'; grep '^Benchmark' bench.head.txt; \
 	fi
+
+# Regression guard over the committed baseline: allocation regressions
+# beyond 20% on the guarded hot-path benchmarks fail, timing
+# regressions warn (allocs/op is machine-independent, ns/op is not).
+benchguard:
+	go test -bench='BenchmarkJoin|BenchmarkParallelMatch' -benchmem -count=3 -run '^$$' $(BENCH_PKGS) | tee bench.head.txt
+	go run ./cmd/benchguard -base bench.base.txt -head bench.head.txt
 
 repro:
 	go run ./cmd/gcore-repro

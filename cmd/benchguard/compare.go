@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metric is the averaged measurements of one benchmark across the
+// repeated -count runs of a file.
+type metric struct {
+	ns     float64
+	allocs float64
+	hasMem bool
+	n      int
+}
+
+// stripProcSuffix removes the trailing "-<GOMAXPROCS>" go test
+// appends to benchmark names, so files from machines with different
+// core counts compare by the logical benchmark name.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseBenchLine decodes one `BenchmarkX-8 N 12.3 ns/op 4 B/op
+// 2 allocs/op` line; ok is false for headers, PASS, ok … lines.
+func parseBenchLine(line string) (name string, m metric, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", metric{}, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", metric{}, false
+	}
+	m.n = 1
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", metric{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.ns = v
+			seen = true
+		case "allocs/op":
+			m.allocs = v
+			m.hasMem = true
+		}
+	}
+	return stripProcSuffix(fields[0]), m, seen
+}
+
+// parseBench averages the repeated runs of each benchmark in one
+// `go test -bench` output stream.
+func parseBench(lines []string) map[string]metric {
+	out := map[string]metric{}
+	for _, line := range lines {
+		name, m, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		acc := out[name]
+		acc.ns += m.ns
+		acc.allocs += m.allocs
+		acc.hasMem = acc.hasMem || m.hasMem
+		acc.n += m.n
+		out[name] = acc
+	}
+	for name, acc := range out {
+		acc.ns /= float64(acc.n)
+		acc.allocs /= float64(acc.n)
+		out[name] = acc
+	}
+	return out
+}
+
+func loadBench(path string) (map[string]metric, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	recs := parseBench(lines)
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines", path)
+	}
+	return recs, nil
+}
+
+// result is the outcome of one guard comparison.
+type result struct {
+	lines    []string
+	failures []string
+	checked  int
+}
+
+func guarded(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		p = strings.TrimSpace(p)
+		if p != "" && strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// compare checks every guarded head benchmark against the baseline:
+// allocs/op beyond the threshold is a failure, ns/op beyond it a
+// warning, and guarded baseline benchmarks missing from the head run
+// warn as lost coverage.
+func compare(base, head map[string]metric, prefixes []string, threshold float64) result {
+	var res result
+	names := make([]string, 0, len(head))
+	for name := range head {
+		if guarded(name, prefixes) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := head[name]
+		b, ok := base[name]
+		if !ok {
+			res.lines = append(res.lines, fmt.Sprintf("WARN  %s: no baseline entry", name))
+			continue
+		}
+		res.checked++
+		if b.hasMem && h.hasMem && b.allocs > 0 {
+			ratio := h.allocs / b.allocs
+			verdict := "ok  "
+			if ratio > 1+threshold {
+				verdict = "FAIL"
+				res.failures = append(res.failures, name)
+			}
+			res.lines = append(res.lines, fmt.Sprintf("%s  %s: allocs/op %.1f → %.1f (%+.1f%%)",
+				verdict, name, b.allocs, h.allocs, (ratio-1)*100))
+		}
+		if b.ns > 0 {
+			ratio := h.ns / b.ns
+			if ratio > 1+threshold {
+				res.lines = append(res.lines, fmt.Sprintf("WARN  %s: ns/op %.0f → %.0f (%+.1f%%) — timing only, not fatal",
+					name, b.ns, h.ns, (ratio-1)*100))
+			}
+		}
+	}
+	for name := range base {
+		if guarded(name, prefixes) {
+			if _, ok := head[name]; !ok {
+				res.lines = append(res.lines, fmt.Sprintf("WARN  %s: guarded baseline benchmark missing from head run", name))
+			}
+		}
+	}
+	sort.Strings(res.lines)
+	return res
+}

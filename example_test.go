@@ -87,6 +87,7 @@ func ExampleEngine_Explain() {
 	// Output:
 	// MATCH
 	//   scan pattern 1 (default graph)
+	//     start: left end, forward scan [est 5]
 	//     node scan (n :Person)  ⊳ filter: (n.firstName = 'John')
 	//     reachability BFS (product automaton) -/<(:knows)*>/->(m :Person)
 	// CONSTRUCT (identity-respecting, §A.3)

@@ -4,10 +4,21 @@
 // tables Ω are finite sets of bindings on which the evaluator applies
 // the operators ∪ (union), ⋈ (join), ⋉ (semijoin), ∖ (antijoin) and
 // the left-outer join ⟕ used by OPTIONAL.
+//
+// Tables are stored columnar: the schema interns each variable to a
+// slot index and rows live in one flat row-major []value.Value backing
+// array, with value.Absent marking unbound slots (µ is partial). Merge
+// and row copies are slice copies, and the join family buckets rows by
+// a uint64 hash of the shared slots (value.Value.Hash, consistent with
+// value.Equal) with slot-wise equality confirmation on probe — no
+// per-row maps, no string key building. The map-based Binding type
+// remains the boundary representation: Add accepts it, Rows/RowBinding
+// materialise it, so callers that want µ as a map still get one.
 package bindings
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 
 	"gcore/internal/value"
@@ -69,12 +80,17 @@ func Merge(a, b Binding) Binding {
 
 // Key returns a canonical string for the binding restricted to vars;
 // unbound variables contribute a distinguished marker. Equal
-// restrictions yield equal keys.
+// restrictions yield equal keys, and distinct restrictions yield
+// distinct keys: every fragment is length-prefixed, so a string value
+// containing the separator characters cannot collide across slots.
 func (b Binding) Key(vars []string) string {
 	var sb strings.Builder
 	for _, v := range vars {
 		if val, ok := b[v]; ok {
-			sb.WriteString(val.Key())
+			frag := val.Key()
+			sb.WriteString(strconv.Itoa(len(frag)))
+			sb.WriteByte(':')
+			sb.WriteString(frag)
 		} else {
 			sb.WriteByte('?')
 		}
@@ -103,21 +119,30 @@ func (b Binding) String() string {
 // variables that may occur in them (its schema). The schema is the
 // union of the variables of the contributing patterns; individual
 // rows may leave schema variables unbound (OPTIONAL).
+//
+// Layout: vars is the sorted schema (variable → slot by binary
+// search), data holds the rows back to back (row i occupies
+// data[i*len(vars) : (i+1)*len(vars)]), and value.Absent marks
+// unbound slots. n tracks the row count explicitly so zero-width
+// tables (Unit) still know how many µ∅ rows they hold.
 type Table struct {
 	vars []string // sorted
-	rows []Binding
+	data []value.Value
+	n    int
 }
 
 // NewTable creates a table with the given schema and rows.
 func NewTable(vars []string, rows ...Binding) *Table {
 	t := &Table{vars: normVars(vars)}
-	t.rows = append(t.rows, rows...)
+	for _, b := range rows {
+		t.Add(b)
+	}
 	return t
 }
 
 // Unit returns the table {µ∅}: one row binding nothing. It is the
 // starting Ω′ of a top-level MATCH (§A.5).
-func Unit() *Table { return &Table{rows: []Binding{Empty()}} }
+func Unit() *Table { return &Table{n: 1} }
 
 // EmptyTable returns a table with no rows.
 func EmptyTable(vars ...string) *Table { return &Table{vars: normVars(vars)} }
@@ -137,20 +162,195 @@ func normVars(vars []string) []string {
 // Vars returns the table's schema in sorted order.
 func (t *Table) Vars() []string { return t.vars }
 
-// HasVar reports whether v is part of the schema.
-func (t *Table) HasVar(v string) bool {
+// Width returns the number of schema variables (slots per row).
+func (t *Table) Width() int { return len(t.vars) }
+
+// SlotOf returns the slot index of v in the schema, or -1.
+func (t *Table) SlotOf(v string) int {
 	i := sort.SearchStrings(t.vars, v)
-	return i < len(t.vars) && t.vars[i] == v
+	if i < len(t.vars) && t.vars[i] == v {
+		return i
+	}
+	return -1
 }
 
-// Rows returns the rows; the slice must not be modified.
-func (t *Table) Rows() []Binding { return t.rows }
+// HasVar reports whether v is part of the schema.
+func (t *Table) HasVar(v string) bool { return t.SlotOf(v) >= 0 }
 
 // Len returns |Ω|.
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int { return t.n }
 
-// Add appends a row.
-func (t *Table) Add(b Binding) { t.rows = append(t.rows, b) }
+// RowAt returns row i as a slot-ordered slice; unbound slots hold
+// value.Absent. The slice aliases the table and must not be modified.
+func (t *Table) RowAt(i int) []value.Value {
+	w := len(t.vars)
+	return t.data[i*w : (i+1)*w : (i+1)*w]
+}
+
+// Value returns the value bound to name in row i; ok is false when the
+// variable is unbound there (or not in the schema at all).
+func (t *Table) Value(i int, name string) (value.Value, bool) {
+	s := t.SlotOf(name)
+	if s < 0 {
+		return value.Null, false
+	}
+	v := t.data[i*len(t.vars)+s]
+	if v.IsAbsent() {
+		return value.Null, false
+	}
+	return v, true
+}
+
+// RowBinding materialises row i as a map binding (unbound slots are
+// simply absent from the map).
+func (t *Table) RowBinding(i int) Binding {
+	b := make(Binding, len(t.vars))
+	base := i * len(t.vars)
+	for s, v := range t.vars {
+		if val := t.data[base+s]; !val.IsAbsent() {
+			b[v] = val
+		}
+	}
+	return b
+}
+
+// RowTable returns a one-row table holding exactly the bound variables
+// of row i — the outer table of a correlated subquery.
+func (t *Table) RowTable(i int) *Table {
+	base := i * len(t.vars)
+	var vars []string
+	for s, v := range t.vars {
+		if !t.data[base+s].IsAbsent() {
+			vars = append(vars, v)
+		}
+	}
+	out := &Table{vars: vars} // already sorted: subsequence of a sorted schema
+	for s, v := range t.vars {
+		_ = v
+		if val := t.data[base+s]; !val.IsAbsent() {
+			out.data = append(out.data, val)
+		}
+	}
+	out.n = 1
+	return out
+}
+
+// Rows materialises every row as a map binding. Each call builds fresh
+// maps; callers iterating large tables should prefer RowAt/Value.
+func (t *Table) Rows() []Binding {
+	out := make([]Binding, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.RowBinding(i)
+	}
+	return out
+}
+
+// Add appends a row given as a map binding. Variables outside the
+// schema are dropped (the schema is fixed at table creation).
+func (t *Table) Add(b Binding) {
+	for _, v := range t.vars {
+		if val, ok := b[v]; ok {
+			t.data = append(t.data, val)
+		} else {
+			t.data = append(t.data, value.Absent)
+		}
+	}
+	t.n++
+}
+
+// AppendRow appends one dense row given in slot order (value.Absent
+// marks unbound slots). The slice is copied.
+func (t *Table) AppendRow(row []value.Value) {
+	t.data = append(t.data, row...)
+	t.n++
+}
+
+// AppendSlab appends len(slab)/Width() rows laid out back to back in
+// slot order — the merge step of chunked parallel row production.
+func (t *Table) AppendSlab(slab []value.Value) {
+	if len(t.vars) == 0 {
+		return
+	}
+	t.data = append(t.data, slab...)
+	t.n += len(slab) / len(t.vars)
+}
+
+// Pick returns a new table holding the given rows, in the given order.
+func (t *Table) Pick(rows []int) *Table {
+	out := &Table{vars: t.vars, n: len(rows)}
+	w := len(t.vars)
+	out.data = make([]value.Value, 0, len(rows)*w)
+	for _, i := range rows {
+		out.data = append(out.data, t.data[i*w:(i+1)*w]...)
+	}
+	return out
+}
+
+// WithOrdinal returns a copy of the table extended by a column binding
+// name to the row's current ordinal. The evaluator uses it to tag rows
+// before a reordered join so the textual emission order can be
+// restored afterwards.
+func (t *Table) WithOrdinal(name string) *Table {
+	out := EmptyTable(append([]string{name}, t.vars...)...)
+	w, ow := len(t.vars), len(out.vars)
+	slot := out.SlotOf(name)
+	mapTo := slotMapping(t.vars, out.vars)
+	out.data = make([]value.Value, t.n*ow)
+	for i := range out.data {
+		out.data[i] = value.Absent
+	}
+	for i := 0; i < t.n; i++ {
+		dst := out.data[i*ow : (i+1)*ow]
+		src := t.data[i*w : (i+1)*w]
+		for s, v := range src {
+			dst[mapTo[s]] = v
+		}
+		dst[slot] = value.Int(int64(i))
+	}
+	out.n = t.n
+	return out
+}
+
+// SortStableByVars returns a copy whose rows are stably sorted by
+// value.Compare over the listed variables, in order.
+func (t *Table) SortStableByVars(vars []string) *Table {
+	slots := make([]int, 0, len(vars))
+	for _, v := range vars {
+		if s := t.SlotOf(v); s >= 0 {
+			slots = append(slots, s)
+		}
+	}
+	perm := make([]int, t.n)
+	for i := range perm {
+		perm[i] = i
+	}
+	w := len(t.vars)
+	sort.SliceStable(perm, func(x, y int) bool {
+		bi, bj := perm[x]*w, perm[y]*w
+		for _, s := range slots {
+			if c := value.Compare(t.data[bi+s], t.data[bj+s]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return t.Pick(perm)
+}
+
+// DropVars returns a copy of the table without the listed variables.
+func (t *Table) DropVars(names ...string) *Table {
+	drop := map[string]bool{}
+	for _, n := range names {
+		drop[n] = true
+	}
+	keep := make([]string, 0, len(t.vars))
+	for _, v := range t.vars {
+		if !drop[v] {
+			keep = append(keep, v)
+		}
+	}
+	return t.Project(keep)
+}
 
 // sharedVars returns the schema intersection of two tables.
 func sharedVars(a, b *Table) []string {
@@ -167,78 +367,221 @@ func unionVars(a, b *Table) []string {
 	return normVars(append(append([]string(nil), a.vars...), b.vars...))
 }
 
-// Union returns Ω1 ∪ Ω2 (duplicate rows are collapsed: Ω is a set).
-func Union(a, b *Table) *Table {
-	out := &Table{vars: unionVars(a, b)}
-	seen := map[string]bool{}
-	for _, t := range []*Table{a, b} {
-		for _, r := range t.rows {
-			k := r.Key(out.vars)
-			if !seen[k] {
-				seen[k] = true
-				out.rows = append(out.rows, r)
-			}
-		}
+// slotsOf maps variable names to their slots in t (all must exist).
+func slotsOf(t *Table, vars []string) []int {
+	out := make([]int, len(vars))
+	for i, v := range vars {
+		out[i] = t.SlotOf(v)
 	}
 	return out
 }
 
-// boundAll reports whether r binds every variable in vars.
-func boundAll(r Binding, vars []string) bool {
-	for _, v := range vars {
-		if _, ok := r[v]; !ok {
+// slotMapping maps each slot of src to its slot in dst (src ⊆ dst).
+func slotMapping(src, dst []string) []int {
+	out := make([]int, len(src))
+	j := 0
+	for i, v := range src {
+		for dst[j] != v {
+			j++
+		}
+		out[i] = j
+	}
+	return out
+}
+
+// absentTemplate is an all-Absent row used to grow output slabs.
+func absentTemplate(w int) []value.Value {
+	tmpl := make([]value.Value, w)
+	for i := range tmpl {
+		tmpl[i] = value.Absent
+	}
+	return tmpl
+}
+
+// rowBoundAll reports whether row i binds every listed slot.
+func (t *Table) rowBoundAll(i int, slots []int) bool {
+	base := i * len(t.vars)
+	for _, s := range slots {
+		if t.data[base+s].IsAbsent() {
 			return false
 		}
 	}
 	return true
 }
 
+// rowHash folds the listed slots of row i into a hash consistent with
+// slot-wise value.Equal (Absent carries its own tag).
+func (t *Table) rowHash(i int, slots []int) uint64 {
+	h := value.HashSeed()
+	base := i * len(t.vars)
+	for _, s := range slots {
+		h = t.data[base+s].Hash(h)
+	}
+	return h
+}
+
+// rowsEqualOn reports slot-wise equality (Absent equals only Absent) —
+// the confirmation step after a hash bucket hit, and row identity for
+// Union/Distinct/GroupBy.
+func rowsEqualOn(a *Table, i int, aSlots []int, b *Table, j int, bSlots []int) bool {
+	ab, bb := i*len(a.vars), j*len(b.vars)
+	for k := range aSlots {
+		if !value.Equal(a.data[ab+aSlots[k]], b.data[bb+bSlots[k]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// rowsCompatibleOn reports µ1 ∼ µ2 over the shared slots: a slot
+// unbound on either side constrains nothing.
+func rowsCompatibleOn(a *Table, i int, aSlots []int, b *Table, j int, bSlots []int) bool {
+	ab, bb := i*len(a.vars), j*len(b.vars)
+	for k := range aSlots {
+		va, vb := a.data[ab+aSlots[k]], b.data[bb+bSlots[k]]
+		if va.IsAbsent() || vb.IsAbsent() {
+			continue
+		}
+		if !value.Equal(va, vb) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendLegacyOrderKey appends the pre-columnar Binding.Key encoding
+// of the listed slots: value.Key fragments (or '?') joined by '|'.
+// It is NOT collision-free and is used only for ordering — Sorted and
+// group ordering must keep producing byte-identical output, and the
+// historical order is the lexicographic order of exactly this string.
+func (t *Table) appendLegacyOrderKey(sb *strings.Builder, i int, slots []int) {
+	base := i * len(t.vars)
+	for _, s := range slots {
+		if v := t.data[base+s]; v.IsAbsent() {
+			sb.WriteByte('?')
+		} else {
+			v.AppendKeyTo(sb)
+		}
+		sb.WriteByte('|')
+	}
+}
+
+func (t *Table) legacyOrderKey(i int, slots []int) string {
+	var sb strings.Builder
+	t.appendLegacyOrderKey(&sb, i, slots)
+	return sb.String()
+}
+
 // matcher indexes the rows of a table for compatibility probes on the
 // shared variables with another table. Rows that bind all shared
-// variables go into hash buckets; rows with unbound shared variables
-// must be checked pairwise and are kept in a loose list.
+// variables go into hash buckets (insertion order within a bucket);
+// rows with unbound shared variables must be checked pairwise and are
+// kept in a loose list.
 type matcher struct {
-	shared  []string
-	buckets map[string][]Binding
-	loose   []Binding
+	t           *Table
+	slots       []int
+	buckets     map[uint64][]int
+	loose       []int
+	denseSorted []int // lazily built for the unbound-left probe
+	sortedBuilt bool
 }
 
 func newMatcher(t *Table, shared []string) *matcher {
-	m := &matcher{shared: shared, buckets: map[string][]Binding{}}
-	for _, r := range t.rows {
-		if boundAll(r, shared) {
-			k := r.Key(shared)
-			m.buckets[k] = append(m.buckets[k], r)
+	m := &matcher{t: t, slots: slotsOf(t, shared), buckets: map[uint64][]int{}}
+	for j := 0; j < t.n; j++ {
+		if t.rowBoundAll(j, m.slots) {
+			h := t.rowHash(j, m.slots)
+			m.buckets[h] = append(m.buckets[h], j)
 		} else {
-			m.loose = append(m.loose, r)
+			m.loose = append(m.loose, j)
 		}
 	}
 	return m
 }
 
-// candidates yields the rows possibly compatible with l; each still
-// needs a Compatible check (bucket equality only covers shared vars
-// bound on both sides).
-func (m *matcher) candidates(l Binding) []Binding {
-	if boundAll(l, m.shared) {
-		out := m.buckets[l.Key(m.shared)]
-		if len(m.loose) == 0 {
-			return out
+// denseInKeyOrder returns the fully-bound rows ordered by the legacy
+// key of their shared slots (ties in insertion order) — the candidate
+// order the pre-columnar implementation produced for a left row that
+// leaves a shared variable unbound, preserved so row emission order
+// (and therefore constructed-object identities downstream) does not
+// change.
+func (m *matcher) denseInKeyOrder() []int {
+	if m.sortedBuilt {
+		return m.denseSorted
+	}
+	m.sortedBuilt = true
+	for j := 0; j < m.t.n; j++ {
+		if m.t.rowBoundAll(j, m.slots) {
+			m.denseSorted = append(m.denseSorted, j)
 		}
-		return append(append([]Binding(nil), out...), m.loose...)
 	}
-	// l leaves a shared variable unbound: every row may match.
-	all := make([]Binding, 0, len(m.loose)+len(m.buckets))
-	all = append(all, m.loose...)
-	keys := make([]string, 0, len(m.buckets))
-	for k := range m.buckets {
-		keys = append(keys, k)
+	keys := make([]string, len(m.denseSorted))
+	for k, j := range m.denseSorted {
+		keys[k] = m.t.legacyOrderKey(j, m.slots)
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		all = append(all, m.buckets[k]...)
+	perm := make([]int, len(m.denseSorted))
+	for i := range perm {
+		perm[i] = i
 	}
-	return all
+	sort.SliceStable(perm, func(x, y int) bool { return keys[perm[x]] < keys[perm[y]] })
+	sorted := make([]int, len(perm))
+	for k, pi := range perm {
+		sorted[k] = m.denseSorted[pi]
+	}
+	m.denseSorted = sorted
+	return m.denseSorted
+}
+
+// Union returns Ω1 ∪ Ω2 (duplicate rows are collapsed: Ω is a set).
+func Union(a, b *Table) *Table {
+	out := &Table{vars: unionVars(a, b)}
+	w := len(out.vars)
+	tmpl := absentTemplate(w)
+	outSlots := make([]int, w)
+	for i := range outSlots {
+		outSlots[i] = i
+	}
+	seen := map[uint64][]int{}
+	scratch := make([]value.Value, w)
+	for _, t := range []*Table{a, b} {
+		mapTo := slotMapping(t.vars, out.vars)
+		tw := len(t.vars)
+		for i := 0; i < t.n; i++ {
+			copy(scratch, tmpl)
+			src := t.data[i*tw : (i+1)*tw]
+			for s, v := range src {
+				scratch[mapTo[s]] = v
+			}
+			h := value.HashSeed()
+			for _, v := range scratch {
+				h = v.Hash(h)
+			}
+			dup := false
+			for _, j := range seen[h] {
+				if rowScratchEqual(out, j, scratch) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen[h] = append(seen[h], out.n)
+			out.data = append(out.data, scratch...)
+			out.n++
+		}
+	}
+	return out
+}
+
+func rowScratchEqual(t *Table, i int, scratch []value.Value) bool {
+	base := i * len(t.vars)
+	for s, v := range scratch {
+		if !value.Equal(t.data[base+s], v) {
+			return false
+		}
+	}
+	return true
 }
 
 // Join returns Ω1 ⋈ Ω2 = {µ1 ∪ µ2 | µ1 ∼ µ2}.
@@ -253,50 +596,8 @@ func Join(a, b *Table) *Table {
 // an adversarial cartesian product must not be allocated before a
 // caller-side check can reject it.
 func JoinLimited(a, b *Table, max int) (*Table, bool) {
-	out := &Table{vars: unionVars(a, b)}
-	m := newMatcher(b, sharedVars(a, b))
-	for _, l := range a.rows {
-		for _, r := range m.candidates(l) {
-			if Compatible(l, r) {
-				out.rows = append(out.rows, Merge(l, r))
-				if max > 0 && len(out.rows) > max {
-					return out, true
-				}
-			}
-		}
-	}
-	return out, false
-}
-
-// SemiJoin returns Ω1 ⋉ Ω2 = {µ1 | ∃µ2 ∈ Ω2 : µ1 ∼ µ2}.
-func SemiJoin(a, b *Table) *Table {
-	out := &Table{vars: a.vars}
-	m := newMatcher(b, sharedVars(a, b))
-	for _, l := range a.rows {
-		for _, r := range m.candidates(l) {
-			if Compatible(l, r) {
-				out.rows = append(out.rows, l)
-				break
-			}
-		}
-	}
-	return out
-}
-
-// AntiJoin returns Ω1 ∖ Ω2 = {µ1 | ∄µ2 ∈ Ω2 : µ1 ∼ µ2}.
-func AntiJoin(a, b *Table) *Table {
-	out := &Table{vars: a.vars}
-	m := newMatcher(b, sharedVars(a, b))
-outer:
-	for _, l := range a.rows {
-		for _, r := range m.candidates(l) {
-			if Compatible(l, r) {
-				continue outer
-			}
-		}
-		out.rows = append(out.rows, l)
-	}
-	return out
+	out, _, over := joinCore(a, b, max, false)
+	return out, over
 }
 
 // LeftJoin returns Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 ∖ Ω2): the operator the
@@ -309,40 +610,153 @@ func LeftJoin(a, b *Table) *Table {
 // LeftJoinLimited is LeftJoin with the same row budget semantics as
 // JoinLimited.
 func LeftJoinLimited(a, b *Table, max int) (*Table, bool) {
+	out, _, over := joinCore(a, b, max, true)
+	return out, over
+}
+
+// joinCore drives Join and LeftJoin: per left row (in order), the
+// hash-bucket candidates in right-insertion order, then the loose
+// rows; a left row missing a shared variable probes the loose rows
+// first and then every dense row in legacy key order — reproducing
+// the pre-columnar emission order exactly.
+func joinCore(a, b *Table, max int, left bool) (*Table, int, bool) {
 	out := &Table{vars: unionVars(a, b)}
-	m := newMatcher(b, sharedVars(a, b))
-	for _, l := range a.rows {
-		matched := false
-		for _, r := range m.candidates(l) {
-			if Compatible(l, r) {
-				matched = true
-				out.rows = append(out.rows, Merge(l, r))
-				if max > 0 && len(out.rows) > max {
-					return out, true
+	w := len(out.vars)
+	shared := sharedVars(a, b)
+	aS, bS := slotsOf(a, shared), slotsOf(b, shared)
+	m := newMatcher(b, shared)
+	aMap := slotMapping(a.vars, out.vars)
+	bMap := slotMapping(b.vars, out.vars)
+	tmpl := absentTemplate(w)
+	aw, bw := len(a.vars), len(b.vars)
+
+	emit := func(i, j int) bool {
+		start := len(out.data)
+		out.data = append(out.data, tmpl...)
+		row := out.data[start : start+w]
+		src := a.data[i*aw : (i+1)*aw]
+		for s, v := range src {
+			row[aMap[s]] = v
+		}
+		if j >= 0 {
+			src = b.data[j*bw : (j+1)*bw]
+			for s, v := range src {
+				if !v.IsAbsent() {
+					row[bMap[s]] = v
 				}
 			}
 		}
-		if !matched {
-			out.rows = append(out.rows, l)
-			if max > 0 && len(out.rows) > max {
-				return out, true
+		out.n++
+		return max > 0 && out.n > max
+	}
+
+	for i := 0; i < a.n; i++ {
+		matched := false
+		if a.rowBoundAll(i, aS) {
+			h := a.rowHash(i, aS)
+			for _, j := range m.buckets[h] {
+				if rowsEqualOn(a, i, aS, b, j, bS) {
+					matched = true
+					if emit(i, j) {
+						return out, i, true
+					}
+				}
+			}
+			for _, j := range m.loose {
+				if rowsCompatibleOn(a, i, aS, b, j, bS) {
+					matched = true
+					if emit(i, j) {
+						return out, i, true
+					}
+				}
+			}
+		} else {
+			for _, j := range m.loose {
+				if rowsCompatibleOn(a, i, aS, b, j, bS) {
+					matched = true
+					if emit(i, j) {
+						return out, i, true
+					}
+				}
+			}
+			for _, j := range m.denseInKeyOrder() {
+				if rowsCompatibleOn(a, i, aS, b, j, bS) {
+					matched = true
+					if emit(i, j) {
+						return out, i, true
+					}
+				}
+			}
+		}
+		if left && !matched {
+			if emit(i, -1) {
+				return out, i, true
 			}
 		}
 	}
-	return out, false
+	return out, a.n, false
+}
+
+// SemiJoin returns Ω1 ⋉ Ω2 = {µ1 | ∃µ2 ∈ Ω2 : µ1 ∼ µ2}.
+func SemiJoin(a, b *Table) *Table {
+	return semi(a, b, true)
+}
+
+// AntiJoin returns Ω1 ∖ Ω2 = {µ1 | ∄µ2 ∈ Ω2 : µ1 ∼ µ2}.
+func AntiJoin(a, b *Table) *Table {
+	return semi(a, b, false)
+}
+
+func semi(a, b *Table, keepMatched bool) *Table {
+	out := &Table{vars: a.vars}
+	shared := sharedVars(a, b)
+	aS, bS := slotsOf(a, shared), slotsOf(b, shared)
+	m := newMatcher(b, shared)
+	aw := len(a.vars)
+	for i := 0; i < a.n; i++ {
+		matched := false
+		if a.rowBoundAll(i, aS) {
+			h := a.rowHash(i, aS)
+			for _, j := range m.buckets[h] {
+				if rowsEqualOn(a, i, aS, b, j, bS) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				for _, j := range m.loose {
+					if rowsCompatibleOn(a, i, aS, b, j, bS) {
+						matched = true
+						break
+					}
+				}
+			}
+		} else {
+			for j := 0; j < b.n && !matched; j++ {
+				matched = rowsCompatibleOn(a, i, aS, b, j, bS)
+			}
+		}
+		if matched == keepMatched {
+			out.data = append(out.data, a.data[i*aw:(i+1)*aw]...)
+			out.n++
+		}
+	}
+	return out
 }
 
 // Filter keeps the rows for which pred returns true; the first error
-// aborts.
+// aborts. The predicate receives each row materialised as a map.
 func (t *Table) Filter(pred func(Binding) (bool, error)) (*Table, error) {
 	out := &Table{vars: t.vars}
-	for _, r := range t.rows {
-		ok, err := pred(r)
+	w := len(t.vars)
+	for i := 0; i < t.n; i++ {
+		ok, err := pred(t.RowBinding(i))
 		if err != nil {
 			return nil, err
 		}
 		if ok {
-			out.rows = append(out.rows, r)
+			out.data = append(out.data, t.data[i*w:(i+1)*w]...)
+			out.n++
 		}
 	}
 	return out, nil
@@ -351,41 +765,73 @@ func (t *Table) Filter(pred func(Binding) (bool, error)) (*Table, error) {
 // Project restricts every row (and the schema) to vars.
 func (t *Table) Project(vars []string) *Table {
 	keep := normVars(vars)
-	out := &Table{vars: keep}
-	for _, r := range t.rows {
-		nr := Binding{}
-		for _, v := range keep {
-			if val, ok := r[v]; ok {
-				nr[v] = val
+	out := &Table{vars: keep, n: t.n}
+	srcSlot := make([]int, len(keep))
+	for i, v := range keep {
+		srcSlot[i] = t.SlotOf(v)
+	}
+	w := len(t.vars)
+	out.data = make([]value.Value, 0, t.n*len(keep))
+	for i := 0; i < t.n; i++ {
+		base := i * w
+		for _, s := range srcSlot {
+			if s < 0 {
+				out.data = append(out.data, value.Absent)
+			} else {
+				out.data = append(out.data, t.data[base+s])
 			}
 		}
-		out.rows = append(out.rows, nr)
 	}
 	return out
 }
 
-// Distinct collapses duplicate rows.
+// Distinct collapses duplicate rows (slot-wise equality; unbound
+// equals only unbound), keeping first occurrences in order.
 func (t *Table) Distinct() *Table {
 	out := &Table{vars: t.vars}
-	seen := map[string]bool{}
-	for _, r := range t.rows {
-		k := r.Key(t.vars)
-		if !seen[k] {
-			seen[k] = true
-			out.rows = append(out.rows, r)
+	w := len(t.vars)
+	all := make([]int, w)
+	for i := range all {
+		all[i] = i
+	}
+	seen := map[uint64][]int{}
+	for i := 0; i < t.n; i++ {
+		h := t.rowHash(i, all)
+		dup := false
+		for _, j := range seen[h] {
+			if rowsEqualOn(t, i, all, t, j, all) {
+				dup = true
+				break
+			}
 		}
+		if dup {
+			continue
+		}
+		seen[h] = append(seen[h], i)
+		out.data = append(out.data, t.data[i*w:(i+1)*w]...)
+		out.n++
 	}
 	return out
 }
 
-// Sorted returns a copy whose rows are in canonical order (by the
-// binding keys over the schema), for deterministic output.
+// Sorted returns a copy whose rows are in canonical order — the
+// lexicographic order of the legacy row keys over the schema, which
+// is what deterministic output has always used ("N1" < "N10" < "N2").
 func (t *Table) Sorted() *Table {
-	out := &Table{vars: t.vars, rows: append([]Binding(nil), t.rows...)}
-	sort.SliceStable(out.rows, func(i, j int) bool {
-		return out.rows[i].Key(out.vars) < out.rows[j].Key(out.vars)
-	})
-	return out
+	all := make([]int, len(t.vars))
+	for i := range all {
+		all[i] = i
+	}
+	keys := make([]string, t.n)
+	for i := 0; i < t.n; i++ {
+		keys[i] = t.legacyOrderKey(i, all)
+	}
+	perm := make([]int, t.n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(x, y int) bool { return keys[perm[x]] < keys[perm[y]] })
+	return t.Pick(perm)
 }
 
 // Group is one equivalence class of grp(Ω, g) (§A.3): the rows of Ω
@@ -402,34 +848,100 @@ type Group struct {
 // undefined in §A.3.
 func (t *Table) GroupBy(gamma []string) []Group {
 	gs := normVars(gamma)
-	idx := map[string]int{}
-	groups := []Group{}
-	for _, r := range t.rows {
-		k := r.Key(gs)
-		i, ok := idx[k]
-		if !ok {
-			key := Binding{}
-			for _, v := range gs {
-				if val, bound := r[v]; bound {
+	slots := make([]int, 0, len(gs))
+	missing := 0
+	for _, v := range gs {
+		if s := t.SlotOf(v); s >= 0 {
+			slots = append(slots, s)
+		} else {
+			missing++ // grouping var outside the schema: always unbound
+		}
+	}
+	type grp struct {
+		rep  int
+		rows []int
+	}
+	var groups []grp
+	idx := map[uint64][]int{}
+	for i := 0; i < t.n; i++ {
+		h := t.rowHash(i, slots)
+		gi := -1
+		for _, j := range idx[h] {
+			if rowsEqualOn(t, i, slots, t, groups[j].rep, slots) {
+				gi = j
+				break
+			}
+		}
+		if gi < 0 {
+			gi = len(groups)
+			idx[h] = append(idx[h], gi)
+			groups = append(groups, grp{rep: i})
+		}
+		groups[gi].rows = append(groups[gi].rows, i)
+	}
+	// Order groups by the legacy key of the representative restricted
+	// to Γ (missing grouping vars contribute the unbound marker), the
+	// historical canonical order.
+	keys := make([]string, len(groups))
+	for i, g := range groups {
+		var sb strings.Builder
+		t.appendLegacyOrderKey(&sb, g.rep, slots)
+		for k := 0; k < missing; k++ {
+			sb.WriteString("?|")
+		}
+		keys[i] = sb.String()
+	}
+	perm := make([]int, len(groups))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(x, y int) bool { return keys[perm[x]] < keys[perm[y]] })
+	out := make([]Group, len(groups))
+	for oi, pi := range perm {
+		g := groups[pi]
+		key := Binding{}
+		base := g.rep * len(t.vars)
+		for k, v := range gs {
+			_ = k
+			if s := t.SlotOf(v); s >= 0 {
+				if val := t.data[base+s]; !val.IsAbsent() {
 					key[v] = val
 				}
 			}
-			i = len(groups)
-			idx[k] = i
-			groups = append(groups, Group{Key: key})
 		}
-		groups[i].Rows = append(groups[i].Rows, r)
+		rows := make([]Binding, len(g.rows))
+		for k, ri := range g.rows {
+			rows[k] = t.RowBinding(ri)
+		}
+		out[oi] = Group{Key: key, Rows: rows}
 	}
-	sort.SliceStable(groups, func(i, j int) bool {
-		return groups[i].Key.Key(gs) < groups[j].Key.Key(gs)
-	})
-	return groups
+	return out
 }
 
 // AddVars widens the schema (used when the evaluator introduces
-// variables such as construct variables).
+// variables such as construct variables); existing rows leave the new
+// variables unbound.
 func (t *Table) AddVars(vars ...string) {
-	t.vars = normVars(append(t.vars, vars...))
+	nv := normVars(append(append([]string(nil), t.vars...), vars...))
+	if len(nv) == len(t.vars) {
+		t.vars = nv
+		return
+	}
+	mapTo := slotMapping(t.vars, nv)
+	nw := len(nv)
+	nd := make([]value.Value, t.n*nw)
+	for i := range nd {
+		nd[i] = value.Absent
+	}
+	w := len(t.vars)
+	for i := 0; i < t.n; i++ {
+		src := t.data[i*w : (i+1)*w]
+		dst := nd[i*nw : (i+1)*nw]
+		for s, v := range src {
+			dst[mapTo[s]] = v
+		}
+	}
+	t.vars, t.data = nv, nd
 }
 
 // String renders the table for diagnostics: header then rows in
@@ -438,15 +950,17 @@ func (t *Table) String() string {
 	var sb strings.Builder
 	sb.WriteString(strings.Join(t.vars, "\t"))
 	sb.WriteByte('\n')
-	for _, r := range t.rows {
-		for i, v := range t.vars {
-			if i > 0 {
+	w := len(t.vars)
+	for i := 0; i < t.n; i++ {
+		base := i * w
+		for s := range t.vars {
+			if s > 0 {
 				sb.WriteByte('\t')
 			}
-			if val, ok := r[v]; ok {
-				sb.WriteString(val.String())
-			} else {
+			if v := t.data[base+s]; v.IsAbsent() {
 				sb.WriteString("·")
+			} else {
+				sb.WriteString(v.String())
 			}
 		}
 		sb.WriteByte('\n')

@@ -1,0 +1,479 @@
+package bindings
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gcore/internal/value"
+)
+
+// Tests for the columnar table layout: Key injectivity (the '|'-join
+// collision hazard), hash/key consistency, and exact-sequence
+// agreement of the hashed operators with a naive reference that
+// replays the legacy nested-loop algorithm, over randomized tables
+// with unbound slots and adversarial string values.
+
+// adversarialVals contains values whose Key fragments contain the
+// join separator '|', the unbound marker '?', and strings shaped like
+// the length prefix itself.
+var adversarialVals = []value.Value{
+	value.Null,
+	value.Bool(true),
+	value.Int(0),
+	value.Int(2),
+	value.Str(""),
+	value.Str("a"),
+	value.Str("?"),
+	value.Str("|"),
+	value.Str("a|b"),
+	value.Str(`a"|s"b`),
+	value.Str("2:ab"),
+	value.Str("?|"),
+	value.Float(1.5),
+	value.Float(2),
+	value.NodeRef(1),
+	value.EdgeRef(1),
+	value.List(value.Int(1), value.Str("|")),
+}
+
+// TestKeyInjectiveAdversarial: two bindings have the same Key over
+// vars iff they agree (bound-ness and value) on every var. The old
+// encoding joined raw fragments with '|' and wrote a bare '?' for
+// unbound vars, so fragments containing those bytes could collide
+// across variable boundaries; the length prefix makes the encoding
+// injective for arbitrary fragments.
+func TestKeyInjectiveAdversarial(t *testing.T) {
+	vars := []string{"x", "y", "z"}
+	// All bindings over vars with each slot unbound or any adversarial
+	// value would be 18^3; sample instead, plus a few crafted pairs.
+	gen := func(r *rand.Rand) Binding {
+		b := Binding{}
+		for _, v := range vars {
+			if i := r.Intn(len(adversarialVals) + 1); i > 0 {
+				b[v] = adversarialVals[i-1]
+			}
+		}
+		return b
+	}
+	sameOn := func(a, b Binding) bool {
+		for _, v := range vars {
+			av, aok := a[v]
+			bv, bok := b[v]
+			if aok != bok || (aok && !value.Equal(av, bv)) {
+				return false
+			}
+		}
+		return true
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a, b := gen(r), gen(r)
+		if (a.Key(vars) == b.Key(vars)) != sameOn(a, b) {
+			t.Fatalf("Key collision or miss:\na=%v key=%q\nb=%v key=%q", a, a.Key(vars), b, b.Key(vars))
+		}
+	}
+	// The historical hazard, spelled out: moving a separator across a
+	// variable boundary must change the key.
+	p1 := Binding{"x": value.Str("a|b"), "y": value.Str("c")}
+	p2 := Binding{"x": value.Str("a"), "y": value.Str("b|c")}
+	if p1.Key(vars) == p2.Key(vars) {
+		t.Fatal("separator smuggled across variable boundary")
+	}
+	// A bound '?'-like string must not collide with an unbound slot.
+	q1 := Binding{"x": value.Str("?")}
+	q2 := Binding{}
+	if q1.Key(vars) == q2.Key(vars) {
+		t.Fatal("bound \"?\" collides with unbound slot")
+	}
+}
+
+// FuzzKeyInjective drives the same invariant from fuzzed strings.
+func FuzzKeyInjective(f *testing.F) {
+	f.Add("a|b", "c", "a", "b|c")
+	f.Add("?", "x", "", "?|x")
+	f.Add("2:ab", "", "2", ":ab")
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2 string) {
+		vars := []string{"x", "y"}
+		a := Binding{"x": value.Str(x1), "y": value.Str(y1)}
+		b := Binding{"x": value.Str(x2), "y": value.Str(y2)}
+		same := x1 == x2 && y1 == y2
+		if (a.Key(vars) == b.Key(vars)) != same {
+			t.Fatalf("injectivity broken: %q/%q vs %q/%q", x1, y1, x2, y2)
+		}
+	})
+}
+
+// TestHashMatchesKey: the FNV hash and the Key encoding must agree on
+// what is equal — equal keys hash equal (else hashed joins split a
+// bucket the string-keyed code would share), and unequal keys should
+// essentially never collide over the small test domain.
+func TestHashMatchesKey(t *testing.T) {
+	seed := value.HashSeed()
+	for _, a := range adversarialVals {
+		for _, b := range adversarialVals {
+			ka, kb := a.Key(), b.Key()
+			ha, hb := a.Hash(seed), b.Hash(seed)
+			if ka == kb && ha != hb {
+				t.Fatalf("equal keys, unequal hashes: %s vs %s", a, b)
+			}
+			if ka != kb && ha == hb {
+				t.Fatalf("hash collision in tiny domain: %s vs %s", a, b)
+			}
+		}
+	}
+	// Numeric canonicalisation: 2.0 and 2 are Equal, so they must
+	// share both key and hash.
+	if value.Float(2).Hash(seed) != value.Int(2).Hash(seed) {
+		t.Fatal("integral float must hash like the equal int")
+	}
+}
+
+// --- naive reference: the legacy nested-loop operators ---------------
+
+func refLegacyKey(b Binding, vars []string) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		if val, ok := b[v]; ok {
+			sb.WriteString(val.Key())
+		} else {
+			sb.WriteByte('?')
+		}
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+func refBoundAll(b Binding, vars []string) bool {
+	for _, v := range vars {
+		if _, ok := b[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func refEqualOn(a, b Binding, vars []string) bool {
+	for _, v := range vars {
+		av, aok := a[v]
+		bv, bok := b[v]
+		if aok != bok || (aok && !value.Equal(av, bv)) {
+			return false
+		}
+	}
+	return true
+}
+
+func refShared(a, b *Table) []string {
+	var out []string
+	for _, v := range a.Vars() {
+		if b.HasVar(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// refJoinRows replays the legacy matcher's candidate order exactly:
+// a probe bound on all shared vars sees the matching dense rows in
+// insertion order then the loose rows; an unbound probe sees the
+// loose rows then every dense row in canonical key order.
+func refJoinRows(a, b *Table, left bool) []Binding {
+	shared := refShared(a, b)
+	var dense, loose []Binding
+	for _, r := range b.Rows() {
+		if refBoundAll(r, shared) {
+			dense = append(dense, r)
+		} else {
+			loose = append(loose, r)
+		}
+	}
+	denseSorted := append([]Binding(nil), dense...)
+	sort.SliceStable(denseSorted, func(i, j int) bool {
+		return refLegacyKey(denseSorted[i], shared) < refLegacyKey(denseSorted[j], shared)
+	})
+	var out []Binding
+	for _, l := range a.Rows() {
+		matched := false
+		emit := func(r Binding) {
+			matched = true
+			out = append(out, Merge(l, r))
+		}
+		if refBoundAll(l, shared) {
+			for _, r := range dense {
+				if refEqualOn(l, r, shared) {
+					emit(r)
+				}
+			}
+			for _, r := range loose {
+				if Compatible(l, r) {
+					emit(r)
+				}
+			}
+		} else {
+			for _, r := range loose {
+				if Compatible(l, r) {
+					emit(r)
+				}
+			}
+			for _, r := range denseSorted {
+				if Compatible(l, r) {
+					emit(r)
+				}
+			}
+		}
+		if left && !matched {
+			out = append(out, l.Clone())
+		}
+	}
+	return out
+}
+
+func refDistinctRows(t *Table) []Binding {
+	var out []Binding
+	for _, r := range t.Rows() {
+		dup := false
+		for _, s := range out {
+			if refEqualOn(r, s, t.Vars()) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func refUnionRows(a, b *Table, vars []string) []Binding {
+	var out []Binding
+	for _, t := range []*Table{a, b} {
+		for _, r := range t.Rows() {
+			dup := false
+			for _, s := range out {
+				if refEqualOn(r, s, vars) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+type refGroup struct {
+	rep  Binding
+	rows []Binding
+}
+
+func refGroupBy(t *Table, gamma []string) []refGroup {
+	var groups []refGroup
+	for _, r := range t.Rows() {
+		found := false
+		for i := range groups {
+			if refEqualOn(groups[i].rep, r, gamma) {
+				groups[i].rows = append(groups[i].rows, r)
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, refGroup{rep: r, rows: []Binding{r}})
+		}
+	}
+	sort.SliceStable(groups, func(i, j int) bool {
+		return refLegacyKey(groups[i].rep, gamma) < refLegacyKey(groups[j].rep, gamma)
+	})
+	return groups
+}
+
+// --- generators ------------------------------------------------------
+
+var propVarPool = []string{"w", "x", "y", "z"}
+
+func propVars(r *rand.Rand) []string {
+	var vars []string
+	for _, v := range propVarPool {
+		if r.Intn(2) == 0 {
+			vars = append(vars, v)
+		}
+	}
+	if len(vars) == 0 {
+		vars = []string{"x"}
+	}
+	return vars
+}
+
+func propTable(r *rand.Rand, vars []string) *Table {
+	t := EmptyTable(vars...)
+	n := r.Intn(7)
+	for i := 0; i < n; i++ {
+		b := Binding{}
+		for _, v := range vars {
+			if j := r.Intn(len(adversarialVals) + 4); j < len(adversarialVals) {
+				b[v] = adversarialVals[j]
+			}
+			// else: leave the slot unbound
+		}
+		t.Add(b)
+	}
+	return t
+}
+
+func sameRows(got *Table, want []Binding, vars []string) bool {
+	if got.Len() != len(want) {
+		return false
+	}
+	for i := 0; i < got.Len(); i++ {
+		if !refEqualOn(got.RowBinding(i), want[i], vars) {
+			return false
+		}
+	}
+	return true
+}
+
+func dumpRows(rows []Binding) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func dumpTable(t *Table) string {
+	var sb strings.Builder
+	for i := 0; i < t.Len(); i++ {
+		sb.WriteString(t.RowBinding(i).String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestColumnarJoinMatchesReference: Join and LeftJoin reproduce the
+// legacy emission sequence exactly — row for row, not just as sets.
+func TestColumnarJoinMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 400; i++ {
+		a := propTable(r, propVars(r))
+		b := propTable(r, propVars(r))
+		all := normVars(append(append([]string(nil), a.Vars()...), b.Vars()...))
+		if got, want := Join(a, b), refJoinRows(a, b, false); !sameRows(got, want, all) {
+			t.Fatalf("case %d: Join diverged\na:\n%sb:\n%sgot:\n%swant:\n%s",
+				i, dumpTable(a), dumpTable(b), dumpTable(got), dumpRows(want))
+		}
+		if got, want := LeftJoin(a, b), refJoinRows(a, b, true); !sameRows(got, want, all) {
+			t.Fatalf("case %d: LeftJoin diverged\na:\n%sb:\n%sgot:\n%swant:\n%s",
+				i, dumpTable(a), dumpTable(b), dumpTable(got), dumpRows(want))
+		}
+	}
+}
+
+// TestColumnarSemiAntiMatchReference: the existence operators keep the
+// exact probe-side sequence.
+func TestColumnarSemiAntiMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 400; i++ {
+		a := propTable(r, propVars(r))
+		b := propTable(r, propVars(r))
+		var wantSemi, wantAnti []Binding
+		for _, l := range a.Rows() {
+			matched := false
+			for _, rr := range b.Rows() {
+				if Compatible(l, rr) {
+					matched = true
+					break
+				}
+			}
+			if matched {
+				wantSemi = append(wantSemi, l)
+			} else {
+				wantAnti = append(wantAnti, l)
+			}
+		}
+		if got := SemiJoin(a, b); !sameRows(got, wantSemi, a.Vars()) {
+			t.Fatalf("case %d: SemiJoin diverged\ngot:\n%swant:\n%s", i, dumpTable(got), dumpRows(wantSemi))
+		}
+		if got := AntiJoin(a, b); !sameRows(got, wantAnti, a.Vars()) {
+			t.Fatalf("case %d: AntiJoin diverged\ngot:\n%swant:\n%s", i, dumpTable(got), dumpRows(wantAnti))
+		}
+	}
+}
+
+// TestColumnarDistinctUnionMatchReference: set semantics dedup by row
+// equality (unbound == unbound), keeping first occurrences in order.
+func TestColumnarDistinctUnionMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 400; i++ {
+		a := propTable(r, propVars(r))
+		b := propTable(r, propVars(r))
+		all := normVars(append(append([]string(nil), a.Vars()...), b.Vars()...))
+		if got, want := a.Distinct(), refDistinctRows(a); !sameRows(got, want, a.Vars()) {
+			t.Fatalf("case %d: Distinct diverged\ngot:\n%swant:\n%s", i, dumpTable(got), dumpRows(want))
+		}
+		if got, want := Union(a, b), refUnionRows(a, b, all); !sameRows(got, want, all) {
+			t.Fatalf("case %d: Union diverged\ngot:\n%swant:\n%s", i, dumpTable(got), dumpRows(want))
+		}
+	}
+}
+
+// TestColumnarGroupByMatchesReference: group identity, group order and
+// within-group row order all match the reference.
+func TestColumnarGroupByMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for i := 0; i < 400; i++ {
+		vars := propVars(r)
+		a := propTable(r, vars)
+		gamma := vars[:r.Intn(len(vars)+1)]
+		got := a.GroupBy(gamma)
+		want := refGroupBy(a, normVars(gamma))
+		if len(got) != len(want) {
+			t.Fatalf("case %d: %d groups, want %d", i, len(got), len(want))
+		}
+		for gi := range got {
+			wantKey := Binding{}
+			for _, v := range normVars(gamma) {
+				if val, ok := want[gi].rep[v]; ok {
+					wantKey[v] = val
+				}
+			}
+			if !refEqualOn(got[gi].Key, wantKey, normVars(gamma)) {
+				t.Fatalf("case %d group %d: key %v, want %v", i, gi, got[gi].Key, wantKey)
+			}
+			if len(got[gi].Rows) != len(want[gi].rows) {
+				t.Fatalf("case %d group %d: %d rows, want %d", i, gi, len(got[gi].Rows), len(want[gi].rows))
+			}
+			for ri := range got[gi].Rows {
+				if !refEqualOn(got[gi].Rows[ri], want[gi].rows[ri], vars) {
+					t.Fatalf("case %d group %d row %d diverged", i, gi, ri)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickSortedCanonicalOrder: Sorted orders rows by the canonical
+// '|'-joined key the legacy code used, so serialized output (which is
+// what the differential suites pin) is unchanged.
+func TestQuickSortedCanonicalOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := propTable(r, propVars(r))
+		s := a.Sorted()
+		for i := 1; i < s.Len(); i++ {
+			if refLegacyKey(s.RowBinding(i-1), a.Vars()) > refLegacyKey(s.RowBinding(i), a.Vars()) {
+				return false
+			}
+		}
+		return s.Len() == a.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

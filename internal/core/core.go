@@ -29,6 +29,7 @@ import (
 	"gcore/internal/ppg"
 	"gcore/internal/rpq"
 	"gcore/internal/table"
+	"gcore/internal/value"
 )
 
 // Evaluator evaluates statements against a catalog.
@@ -202,6 +203,28 @@ const minParallelItems = 64
 // of subqueries, which may touch evaluator state) and large enough to
 // amortise the fan-out.
 func (c *evalCtx) mapRows(n int, safe bool, fn func(lo, hi int) ([]bindings.Binding, error)) ([][]bindings.Binding, error) {
+	w := par.Workers(c.ev.workers)
+	if !safe || n < minParallelItems {
+		w = 1
+	}
+	return par.MapChunks(c.gov.Context(), n, w, fn)
+}
+
+// mapSlabs is mapRows for chunk jobs that produce dense row slabs
+// (rows laid out back to back in slot order): the chunk outputs
+// concatenate in input order via Table.AppendSlab without touching a
+// map per row.
+func (c *evalCtx) mapSlabs(n int, safe bool, fn func(lo, hi int) ([]value.Value, error)) ([][]value.Value, error) {
+	w := par.Workers(c.ev.workers)
+	if !safe || n < minParallelItems {
+		w = 1
+	}
+	return par.MapChunks(c.gov.Context(), n, w, fn)
+}
+
+// mapIdx is mapRows for chunk jobs that select row indices (filters):
+// the per-chunk index slices concatenate in input order.
+func (c *evalCtx) mapIdx(n int, safe bool, fn func(lo, hi int) ([]int, error)) ([][]int, error) {
 	w := par.Workers(c.ev.workers)
 	if !safe || n < minParallelItems {
 		w = 1

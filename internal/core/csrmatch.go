@@ -134,6 +134,9 @@ func (c *evalCtx) scanNodesCSR(snap *csr.Snapshot, g *ppg.Graph, np *ast.NodePat
 		}
 	}
 	tbl := bindings.EmptyTable(vars...)
+	varSlot := tbl.SlotOf(varName)
+	bp := newBindPlan(tbl, np.Props)
+	w := tbl.Width()
 	rs := resolveSpec(snap, np.Labels)
 	ords, indexed := indexedNodeOrdinals(snap, rs)
 	if !indexed {
@@ -142,8 +145,10 @@ func (c *evalCtx) scanNodesCSR(snap *csr.Snapshot, g *ppg.Graph, np *ast.NodePat
 			ords[i] = int32(i)
 		}
 	}
-	parts, err := c.mapRows(len(ords), specsParallelSafe(np.Props), func(lo, hi int) ([]bindings.Binding, error) {
-		var rows []bindings.Binding
+	parts, err := c.mapSlabs(len(ords), specsParallelSafe(np.Props), func(lo, hi int) ([]value.Value, error) {
+		var slab []value.Value
+		scratch := make([]value.Value, w)
+		var combos []propCombo
 		for i, u := range ords[lo:hi] {
 			if i&(checkStride-1) == 0 {
 				if err := c.gov.Checkpoint(faultinject.SiteCoreScan); err != nil {
@@ -161,15 +166,19 @@ func (c *evalCtx) scanNodesCSR(snap *csr.Snapshot, g *ppg.Graph, np *ast.NodePat
 			if !ok {
 				continue
 			}
-			base := bindings.Binding{varName: value.NodeRef(uint64(snap.NodeID(u)))}
-			rows = append(rows, bindProps(n.Props, np.Props, base)...)
+			for s := range scratch {
+				scratch[s] = value.Absent
+			}
+			scratch[varSlot] = value.NodeRef(uint64(snap.NodeID(u)))
+			combos = bp.addCombos(combos[:0], n.Props)
+			slab = appendCombos(slab, scratch, combos)
 		}
-		return rows, nil
+		return slab, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return c.mergeBudget(tbl, parts)
+	return c.mergeSlabs(tbl, parts)
 }
 
 // extendEdgeCSR is the snapshot form of extendEdge: adjacency walks
@@ -191,88 +200,74 @@ func (c *evalCtx) extendEdgeCSR(snap *csr.Snapshot, g *ppg.Graph, tbl *bindings.
 	out := bindings.EmptyTable(vars...)
 	eSpec := resolveSpec(snap, ep.Labels)
 	nSpec := resolveSpec(snap, rightNp.Labels)
+	ex := newExtendPlan(tbl, out, leftVar, edgeVar, rightVar, ep, rightNp)
 
-	expandRow := func(row bindings.Binding, acc []bindings.Binding) ([]bindings.Binding, error) {
-		uid, ok := nodeOf(row[leftVar])
-		if !ok {
-			return acc, nil
-		}
-		u, ok := snap.Ord(uid)
-		if !ok {
-			return acc, nil
-		}
-		emit := func(eo, otherOrd int32) error {
-			if !eSpec.matchesEdge(snap, eo) {
-				return nil
+	safe := specsParallelSafe(ep.Props) && specsParallelSafe(rightNp.Props)
+	parts, err := c.mapSlabs(tbl.Len(), safe, func(lo, hi int) ([]value.Value, error) {
+		var slab []value.Value
+		scratch := make([]value.Value, out.Width())
+		var combos []propCombo
+		for ri := lo; ri < hi; ri++ {
+			if err := c.gov.Checkpoint(faultinject.SiteCoreExtend); err != nil {
+				return nil, err
 			}
-			e := snap.Edge(eo)
-			if ok, err := c.propsMatch(g, e.Props, ep.Props); err != nil || !ok {
-				return err
+			row := tbl.RowAt(ri)
+			uid, ok := nodeOf(ex.left(row))
+			if !ok {
+				continue
 			}
-			if prev, bound := row[edgeVar]; bound && !value.Equal(prev, value.EdgeRef(uint64(e.ID))) {
-				return nil
+			u, ok := snap.Ord(uid)
+			if !ok {
+				continue
 			}
-			other := snap.NodeID(otherOrd)
-			if prev, bound := row[rightVar]; bound {
-				if pid, isNode := nodeOf(prev); !isNode || pid != other {
+			emit := func(eo, otherOrd int32) error {
+				if !eSpec.matchesEdge(snap, eo) {
 					return nil
 				}
-			}
-			if !nSpec.matchesNode(snap, otherOrd) {
+				e := snap.Edge(eo)
+				if ok, err := c.propsMatch(g, e.Props, ep.Props); err != nil || !ok {
+					return err
+				}
+				other := snap.NodeID(otherOrd)
+				if !ex.agrees(row, uint64(e.ID), other) {
+					return nil
+				}
+				if !nSpec.matchesNode(snap, otherOrd) {
+					return nil
+				}
+				on := snap.Node(otherOrd)
+				if ok, err := c.propsMatch(g, on.Props, rightNp.Props); err != nil || !ok {
+					return err
+				}
+				combos = ex.fill(scratch, row, uint64(e.ID), uint64(other), e.Props, on.Props, combos)
+				slab = appendCombos(slab, scratch, combos)
 				return nil
 			}
-			on := snap.Node(otherOrd)
-			if ok, err := c.propsMatch(g, on.Props, rightNp.Props); err != nil || !ok {
-				return err
+			var err error
+			if ep.Dir == ast.DirOut || ep.Dir == ast.DirBoth {
+				for _, eo := range snap.Out(u) {
+					if err = emit(eo, snap.Dst(eo)); err != nil {
+						return nil, err
+					}
+				}
 			}
-			base := row.Clone()
-			base[edgeVar] = value.EdgeRef(uint64(e.ID))
-			base[rightVar] = value.NodeRef(uint64(other))
-			for _, r := range bindProps(e.Props, ep.Props, base) {
-				acc = append(acc, bindProps(on.Props, rightNp.Props, r)...)
-			}
-			return nil
-		}
-		if ep.Dir == ast.DirOut || ep.Dir == ast.DirBoth {
-			for _, eo := range snap.Out(u) {
-				if err := emit(eo, snap.Dst(eo)); err != nil {
-					return nil, err
+			if ep.Dir == ast.DirIn || ep.Dir == ast.DirBoth {
+				for _, eo := range snap.In(u) {
+					if ep.Dir == ast.DirBoth && snap.Src(eo) == snap.Dst(eo) {
+						continue // self-loop already emitted by the out pass
+					}
+					if err = emit(eo, snap.Src(eo)); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
-		if ep.Dir == ast.DirIn || ep.Dir == ast.DirBoth {
-			for _, eo := range snap.In(u) {
-				if ep.Dir == ast.DirBoth && snap.Src(eo) == snap.Dst(eo) {
-					continue // self-loop already emitted by the out pass
-				}
-				if err := emit(eo, snap.Src(eo)); err != nil {
-					return nil, err
-				}
-			}
-		}
-		return acc, nil
-	}
-
-	rows := tbl.Rows()
-	safe := specsParallelSafe(ep.Props) && specsParallelSafe(rightNp.Props)
-	parts, err := c.mapRows(len(rows), safe, func(lo, hi int) ([]bindings.Binding, error) {
-		var acc []bindings.Binding
-		var err error
-		for _, row := range rows[lo:hi] {
-			if err = c.gov.Checkpoint(faultinject.SiteCoreExtend); err != nil {
-				return nil, err
-			}
-			acc, err = expandRow(row, acc)
-			if err != nil {
-				return nil, err
-			}
-		}
-		return acc, nil
+		return slab, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return c.mergeBudget(out, parts)
+	return c.mergeSlabs(out, parts)
 }
 
 // labelTestFast answers a pushed-down label test (x:A|B) on one row

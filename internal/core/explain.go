@@ -2,27 +2,53 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"gcore/internal/ast"
+	"gcore/internal/ppg"
 )
 
 // Explain renders the evaluation plan of a statement: head clauses,
 // the join tree of each MATCH with the points where WHERE conjuncts
-// are applied (predicate pushdown), the path-search strategies, the
+// are applied (predicate pushdown), the scan direction and join order
+// chosen by the selectivity planner, the path-search strategies, the
 // OPTIONAL left-joins, and the CONSTRUCT phases. The plan is purely
 // static — nothing is evaluated — and mirrors exactly what the
-// evaluator will do, because both share the conjunct analysis.
+// evaluator will do, because both share the conjunct analysis and the
+// planChain/joinOrder calls. The one divergence: patterns matched
+// against query-local graphs (GRAPH clauses, ON subqueries) have no
+// catalog graph to estimate from at plan time, so their estimates
+// print as "?" here while the runtime plans against the materialised
+// graph.
 func (ev *Evaluator) Explain(stmt *ast.Statement) (string, error) {
 	if err := analyzeStatement(stmt); err != nil {
 		return "", err
 	}
 	var sb strings.Builder
-	explainStatement(&sb, stmt, "")
+	explainStatement(ev, &sb, stmt, "")
 	return sb.String(), nil
 }
 
-func explainStatement(sb *strings.Builder, stmt *ast.Statement, indent string) {
+// staticGraph resolves the target graph of a located pattern from the
+// catalog alone, or nil when it is only known at run time (ON
+// subqueries, query-local views).
+func (ev *Evaluator) staticGraph(lp *ast.LocatedPattern) *ppg.Graph {
+	switch {
+	case lp.OnQuery != nil:
+		return nil
+	case lp.OnGraph != "":
+		g, err := ev.cat.Resolve(lp.OnGraph)
+		if err != nil {
+			return nil
+		}
+		return g
+	default:
+		return ev.cat.Default()
+	}
+}
+
+func explainStatement(ev *Evaluator, sb *strings.Builder, stmt *ast.Statement, indent string) {
 	for _, pc := range stmt.Paths {
 		fmt.Fprintf(sb, "%sPATH VIEW %s\n", indent, pc.Name)
 		fmt.Fprintf(sb, "%s  segment: %s", indent, pc.Patterns[0].String())
@@ -45,25 +71,25 @@ func explainStatement(sb *strings.Builder, stmt *ast.Statement, indent string) {
 			kind = "GRAPH VIEW (registered in the catalog)"
 		}
 		fmt.Fprintf(sb, "%s%s %s\n", indent, kind, gc.Name)
-		explainStatement(sb, gc.Body, indent+"  ")
+		explainStatement(ev, sb, gc.Body, indent+"  ")
 	}
 	if stmt.Query != nil {
-		explainQuery(sb, stmt.Query, indent)
+		explainQuery(ev, sb, stmt.Query, indent)
 	}
 }
 
-func explainQuery(sb *strings.Builder, q ast.Query, indent string) {
+func explainQuery(ev *Evaluator, sb *strings.Builder, q ast.Query, indent string) {
 	switch x := q.(type) {
 	case *ast.SetQuery:
 		fmt.Fprintf(sb, "%sGRAPH %s (identity-wise, §A.5)\n", indent, x.Op)
-		explainQuery(sb, x.Left, indent+"  ")
-		explainQuery(sb, x.Right, indent+"  ")
+		explainQuery(ev, sb, x.Left, indent+"  ")
+		explainQuery(ev, sb, x.Right, indent+"  ")
 	case *ast.BasicQuery:
-		explainBasic(sb, x, indent)
+		explainBasic(ev, sb, x, indent)
 	}
 }
 
-func explainBasic(sb *strings.Builder, bq *ast.BasicQuery, indent string) {
+func explainBasic(ev *Evaluator, sb *strings.Builder, bq *ast.BasicQuery, indent string) {
 	boundVars := map[string]bool{}
 	boundKnown := true
 	switch {
@@ -71,7 +97,7 @@ func explainBasic(sb *strings.Builder, bq *ast.BasicQuery, indent string) {
 		fmt.Fprintf(sb, "%sFROM %s (import binding table)\n", indent, bq.From)
 		boundKnown = false // columns are only known at run time
 	case bq.Match != nil:
-		explainMatch(sb, bq.Match, indent)
+		explainMatch(ev, sb, bq.Match, indent)
 		for _, lp := range bq.Match.Patterns {
 			collectVars(lp.Pattern, boundVars)
 		}
@@ -101,26 +127,15 @@ func explainBasic(sb *strings.Builder, bq *ast.BasicQuery, indent string) {
 	}
 }
 
-func explainMatch(sb *strings.Builder, mc *ast.MatchClause, indent string) {
+func explainMatch(ev *Evaluator, sb *strings.Builder, mc *ast.MatchClause, indent string) {
 	fmt.Fprintf(sb, "%sMATCH\n", indent)
 	conjs := prepareConjuncts(mc.Where)
 	// Track which conjuncts each chain will absorb, mirroring
-	// applyReady's schema test as variables become bound.
-	for pi, lp := range mc.Patterns {
-		loc := "default graph"
-		if lp.OnGraph != "" {
-			loc = "ON " + lp.OnGraph
-		}
-		if lp.OnQuery != nil {
-			loc = "ON (subquery)"
-		}
-		joiner := "scan"
-		if pi > 0 {
-			joiner = "hash-join with"
-		}
-		fmt.Fprintf(sb, "%s  %s pattern %d (%s)\n", indent, joiner, pi+1, loc)
-		explainChain(sb, lp.Pattern, conjs, indent+"    ")
-	}
+	// applyReady's schema test as variables become bound. Each chain is
+	// walked in the direction the planner picks, so the step order —
+	// and therefore the pushdown points — match the evaluation.
+	ests := explainPatterns(ev, sb, mc.Patterns, conjs, indent)
+	explainJoinOrder(sb, ests, indent)
 	var residual []string
 	for _, cj := range conjs {
 		if !cj.applied {
@@ -137,9 +152,15 @@ func explainMatch(sb *strings.Builder, mc *ast.MatchClause, indent string) {
 	for oi, ob := range mc.Optionals {
 		fmt.Fprintf(sb, "%s  left-outer-join OPTIONAL block %d\n", indent, oi+1)
 		bConjs := prepareConjuncts(ob.Where)
-		for _, lp := range ob.Patterns {
-			explainChain(sb, lp.Pattern, bConjs, indent+"    ")
+		bEsts := make([]int, len(ob.Patterns))
+		for i, lp := range ob.Patterns {
+			g := ev.staticGraph(lp)
+			pl := planChain(lp.Pattern, g)
+			bEsts[i] = patternEstimate(lp, pl)
+			explainScanDirection(sb, pl, g, indent+"    ")
+			explainChain(sb, pl.runGp, bConjs, indent+"    ")
 		}
+		explainJoinOrder(sb, bEsts, indent+"  ")
 		var brest []string
 		for _, cj := range bConjs {
 			if !cj.applied {
@@ -150,6 +171,80 @@ func explainMatch(sb *strings.Builder, mc *ast.MatchClause, indent string) {
 			fmt.Fprintf(sb, "%s    block filter: %s\n", indent, strings.Join(brest, " AND "))
 		}
 	}
+}
+
+// explainPatterns prints each conjunct pattern of a MATCH with the
+// planner's scan decision, returning the per-pattern estimates that
+// drive the fold order.
+func explainPatterns(ev *Evaluator, sb *strings.Builder, pats []*ast.LocatedPattern, conjs []*conjunct, indent string) []int {
+	ests := make([]int, len(pats))
+	for pi, lp := range pats {
+		loc := "default graph"
+		if lp.OnGraph != "" {
+			loc = "ON " + lp.OnGraph
+		}
+		if lp.OnQuery != nil {
+			loc = "ON (subquery)"
+		}
+		joiner := "scan"
+		if pi > 0 {
+			joiner = "hash-join with"
+		}
+		fmt.Fprintf(sb, "%s  %s pattern %d (%s)\n", indent, joiner, pi+1, loc)
+		g := ev.staticGraph(lp)
+		pl := planChain(lp.Pattern, g)
+		ests[pi] = patternEstimate(lp, pl)
+		explainScanDirection(sb, pl, g, indent+"    ")
+		explainChain(sb, pl.runGp, conjs, indent+"    ")
+	}
+	return ests
+}
+
+// patternEstimate is the fold-order estimate of one located pattern,
+// matching evalMatch: ON-subquery patterns always rank last because
+// their cardinality is unknowable before the subquery runs.
+func patternEstimate(lp *ast.LocatedPattern, pl chainPlan) int {
+	if lp.OnQuery != nil {
+		return math.MaxInt
+	}
+	return pl.startEstimate()
+}
+
+// explainScanDirection prints the planner's start decision for one
+// chain. Chains over graphs only known at run time print no line:
+// there is no estimate at plan time (the runtime re-plans against the
+// materialised graph).
+func explainScanDirection(sb *strings.Builder, pl chainPlan, g *ppg.Graph, indent string) {
+	if g == nil {
+		return
+	}
+	if pl.reversed {
+		fmt.Fprintf(sb, "%sstart: right end, reverse scan [est %s; forward %s], emission order restored\n",
+			indent, estString(pl.estRev), estString(pl.estFwd))
+		return
+	}
+	fmt.Fprintf(sb, "%sstart: left end, forward scan [est %s]\n", indent, estString(pl.estFwd))
+}
+
+// explainJoinOrder prints the fold order of a multi-pattern MATCH (or
+// OPTIONAL block), mirroring foldConjuncts.
+func explainJoinOrder(sb *strings.Builder, ests []int, indent string) {
+	if len(ests) < 2 {
+		return
+	}
+	order := joinOrder(ests)
+	parts := make([]string, len(order))
+	for i, o := range order {
+		parts[i] = fmt.Sprintf("pattern %d [est %s]", o+1, estString(ests[o]))
+	}
+	fmt.Fprintf(sb, "%s  join order: %s\n", indent, strings.Join(parts, " ⋈ "))
+}
+
+func estString(est int) string {
+	if est == math.MaxInt {
+		return "?"
+	}
+	return fmt.Sprintf("%d", est)
 }
 
 // explainChain walks one pattern chain, reporting each step and the

@@ -23,6 +23,14 @@ type env struct {
 	patternGraph *ppg.Graph
 	row          bindings.Binding
 
+	// Columnar row dispatch: when rowTab is non-nil the current µ is
+	// row rowIdx of rowTab and variable reads go through the slot
+	// table instead of materialising a map per row (the hot filter
+	// paths). Code that installs a map row into row must leave rowTab
+	// nil (or clear it) so lookup sees the right µ.
+	rowTab *bindings.Table
+	rowIdx int
+
 	// Aggregation context (CONSTRUCT property assignments, SET, WHEN).
 	groupRows   []bindings.Binding
 	groupSchema []string
@@ -34,6 +42,24 @@ type env struct {
 
 func (c *evalCtx) newEnv(s *scope, graphs []*ppg.Graph, patternGraph *ppg.Graph) *env {
 	return &env{c: c, s: s, graphs: graphs, patternGraph: patternGraph}
+}
+
+// lookup resolves a variable in the current binding µ.
+func (e *env) lookup(name string) (value.Value, bool) {
+	if e.rowTab != nil {
+		return e.rowTab.Value(e.rowIdx, name)
+	}
+	v, ok := e.row[name]
+	return v, ok
+}
+
+// outerRowTable materialises the current µ as a one-row table — the
+// outer table Ω′ of a correlated subquery.
+func (e *env) outerRowTable() *bindings.Table {
+	if e.rowTab != nil {
+		return e.rowTab.RowTable(e.rowIdx)
+	}
+	return bindings.NewTable(e.row.Vars(), e.row)
 }
 
 // allGraphs yields the graphs to consult for element lookups, nearest
@@ -155,12 +181,12 @@ func (e *env) eval(x ast.Expr) (value.Value, error) {
 	case *ast.Literal:
 		return n.Val, nil
 	case *ast.VarRef:
-		if v, ok := e.row[n.Name]; ok {
+		if v, ok := e.lookup(n.Name); ok {
 			return v, nil
 		}
 		return value.Null, nil
 	case *ast.PropAccess:
-		ref, ok := e.row[n.Var]
+		ref, ok := e.lookup(n.Var)
 		if !ok {
 			return value.Null, nil
 		}
@@ -169,7 +195,7 @@ func (e *env) eval(x ast.Expr) (value.Value, error) {
 		}
 		return e.lookupProp(ref, n.Key), nil
 	case *ast.LabelTest:
-		ref, ok := e.row[n.Var]
+		ref, ok := e.lookup(n.Var)
 		if !ok || !ref.IsRef() {
 			return value.False, nil
 		}
@@ -561,8 +587,9 @@ func (e *env) evalAggregate(n *ast.FuncCall, kind value.AggKind) (value.Value, e
 	if len(n.Args) != 1 {
 		return value.Null, errf("%s expects exactly one argument", strings.ToUpper(n.Name))
 	}
-	saved := e.row
-	defer func() { e.row = saved }()
+	saved, savedTab := e.row, e.rowTab
+	e.rowTab = nil // group rows are map bindings; lookup must read them
+	defer func() { e.row, e.rowTab = saved, savedTab }()
 	var vals []value.Value
 	for _, r := range e.groupRows {
 		e.row = r
@@ -582,7 +609,7 @@ func (e *env) evalExists(q ast.Query) (value.Value, error) {
 	if s == nil {
 		s = newScope(nil)
 	}
-	outer := bindings.NewTable(e.row.Vars(), e.row)
+	outer := e.outerRowTable()
 	res, err := e.c.evalQuery(s, q, outer)
 	if err != nil {
 		return value.Null, err
@@ -608,7 +635,7 @@ func (e *env) evalPatternPred(gp *ast.GraphPattern) (value.Value, error) {
 	if err != nil {
 		return value.Null, err
 	}
-	outer := bindings.NewTable(e.row.Vars(), e.row)
+	outer := e.outerRowTable()
 	joined := bindings.Join(tbl, outer)
 	return value.Bool(joined.Len() > 0), nil
 }

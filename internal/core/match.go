@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 
 	"gcore/internal/ast"
@@ -32,6 +33,19 @@ func (c *evalCtx) mergeBudget(tbl *bindings.Table, parts [][]bindings.Binding) (
 	return tbl, nil
 }
 
+// mergeSlabs is mergeBudget for dense row slabs: each chunk's slab is
+// a block copy into the table, with the budget enforced at the same
+// per-chunk boundary.
+func (c *evalCtx) mergeSlabs(tbl *bindings.Table, parts [][]value.Value) (*bindings.Table, error) {
+	for _, part := range parts {
+		tbl.AppendSlab(part)
+		if err := c.checkBudget(tbl); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
 // evalMatch computes the binding table of a MATCH clause (§A.2):
 // located patterns are evaluated on their graphs and joined; the
 // result is correlated with the outer bindings, filtered by WHERE,
@@ -48,30 +62,39 @@ func (c *evalCtx) evalMatch(s *scope, mc *ast.MatchClause, outer *bindings.Table
 	// path searches — which is semantically transparent (§A.2: the
 	// filter is a per-row predicate over its own variables).
 	conjs := prepareConjuncts(mc.Where)
+	// Evaluate every conjunct pattern in textual order (stable
+	// anonymous numbering), then fold the joins smallest estimate
+	// first — hidden row ordinals restore the textual fold order so
+	// downstream row-order-sensitive stages (CONSTRUCT identity
+	// assignment, canonical output order) see identical tables.
+	var (
+		tables []*bindings.Table
+		ests   []int
+	)
 	for _, lp := range mc.Patterns {
 		g, err := c.resolveLocation(s, lp)
 		if err != nil {
 			return nil, nil, err
 		}
 		graphs = append(graphs, g)
-		t, err := c.evalGraphPatternWith(s, lp.Pattern, g, conjs)
+		t, est, err := c.evalChainPlanned(s, lp.Pattern, g, conjs)
 		if err != nil {
 			return nil, nil, err
 		}
-		if tbl == nil {
-			tbl = t
-		} else {
-			tbl, err = c.joinBudget(tbl, t)
-			if err != nil {
-				return nil, nil, err
-			}
+		if lp.OnQuery != nil {
+			// EXPLAIN cannot see into ON (subquery) graphs; keep the
+			// runtime decision aligned with the surfaced plan.
+			est = math.MaxInt
 		}
+		tables = append(tables, t)
+		ests = append(ests, est)
 	}
-	if tbl == nil {
-		tbl = bindings.Unit()
+	var err error
+	tbl, err = c.foldConjuncts(tables, ests)
+	if err != nil {
+		return nil, nil, err
 	}
 	// Correlate with the outer query's bindings (Jγ0KΩ,G semantics).
-	var err error
 	tbl, err = c.joinBudget(tbl, outer)
 	if err != nil {
 		return nil, nil, err
@@ -90,30 +113,31 @@ func (c *evalCtx) evalMatch(s *scope, mc *ast.MatchClause, outer *bindings.Table
 		tbl = filtered
 	}
 	for _, ob := range mc.Optionals {
-		var bt *bindings.Table
 		bGraphs := []*ppg.Graph{}
 		bConjs := prepareConjuncts(ob.Where)
+		var (
+			bTables []*bindings.Table
+			bEsts   []int
+		)
 		for _, lp := range ob.Patterns {
 			g, err := c.resolveLocation(s, lp)
 			if err != nil {
 				return nil, nil, err
 			}
 			bGraphs = append(bGraphs, g)
-			t, err := c.evalGraphPatternWith(s, lp.Pattern, g, bConjs)
+			t, est, err := c.evalChainPlanned(s, lp.Pattern, g, bConjs)
 			if err != nil {
 				return nil, nil, err
 			}
-			if bt == nil {
-				bt = t
-			} else {
-				bt, err = c.joinBudget(bt, t)
-				if err != nil {
-					return nil, nil, err
-				}
+			if lp.OnQuery != nil {
+				est = math.MaxInt
 			}
+			bTables = append(bTables, t)
+			bEsts = append(bEsts, est)
 		}
-		if bt == nil {
-			bt = bindings.Unit()
+		bt, err := c.foldConjuncts(bTables, bEsts)
+		if err != nil {
+			return nil, nil, err
 		}
 		if ob.Where != nil {
 			bg := patternGraph
@@ -145,35 +169,55 @@ func (c *evalCtx) evalGraphPattern(s *scope, gp *ast.GraphPattern, g *ppg.Graph)
 // evalGraphPatternWith additionally applies pushed-down WHERE
 // conjuncts as soon as their variables are bound along the chain.
 func (c *evalCtx) evalGraphPatternWith(s *scope, gp *ast.GraphPattern, g *ppg.Graph, conjs []*conjunct) (*bindings.Table, error) {
-	// Give anonymous elements fresh internal names so positions stay
-	// independent (homomorphism semantics: no implicit sharing).
-	names := c.patternVarNames(gp)
+	tbl, _, err := c.evalChainPlanned(s, gp, g, conjs)
+	return tbl, err
+}
 
-	tbl, err := c.scanNodes(g, gp.Nodes[0], names.node[0])
+// evalChainPlanned evaluates one chain under the selectivity planner:
+// the scan may start from the chain's cheaper end (planChain), with
+// the rows sorted back into forward emission order afterwards. It
+// also returns the planner's estimate for the chain's start scan,
+// which evalMatch uses to order conjunct joins.
+func (c *evalCtx) evalChainPlanned(s *scope, gp *ast.GraphPattern, g *ppg.Graph, conjs []*conjunct) (*bindings.Table, int, error) {
+	// Give anonymous elements fresh internal names so positions stay
+	// independent (homomorphism semantics: no implicit sharing). Names
+	// are assigned on the textual pattern — independent of planning —
+	// so anonymous numbering matches the unplanned evaluation.
+	names := c.patternVarNames(gp)
+	pl := planChain(gp, g)
+	run, runNames := gp, names
+	if pl.reversed {
+		run, runNames = pl.runGp, reverseNames(names)
+	}
+
+	tbl, err := c.scanNodes(g, run.Nodes[0], runNames.node[0])
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if tbl, err = c.applyReady(conjs, tbl, g); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	for i, link := range gp.Links {
+	for i, link := range run.Links {
 		switch x := link.(type) {
 		case *ast.EdgePattern:
-			tbl, err = c.extendEdge(g, tbl, names.node[i], x, names.link[i], gp.Nodes[i+1], names.node[i+1])
+			tbl, err = c.extendEdge(g, tbl, runNames.node[i], x, runNames.link[i], run.Nodes[i+1], runNames.node[i+1])
 		case *ast.PathPattern:
-			tbl, err = c.extendPath(s, g, tbl, names.node[i], x, names.link[i], gp.Nodes[i+1], names.node[i+1])
+			tbl, err = c.extendPath(s, g, tbl, runNames.node[i], x, runNames.link[i], run.Nodes[i+1], runNames.node[i+1])
 		}
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if tbl, err = c.applyReady(conjs, tbl, g); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if err := c.checkBudget(tbl); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
-	return tbl, nil
+	if pl.reversed {
+		tbl = c.restoreForwardOrder(tbl, gp, names, g)
+	}
+	return tbl, pl.startEstimate(), nil
 }
 
 // patternNames assigns a variable name to every element of a chain.
@@ -284,6 +328,67 @@ func bindProps(props ppg.Properties, specs []*ast.PropSpec, base bindings.Bindin
 	return rows
 }
 
+// propCombo is the columnar form of one PropBind spec: the output
+// slot to bind and the property's value set.
+type propCombo struct {
+	slot int
+	vals []value.Value
+}
+
+// appendCombos appends one dense row per combination of combo values
+// to dst, expanding depth-first in spec order (later specs vary
+// fastest) — the same emission order as the legacy bindProps breadth
+// expansion. A pre-bound slot survives only when its value is a
+// member of the spec's (deduplicated) value set; an empty value set
+// drops the row (§3: an element without the property drops out).
+// scratch is restored on return.
+func appendCombos(dst []value.Value, scratch []value.Value, combos []propCombo) []value.Value {
+	if len(combos) == 0 {
+		return append(dst, scratch...)
+	}
+	cb := combos[0]
+	if prev := scratch[cb.slot]; !prev.IsAbsent() {
+		for _, v := range cb.vals {
+			if value.Equal(prev, v) {
+				return appendCombos(dst, scratch, combos[1:])
+			}
+		}
+		return dst
+	}
+	for _, v := range cb.vals {
+		scratch[cb.slot] = v
+		dst = appendCombos(dst, scratch, combos[1:])
+	}
+	scratch[cb.slot] = value.Absent
+	return dst
+}
+
+// bindPlan precomputes the PropBind slots of a pattern element
+// against an output schema.
+type bindPlan struct {
+	specs []*ast.PropSpec
+	slots []int
+}
+
+func newBindPlan(tbl *bindings.Table, specs []*ast.PropSpec) bindPlan {
+	var bp bindPlan
+	for _, ps := range specs {
+		if ps.Mode == ast.PropBind {
+			bp.specs = append(bp.specs, ps)
+			bp.slots = append(bp.slots, tbl.SlotOf(ps.Var))
+		}
+	}
+	return bp
+}
+
+// addCombos appends the plan's combos for one element's properties.
+func (bp bindPlan) addCombos(combos []propCombo, props ppg.Properties) []propCombo {
+	for i, ps := range bp.specs {
+		combos = append(combos, propCombo{slot: bp.slots[i], vals: props.Get(ps.Key).Elems()})
+	}
+	return combos
+}
+
 // exprParallelSafe reports whether an expression can be evaluated
 // concurrently with other rows: it must be free of subqueries (EXISTS,
 // pattern predicates) and aggregates, which touch shared evaluator
@@ -362,12 +467,17 @@ func (c *evalCtx) scanNodes(g *ppg.Graph, np *ast.NodePattern, varName string) (
 		}
 	}
 	tbl := bindings.EmptyTable(vars...)
+	varSlot := tbl.SlotOf(varName)
+	bp := newBindPlan(tbl, np.Props)
+	w := tbl.Width()
 	ids, indexed := indexedNodeCandidates(g, np.Labels)
 	if !indexed {
 		ids = g.NodeIDs()
 	}
-	parts, err := c.mapRows(len(ids), specsParallelSafe(np.Props), func(lo, hi int) ([]bindings.Binding, error) {
-		var rows []bindings.Binding
+	parts, err := c.mapSlabs(len(ids), specsParallelSafe(np.Props), func(lo, hi int) ([]value.Value, error) {
+		var slab []value.Value
+		scratch := make([]value.Value, w)
+		var combos []propCombo
 		for i, id := range ids[lo:hi] {
 			if i&(checkStride-1) == 0 {
 				if err := c.gov.Checkpoint(faultinject.SiteCoreScan); err != nil {
@@ -382,15 +492,19 @@ func (c *evalCtx) scanNodes(g *ppg.Graph, np *ast.NodePattern, varName string) (
 			if !ok {
 				continue
 			}
-			base := bindings.Binding{varName: value.NodeRef(uint64(id))}
-			rows = append(rows, bindProps(n.Props, np.Props, base)...)
+			for s := range scratch {
+				scratch[s] = value.Absent
+			}
+			scratch[varSlot] = value.NodeRef(uint64(id))
+			combos = bp.addCombos(combos[:0], n.Props)
+			slab = appendCombos(slab, scratch, combos)
 		}
-		return rows, nil
+		return slab, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return c.mergeBudget(tbl, parts)
+	return c.mergeSlabs(tbl, parts)
 }
 
 // extendEdge extends every row of tbl over one edge pattern to the
@@ -414,89 +528,144 @@ func (c *evalCtx) extendEdge(g *ppg.Graph, tbl *bindings.Table, leftVar string, 
 		}
 	}
 	out := bindings.EmptyTable(vars...)
+	ex := newExtendPlan(tbl, out, leftVar, edgeVar, rightVar, ep, rightNp)
 
-	// expandRow produces the extensions of one row in deterministic
-	// order (out-edges ascending, then in-edges ascending).
-	expandRow := func(row bindings.Binding, acc []bindings.Binding) ([]bindings.Binding, error) {
-		uid, ok := nodeOf(row[leftVar])
-		if !ok {
-			return acc, nil
-		}
-		emit := func(e *ppg.Edge, other ppg.NodeID) error {
-			// Edge label/property tests.
-			if !labelSpecMatches(ep.Labels, e.Labels) {
-				return nil
+	safe := specsParallelSafe(ep.Props) && specsParallelSafe(rightNp.Props)
+	parts, err := c.mapSlabs(tbl.Len(), safe, func(lo, hi int) ([]value.Value, error) {
+		var slab []value.Value
+		scratch := make([]value.Value, out.Width())
+		var combos []propCombo
+		for ri := lo; ri < hi; ri++ {
+			if err := c.gov.Checkpoint(faultinject.SiteCoreExtend); err != nil {
+				return nil, err
 			}
-			if ok, err := c.propsMatch(g, e.Props, ep.Props); err != nil || !ok {
-				return err
+			row := tbl.RowAt(ri)
+			uid, ok := nodeOf(ex.left(row))
+			if !ok {
+				continue
 			}
-			// Pre-bound edge/node variables must agree.
-			if prev, bound := row[edgeVar]; bound && !value.Equal(prev, value.EdgeRef(uint64(e.ID))) {
-				return nil
-			}
-			if prev, bound := row[rightVar]; bound {
-				if pid, isNode := nodeOf(prev); !isNode || pid != other {
+			// emit extends the row over one edge in deterministic
+			// order (out-edges ascending, then in-edges ascending).
+			emit := func(e *ppg.Edge, other ppg.NodeID) error {
+				// Edge label/property tests.
+				if !labelSpecMatches(ep.Labels, e.Labels) {
 					return nil
 				}
-			}
-			// Right node tests.
-			on, ok2 := g.Node(other)
-			if !ok2 {
+				if ok, err := c.propsMatch(g, e.Props, ep.Props); err != nil || !ok {
+					return err
+				}
+				// Pre-bound edge/node variables must agree.
+				if !ex.agrees(row, uint64(e.ID), other) {
+					return nil
+				}
+				// Right node tests.
+				on, ok2 := g.Node(other)
+				if !ok2 {
+					return nil
+				}
+				if ok3, err := c.nodeMatches(g, on, rightNp); err != nil || !ok3 {
+					return err
+				}
+				combos = ex.fill(scratch, row, uint64(e.ID), uint64(other), e.Props, on.Props, combos)
+				slab = appendCombos(slab, scratch, combos)
 				return nil
 			}
-			if ok3, err := c.nodeMatches(g, on, rightNp); err != nil || !ok3 {
-				return err
+			var err error
+			if ep.Dir == ast.DirOut || ep.Dir == ast.DirBoth {
+				for _, eid := range g.OutEdges(uid) {
+					e, _ := g.Edge(eid)
+					if err = emit(e, e.Dst); err != nil {
+						return nil, err
+					}
+				}
 			}
-			base := row.Clone()
-			base[edgeVar] = value.EdgeRef(uint64(e.ID))
-			base[rightVar] = value.NodeRef(uint64(other))
-			for _, r := range bindProps(e.Props, ep.Props, base) {
-				acc = append(acc, bindProps(on.Props, rightNp.Props, r)...)
-			}
-			return nil
-		}
-		if ep.Dir == ast.DirOut || ep.Dir == ast.DirBoth {
-			for _, eid := range g.OutEdges(uid) {
-				e, _ := g.Edge(eid)
-				if err := emit(e, e.Dst); err != nil {
-					return nil, err
+			if ep.Dir == ast.DirIn || ep.Dir == ast.DirBoth {
+				for _, eid := range g.InEdges(uid) {
+					e, _ := g.Edge(eid)
+					if ep.Dir == ast.DirBoth && e.Src == e.Dst {
+						continue // self-loop already emitted by the out pass
+					}
+					if err = emit(e, e.Src); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
-		if ep.Dir == ast.DirIn || ep.Dir == ast.DirBoth {
-			for _, eid := range g.InEdges(uid) {
-				e, _ := g.Edge(eid)
-				if ep.Dir == ast.DirBoth && e.Src == e.Dst {
-					continue // self-loop already emitted by the out pass
-				}
-				if err := emit(e, e.Src); err != nil {
-					return nil, err
-				}
-			}
-		}
-		return acc, nil
-	}
-
-	rows := tbl.Rows()
-	safe := specsParallelSafe(ep.Props) && specsParallelSafe(rightNp.Props)
-	parts, err := c.mapRows(len(rows), safe, func(lo, hi int) ([]bindings.Binding, error) {
-		var acc []bindings.Binding
-		var err error
-		for _, row := range rows[lo:hi] {
-			if err = c.gov.Checkpoint(faultinject.SiteCoreExtend); err != nil {
-				return nil, err
-			}
-			acc, err = expandRow(row, acc)
-			if err != nil {
-				return nil, err
-			}
-		}
-		return acc, nil
+		return slab, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return c.mergeBudget(out, parts)
+	return c.mergeSlabs(out, parts)
+}
+
+// extendPlan precomputes the slot arithmetic of one edge extension:
+// where the left/edge/right variables live in the input schema (for
+// pre-bound agreement checks), how input slots map into the output
+// schema, and the PropBind plans of the edge and right node.
+type extendPlan struct {
+	leftIn, edgeIn, rightIn int // input slots; -1 when not in the schema
+	edgeOut, rightOut       int
+	inToOut                 []int
+	edgeBind, rightBind     bindPlan
+}
+
+func newExtendPlan(in, out *bindings.Table, leftVar, edgeVar, rightVar string, ep *ast.EdgePattern, rightNp *ast.NodePattern) extendPlan {
+	x := extendPlan{
+		leftIn:    in.SlotOf(leftVar),
+		edgeIn:    in.SlotOf(edgeVar),
+		rightIn:   in.SlotOf(rightVar),
+		edgeOut:   out.SlotOf(edgeVar),
+		rightOut:  out.SlotOf(rightVar),
+		inToOut:   make([]int, in.Width()),
+		edgeBind:  newBindPlan(out, ep.Props),
+		rightBind: newBindPlan(out, rightNp.Props),
+	}
+	for s, v := range in.Vars() {
+		x.inToOut[s] = out.SlotOf(v)
+	}
+	return x
+}
+
+// left reads the left-node value of an input row.
+func (x extendPlan) left(row []value.Value) value.Value {
+	if x.leftIn < 0 {
+		return value.Absent
+	}
+	return row[x.leftIn]
+}
+
+// agrees checks pre-bound edge/right-node variables against the
+// candidate edge.
+func (x extendPlan) agrees(row []value.Value, edgeID uint64, other ppg.NodeID) bool {
+	if x.edgeIn >= 0 {
+		if prev := row[x.edgeIn]; !prev.IsAbsent() && !value.Equal(prev, value.EdgeRef(edgeID)) {
+			return false
+		}
+	}
+	if x.rightIn >= 0 {
+		if prev := row[x.rightIn]; !prev.IsAbsent() {
+			if pid, isNode := nodeOf(prev); !isNode || pid != other {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fill prepares the output scratch row (input columns copied, edge and
+// right refs bound) and the bind combos for one accepted edge.
+func (x extendPlan) fill(scratch, row []value.Value, edgeID, otherID uint64, eProps, nProps ppg.Properties, combos []propCombo) []propCombo {
+	for s := range scratch {
+		scratch[s] = value.Absent
+	}
+	for s, v := range row {
+		scratch[x.inToOut[s]] = v
+	}
+	scratch[x.edgeOut] = value.EdgeRef(edgeID)
+	scratch[x.rightOut] = value.NodeRef(otherID)
+	combos = x.edgeBind.addCombos(combos[:0], eProps)
+	return x.rightBind.addCombos(combos, nProps)
 }
 
 func nodeOf(v value.Value) (ppg.NodeID, bool) {

@@ -169,23 +169,37 @@ func (c *evalCtx) applyReady(conjs []*conjunct, tbl *bindings.Table, g *ppg.Grap
 		}
 	}
 	// Pushable conjuncts are subquery-free, so rows can be filtered
-	// concurrently; each chunk gets its own environment (env.row is
-	// mutated per row) and chunk results merge in input order.
-	rows := tbl.Rows()
-	parts, err := c.mapRows(len(rows), true, func(lo, hi int) ([]bindings.Binding, error) {
+	// concurrently; each chunk gets its own environment (the current
+	// row index is mutated per row) and the kept row indices merge in
+	// input order.
+	fastSlots := make([]int, len(ready))
+	for i, f := range fasts {
+		if f != nil {
+			fastSlots[i] = tbl.SlotOf(f.v)
+		}
+	}
+	parts, err := c.mapIdx(tbl.Len(), true, func(lo, hi int) ([]int, error) {
 		env := c.newEnv(nil, []*ppg.Graph{g}, g)
-		var keep []bindings.Binding
+		env.rowTab = tbl
+		var keep []int
 	next:
-		for ri, b := range rows[lo:hi] {
-			if ri&(checkStride-1) == 0 {
+		for ri := lo; ri < hi; ri++ {
+			if (ri-lo)&(checkStride-1) == 0 {
 				if err := c.gov.Checkpoint(faultinject.SiteCoreFilter); err != nil {
 					return nil, err
 				}
 			}
-			env.row = b
+			env.rowIdx = ri
 			for i, cj := range ready {
 				if f := fasts[i]; f != nil {
-					v, bound := b[f.v]
+					var v value.Value
+					bound := false
+					if s := fastSlots[i]; s >= 0 {
+						v = tbl.RowAt(ri)[s]
+						if bound = !v.IsAbsent(); !bound {
+							v = value.Null
+						}
+					}
 					if pass, handled := labelTestFast(snap, f.lids, v, bound); handled {
 						if !pass {
 							continue next
@@ -205,19 +219,18 @@ func (c *evalCtx) applyReady(conjs []*conjunct, tbl *bindings.Table, g *ppg.Grap
 					continue next
 				}
 			}
-			keep = append(keep, b)
+			keep = append(keep, ri)
 		}
 		return keep, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	out := bindings.NewTable(tbl.Vars())
+	var idx []int
 	for _, part := range parts {
-		for _, b := range part {
-			out.Add(b)
-		}
+		idx = append(idx, part...)
 	}
+	out := tbl.Pick(idx)
 	for _, cj := range ready {
 		cj.applied = true
 	}
@@ -236,25 +249,31 @@ func (c *evalCtx) residualFilter(conjs []*conjunct, tbl *bindings.Table, env *en
 	if len(rest) == 0 {
 		return tbl, nil
 	}
-	row := 0
-	return tbl.Filter(func(b bindings.Binding) (bool, error) {
-		if row&(checkStride-1) == 0 {
+	env.rowTab = tbl
+	defer func() { env.rowTab = nil }()
+	var keep []int
+rows:
+	for i := 0; i < tbl.Len(); i++ {
+		if i&(checkStride-1) == 0 {
 			if err := c.gov.Checkpoint(faultinject.SiteCoreFilter); err != nil {
-				return false, err
+				return nil, err
 			}
 		}
-		row++
-		env.row = b
+		env.rowIdx = i
 		for _, cj := range rest {
 			v, err := env.eval(cj.expr)
 			if err != nil {
-				return false, err
+				return nil, err
 			}
-			keep, err := value.Truth(v)
-			if err != nil || !keep {
-				return false, err
+			ok, err := value.Truth(v)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue rows
 			}
 		}
-		return true, nil
-	})
+		keep = append(keep, i)
+	}
+	return tbl.Pick(keep), nil
 }

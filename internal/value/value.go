@@ -89,6 +89,23 @@ type Value struct {
 // empty set; Null and the empty set behave identically in comparisons).
 var Null = Value{}
 
+// kindAbsent is the out-of-band kind of the Absent sentinel. It is
+// deliberately not part of the Kind enumeration: Absent is not a value
+// of the literal domain V, it marks an unbound slot in the columnar
+// binding-table layout (a binding µ is a *partial* function, and the
+// dense row representation needs an in-band encoding of "outside
+// dom µ"). Absent must never reach Compare, Key or expression
+// evaluation; the bindings package converts it back to "not bound"
+// at its API boundary.
+const kindAbsent Kind = 0xFF
+
+// Absent is the unbound-slot sentinel for columnar binding tables.
+// It is distinct from Null: a variable bound to Null is bound.
+var Absent = Value{kind: kindAbsent}
+
+// IsAbsent reports whether v is the unbound-slot sentinel.
+func (v Value) IsAbsent() bool { return v.kind == kindAbsent }
+
 // Bool returns a boolean value (⊤ or ⊥ in the paper's notation).
 func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
 
@@ -342,6 +359,12 @@ func (v Value) Key() string {
 	return sb.String()
 }
 
+// AppendKeyTo appends the Key encoding to sb without the intermediate
+// string allocation; callers that concatenate many value keys (row
+// sort keys, group keys) build one buffer instead of one string per
+// value.
+func (v Value) AppendKeyTo(sb *strings.Builder) { v.appendKey(sb) }
+
 func (v Value) appendKey(sb *strings.Builder) {
 	switch v.kind {
 	case KindNull:
@@ -435,4 +458,87 @@ func (v Value) String() string {
 		return "#" + strconv.FormatInt(v.i, 10)
 	}
 	return "?"
+}
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters used by Hash.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// HashSeed is the initial accumulator for Hash chains.
+func HashSeed() uint64 { return fnvOffset }
+
+func hashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func hashUint64(h, x uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = hashByte(h, byte(x>>s))
+	}
+	return h
+}
+
+func hashStringInto(h uint64, s string) uint64 {
+	h = hashUint64(h, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h = hashByte(h, s[i])
+	}
+	return h
+}
+
+// Hash folds v into the FNV-1a accumulator h and returns the new
+// accumulator. It is consistent with the Key encoding: values with
+// equal Key strings produce equal hashes (in particular an integral
+// float hashes like the equal integer, and all NaNs hash alike), so a
+// hash bucket plus an Equal confirmation replaces a Key-string bucket
+// without changing which rows meet. Absent participates with its own
+// tag so whole rows of a columnar binding table can be folded directly.
+func (v Value) Hash(h uint64) uint64 {
+	switch v.kind {
+	case KindNull:
+		return hashByte(h, 1)
+	case KindBool:
+		if v.b {
+			return hashByte(hashByte(h, 2), 1)
+		}
+		return hashByte(hashByte(h, 2), 0)
+	case KindInt:
+		return hashUint64(hashByte(h, 3), uint64(v.i))
+	case KindFloat:
+		// Mirror appendKey: integral floats are the same value as the
+		// equal integer and must land in the same bucket.
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && math.Abs(v.f) < 1e18 {
+			return hashUint64(hashByte(h, 3), uint64(int64(v.f)))
+		}
+		if math.IsNaN(v.f) {
+			// All NaN payloads are one value under Compare.
+			return hashByte(hashByte(h, 4), 0xA5)
+		}
+		return hashUint64(hashByte(h, 4), math.Float64bits(v.f))
+	case KindString:
+		return hashStringInto(hashByte(h, 5), v.s)
+	case KindDate:
+		return hashUint64(hashByte(h, 6), uint64(v.i))
+	case KindList:
+		h = hashUint64(hashByte(h, 7), uint64(len(v.elems)))
+		for _, e := range v.elems {
+			h = e.Hash(h)
+		}
+		return h
+	case KindSet:
+		h = hashUint64(hashByte(h, 8), uint64(len(v.elems)))
+		for _, e := range v.elems {
+			h = e.Hash(h)
+		}
+		return h
+	case KindNode:
+		return hashUint64(hashByte(h, 9), uint64(v.i))
+	case KindEdge:
+		return hashUint64(hashByte(h, 10), uint64(v.i))
+	case KindPath:
+		return hashUint64(hashByte(h, 11), uint64(v.i))
+	case kindAbsent:
+		return hashByte(h, 0xFF)
+	}
+	return hashByte(h, 0xFE)
 }

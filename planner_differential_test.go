@@ -1,0 +1,84 @@
+package gcore_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"gcore"
+	"gcore/internal/core"
+	"gcore/internal/parser"
+)
+
+// Differential tests between the selectivity-driven MATCH planner
+// (the default) and the textual evaluation order (core.DisableReorder).
+// Chain reversal and conjunct-join reordering restore the forward
+// emission order after evaluating in the cheaper direction, so every
+// query must render byte-identically with the planner on and off —
+// the planner is a pure performance optimisation.
+
+// evalPlanned runs one query on a fresh engine built by setup, with
+// the planner on or off and the given worker count.
+func evalPlanned(t *testing.T, setup func(t *testing.T) *gcore.Engine, query string, textual bool, workers int) string {
+	t.Helper()
+	core.DisableReorder = textual
+	defer func() { core.DisableReorder = false }()
+	eng := setup(t)
+	eng.SetParallelism(workers)
+	res, err := eng.Eval(query)
+	return renderResult(res, err)
+}
+
+// TestPlannerDifferentialPaper: every paper example query renders
+// byte-identically with and without the planner, sequentially and in
+// parallel.
+func TestPlannerDifferentialPaper(t *testing.T) {
+	keys := make([]string, 0, len(parser.PaperQueries))
+	for k := range parser.PaperQueries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		query := parser.PaperQueries[key]
+		t.Run(key, func(t *testing.T) {
+			for _, workers := range []int{1, 0} {
+				want := evalPlanned(t, tourEngine, query, true, workers)
+				got := evalPlanned(t, tourEngine, query, false, workers)
+				if got != want {
+					t.Fatalf("workers=%d: planned result diverged from textual\nplanned:\n%s\ntextual:\n%s", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPlannerDifferentialSNB: the same byte-identity on the synthetic
+// SNB toy graph, plus queries specifically shaped to trigger chain
+// reversal (rare label on the right end) and conjunct reordering
+// (cheap pattern last in textual order).
+func TestPlannerDifferentialSNB(t *testing.T) {
+	setup, queries := snbQueries()
+	queries = append(queries,
+		`SELECT n.firstName AS a, c.name AS b
+MATCH (n:Person)-[:isLocatedIn]->(c:City)`,
+		`SELECT n.firstName AS a
+MATCH (n:Person)-[:knows]->(m:Person)-[:isLocatedIn]->(c:City)`,
+		`SELECT n.firstName AS a, c.name AS b
+MATCH (n:Person), (c:City)`,
+		`SELECT n.firstName AS a
+MATCH (n:Person)-[:knows]->(m:Person), (m)-[:isLocatedIn]->(c:City)`,
+		`SELECT n.firstName AS a, t.name AS b
+MATCH (n:Person) OPTIONAL (n)-[:hasInterest]->(t:Tag), (c:City)`,
+	)
+	for i, query := range queries {
+		t.Run(fmt.Sprintf("q%d", i), func(t *testing.T) {
+			for _, workers := range []int{1, 0} {
+				want := evalPlanned(t, setup, query, true, workers)
+				got := evalPlanned(t, setup, query, false, workers)
+				if got != want {
+					t.Fatalf("workers=%d: planned result diverged from textual\nplanned:\n%s\ntextual:\n%s", workers, got, want)
+				}
+			}
+		})
+	}
+}
