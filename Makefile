@@ -4,7 +4,7 @@
 
 # Packages with guarded hot-path benchmarks: the root suite (MATCH,
 # paths, construction) and the binding-table operators.
-BENCH_PKGS := . ./internal/bindings
+BENCH_PKGS := . ./internal/bindings ./internal/obs
 
 all: build test
 

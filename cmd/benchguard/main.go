@@ -23,6 +23,10 @@ import (
 func main() {
 	base := flag.String("base", "bench.base.txt", "baseline `go test -bench` output")
 	head := flag.String("head", "bench.head.txt", "head `go test -bench` output")
+	// BenchmarkParallelMatch runs with the observability span
+	// instrumentation live (spans open at every operator boundary),
+	// so the guard doubles as the proof that instrumentation stays
+	// within the allocation budget.
 	guard := flag.String("guard", "BenchmarkJoin,BenchmarkParallelMatch", "comma-separated benchmark name prefixes to guard")
 	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression (0.20 = 20%)")
 	flag.Parse()

@@ -16,11 +16,19 @@
 //	-json                print result graphs/tables as JSON
 //	-out file            write the last result graph as JSON
 //	-timeout duration    per-statement evaluation timeout (0 disables)
+//	-slowlog duration    log statements slower than this to stderr
+//	-metrics             print engine metrics as JSON on exit
 //
 // With a query argument the command evaluates it and exits; otherwise
 // it starts a read-eval-print loop. In the REPL, statements end with
-// ';' and the commands \graphs, \tables, \ast, \save, \help and \quit
-// are available.
+// ';' and the commands \graphs, \tables, \ast, \save, \metrics,
+// \help and \quit are available. Prefixing a statement with EXPLAIN
+// prints its plan instead of running it; EXPLAIN ANALYZE runs it and
+// prints the plan annotated with observed rows and timings.
+//
+// The engine-lifetime metrics are also published as the expvar
+// variable "gcore" for programs that embed this command's run loop
+// next to an HTTP server.
 //
 // SIGINT (Ctrl-C) or SIGTERM during an evaluation cancels the running
 // query: the REPL prints the typed error and keeps running; one-shot
@@ -30,6 +38,8 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
@@ -37,7 +47,10 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"gcore"
 )
@@ -71,11 +84,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	loadDir := fs.String("load", "", "load a saved catalog directory before evaluating")
 	saveDir := fs.String("save", "", "save the catalog directory after evaluating")
 	timeout := fs.Duration("timeout", 0, "per-statement evaluation timeout (e.g. 30s); 0 disables")
+	slowlog := fs.Duration("slowlog", 0, "log statements slower than this to stderr; 0 disables")
+	metrics := fs.Bool("metrics", false, "print engine metrics as JSON on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	eng := gcore.NewEngine()
+	var opts []gcore.Option
+	if *timeout > 0 {
+		opts = append(opts, gcore.WithLimits(gcore.Limits{Timeout: *timeout}))
+	}
+	if *slowlog > 0 {
+		opts = append(opts, gcore.WithTraceHandler(&slowLogger{w: os.Stderr, threshold: *slowlog}))
+	}
+	eng := gcore.NewEngine(opts...)
+	publishMetrics(eng)
 	if *loadDir != "" {
 		if err := eng.LoadCatalog(*loadDir); err != nil {
 			return err
@@ -134,6 +157,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	var lastGraph *gcore.Graph
 	show := func(res *gcore.Result) error {
 		switch {
+		case res.Plan != "":
+			fmt.Fprint(stdout, res.Plan)
 		case res.Table != nil:
 			if *asJSON {
 				data, err := res.Table.MarshalJSON()
@@ -157,12 +182,6 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			}
 		}
 		return nil
-	}
-
-	if *timeout > 0 {
-		limits := eng.Limits()
-		limits.Timeout = *timeout
-		eng.SetLimits(limits)
 	}
 
 	// evalScript runs one script under a signal-aware context: SIGINT
@@ -227,7 +246,64 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "saved catalog to %s\n", *saveDir)
 	}
+	if *metrics {
+		if err := printMetrics(stdout, eng); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// slowLogger is a TraceHandler that logs statements whose wall time
+// meets a threshold. Statement span labels carry the statement text
+// whenever a trace handler is installed, so the log line names the
+// offending query.
+type slowLogger struct {
+	w         io.Writer
+	threshold time.Duration
+}
+
+func (s *slowLogger) SpanStart(op gcore.Op, depth int) {}
+
+func (s *slowLogger) SpanEnd(sp gcore.Span) {
+	if sp.Op != gcore.OpStatement || sp.Elapsed < s.threshold {
+		return
+	}
+	text := strings.Join(strings.Fields(sp.Label), " ")
+	if text == "" {
+		text = "<statement>"
+	}
+	fmt.Fprintf(s.w, "slow query (%s): %s\n", sp.Elapsed.Round(time.Microsecond), text)
+}
+
+// printMetrics dumps the engine-lifetime metrics as indented JSON.
+func printMetrics(w io.Writer, eng *gcore.Engine) error {
+	data, err := json.MarshalIndent(eng.Metrics(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(data))
+	return err
+}
+
+// The expvar variable is process-global and can be published only
+// once, while run() may be entered repeatedly (tests); the published
+// func reads whichever engine ran last.
+var (
+	expvarOnce   sync.Once
+	expvarEngine atomic.Pointer[gcore.Engine]
+)
+
+func publishMetrics(eng *gcore.Engine) {
+	expvarEngine.Store(eng)
+	expvarOnce.Do(func() {
+		expvar.Publish("gcore", expvar.Func(func() any {
+			if e := expvarEngine.Load(); e != nil {
+				return e.Metrics()
+			}
+			return nil
+		}))
+	})
 }
 
 func repl(eng *gcore.Engine, stdin io.Reader, stdout io.Writer, show func(*gcore.Result) error, evalScript func(string) ([]*gcore.Result, error)) error {
@@ -287,6 +363,9 @@ func replCommand(eng *gcore.Engine, stdout io.Writer, cmd string) bool {
   \tables            list registered tables
   \ast <query>       print the parsed form of a query
   \explain <query>   print the evaluation plan of a query
+                     (EXPLAIN ANALYZE <query>; runs it and annotates
+                     the plan with observed rows and timings)
+  \metrics           print engine metrics as JSON
   \save <graph> <f>  write a graph as JSON to file f
   \quit              exit`)
 	case "\\graphs":
@@ -314,6 +393,10 @@ func replCommand(eng *gcore.Engine, stdout io.Writer, cmd string) bool {
 			break
 		}
 		fmt.Fprint(stdout, plan)
+	case "\\metrics":
+		if err := printMetrics(stdout, eng); err != nil {
+			fmt.Fprintln(stdout, "error:", err)
+		}
 	case "\\save":
 		if len(fields) != 3 {
 			fmt.Fprintln(stdout, "usage: \\save <graph> <file>")

@@ -37,6 +37,7 @@ import (
 	"gcore/internal/catalog"
 	"gcore/internal/core"
 	"gcore/internal/gov"
+	"gcore/internal/obs"
 	"gcore/internal/parser"
 	"gcore/internal/ppg"
 	"gcore/internal/table"
@@ -121,7 +122,9 @@ func SetOf(elems ...Value) Value { return value.Set(elems...) }
 func ListOf(elems ...Value) Value { return value.List(elems...) }
 
 // Result is the outcome of evaluating one statement: exactly one of
-// Graph and Table is non-nil (Table only for the SELECT extension).
+// Graph and Table is non-nil (Table only for the SELECT extension),
+// except for EXPLAIN [ANALYZE] statements, whose rendered plan is in
+// Plan with Graph and Table both nil.
 type Result = core.Result
 
 // Execution governance. Every evaluation entry point has a *Context
@@ -162,6 +165,71 @@ const (
 // AsQueryError unwraps err to the typed query error, if any.
 func AsQueryError(err error) (*QueryError, bool) { return gov.AsQueryError(err) }
 
+// Execution observability. Every statement is metered by a cheap span
+// collector threaded through the evaluator's operators (scans, edge
+// expansion, path kernels, joins, filters, CONSTRUCT/SELECT); the
+// per-operator aggregates accumulate in the engine's lifetime Metrics,
+// EXPLAIN ANALYZE renders one statement's spans onto its plan, and a
+// TraceHandler observes every span as it opens and closes.
+type (
+	// TraceHandler receives operator span events during evaluation.
+	// Implementations must be safe for concurrent use: parallel path
+	// kernels emit spans from worker goroutines.
+	TraceHandler = obs.TraceHandler
+	// Span is one recorded operator execution.
+	Span = obs.Span
+	// Op identifies an operator kind.
+	Op = obs.Op
+	// Collector accumulates spans and counters across statements; see
+	// WithCollector.
+	Collector = obs.Collector
+	// Stats is a collector's aggregate view (per-operator totals plus
+	// cache and budget counters).
+	Stats = obs.Stats
+	// OpStat is one operator's aggregate inside Stats.
+	OpStat = obs.OpStat
+	// Metrics is the engine-lifetime metrics snapshot; it marshals to
+	// JSON for export.
+	Metrics = obs.Metrics
+	// OpMetrics is one operator's totals inside Metrics.
+	OpMetrics = obs.OpMetrics
+)
+
+// The operator kinds observed by spans.
+const (
+	// OpStatement spans a whole statement.
+	OpStatement = obs.OpStatement
+	// OpScan is a node scan.
+	OpScan = obs.OpScan
+	// OpExpand is an adjacency edge expansion.
+	OpExpand = obs.OpExpand
+	// OpPath is a chain path-search step (the kernel below emits its
+	// own OpShortest/OpReach/OpAllPaths span).
+	OpPath = obs.OpPath
+	// OpFilter is a pushed-down predicate filter.
+	OpFilter = obs.OpFilter
+	// OpResidual is the residual WHERE filter.
+	OpResidual = obs.OpResidual
+	// OpJoin is the conjunct join fold.
+	OpJoin = obs.OpJoin
+	// OpLeftJoin is an OPTIONAL block's left outer join.
+	OpLeftJoin = obs.OpLeftJoin
+	// OpConstruct is the CONSTRUCT clause.
+	OpConstruct = obs.OpConstruct
+	// OpSelect is the SELECT clause.
+	OpSelect = obs.OpSelect
+	// OpShortest is a (k-)shortest path kernel run.
+	OpShortest = obs.OpShortest
+	// OpReach is a reachability kernel run.
+	OpReach = obs.OpReach
+	// OpAllPaths is an ALL-paths kernel run.
+	OpAllPaths = obs.OpAllPaths
+)
+
+// NewCollector creates a collector for WithCollector: spans and
+// counters from every statement accumulate in it until Reset.
+func NewCollector() *Collector { return obs.NewCollector() }
+
 // Engine is a G-CORE engine: a catalog of named graphs, views and
 // tables plus the evaluator. Safe for concurrent use; statements are
 // serialised.
@@ -169,12 +237,66 @@ type Engine struct {
 	mu  sync.Mutex
 	cat *catalog.Catalog
 	ev  *core.Evaluator
+
+	// pendingDefault is a WithDefaultGraph name not yet registered; it
+	// is applied by RegisterGraph / LoadGraphJSON when the graph shows
+	// up.
+	pendingDefault string
 }
 
-// NewEngine creates an empty engine.
-func NewEngine() *Engine {
+// Option configures an Engine at construction; see NewEngine.
+type Option func(*Engine)
+
+// WithParallelism sets the worker count for intra-query parallelism.
+// Zero (the default) uses runtime.GOMAXPROCS; one forces fully
+// sequential evaluation. Results are identical for every setting.
+func WithParallelism(n int) Option {
+	return func(e *Engine) { e.ev.SetParallelism(n) }
+}
+
+// WithLimits installs per-statement resource limits (see Limits); a
+// zero field means unlimited for that resource.
+func WithLimits(l Limits) Option {
+	return func(e *Engine) { e.ev.SetLimits(l) }
+}
+
+// WithDefaultGraph selects the graph used when MATCH omits ON. The
+// name may refer to a graph registered later (RegisterGraph,
+// LoadGraphJSON, a loaded catalog): the default takes effect as soon
+// as the graph exists.
+func WithDefaultGraph(name string) Option {
+	return func(e *Engine) { e.pendingDefault = name }
+}
+
+// WithTraceHandler installs a span hook invoked at every operator
+// start and end, including statement spans — a poor man's tracer with
+// no tracing dependency. See also Engine.SetTraceHandler.
+func WithTraceHandler(h TraceHandler) Option {
+	return func(e *Engine) { e.ev.SetTraceHandler(h) }
+}
+
+// WithCollector attaches a caller-held Collector: every statement's
+// spans and cache/budget counters accumulate in it (in addition to the
+// engine's lifetime Metrics), so a caller can meter query batches
+// without installing a TraceHandler.
+func WithCollector(c *Collector) Option {
+	return func(e *Engine) { e.ev.SetCollector(c) }
+}
+
+// NewEngine creates an empty engine, configured by the given options:
+//
+//	eng := gcore.NewEngine(
+//	    gcore.WithParallelism(4),
+//	    gcore.WithLimits(gcore.Limits{Timeout: time.Second}),
+//	    gcore.WithDefaultGraph("social_graph"),
+//	)
+func NewEngine(opts ...Option) *Engine {
 	cat := catalog.New()
-	return &Engine{cat: cat, ev: core.New(cat)}
+	e := &Engine{cat: cat, ev: core.New(cat)}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // RegisterGraph adds a named graph to the catalog. The first
@@ -185,7 +307,21 @@ func (e *Engine) RegisterGraph(g *Graph) error {
 	if err := g.Validate(); err != nil {
 		return fmt.Errorf("gcore: invalid graph: %w", err)
 	}
-	return e.cat.RegisterGraph(g)
+	if err := e.cat.RegisterGraph(g); err != nil {
+		return err
+	}
+	e.applyPendingDefault(g.Name())
+	return nil
+}
+
+// applyPendingDefault promotes a WithDefaultGraph name to the actual
+// default once the graph is registered. Callers hold e.mu.
+func (e *Engine) applyPendingDefault(name string) {
+	if e.pendingDefault != "" && e.pendingDefault == name {
+		if err := e.cat.SetDefault(name); err == nil {
+			e.pendingDefault = ""
+		}
+	}
 }
 
 // RegisterTable adds a named binding table (usable with FROM and as a
@@ -202,6 +338,10 @@ func (e *Engine) RegisterTable(t *Table) error {
 // evaluating untrusted queries — an adversarial cartesian product can
 // otherwise be made arbitrarily large). Zero (the default) means
 // unlimited.
+//
+// Deprecated: the bound is the MaxBindings field of Limits; set it
+// with WithLimits at construction (or SetLimits). This wrapper only
+// rewrites that one field, preserving the other limits.
 func (e *Engine) SetMaxBindings(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -216,6 +356,9 @@ func (e *Engine) SetMaxBindings(n int) {
 // fails the statement with a *QueryError of KindBudget (KindTimeout
 // for the deadline) naming the limit and the progress when it tripped;
 // the engine and its graphs are untouched.
+//
+// Deprecated: prefer WithLimits at construction; SetLimits remains
+// for reconfiguring a live engine.
 func (e *Engine) SetLimits(l Limits) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -235,17 +378,56 @@ func (e *Engine) Limits() Limits {
 // sequential evaluation. Partition results are merged in input order,
 // so query results are identical for every setting — parallelism
 // never changes query semantics.
+//
+// Deprecated: prefer WithParallelism at construction; SetParallelism
+// remains for reconfiguring a live engine.
 func (e *Engine) SetParallelism(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.ev.SetParallelism(n)
 }
 
-// SetDefaultGraph selects the graph used when MATCH omits ON.
+// SetDefaultGraph selects the graph used when MATCH omits ON. The
+// graph must already be registered.
+//
+// Deprecated: prefer WithDefaultGraph at construction, which also
+// accepts a name registered later; SetDefaultGraph remains for
+// switching defaults on a live engine.
 func (e *Engine) SetDefaultGraph(name string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.cat.SetDefault(name)
+	if err := e.cat.SetDefault(name); err != nil {
+		return err
+	}
+	e.pendingDefault = ""
+	return nil
+}
+
+// SetTraceHandler installs (or, with nil, detaches) the span hook on a
+// live engine; WithTraceHandler is the construction-time equivalent.
+func (e *Engine) SetTraceHandler(h TraceHandler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ev.SetTraceHandler(h)
+}
+
+// SetCollector attaches (or, with nil, detaches) a caller-held
+// collector on a live engine; WithCollector is the construction-time
+// equivalent.
+func (e *Engine) SetCollector(c *Collector) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ev.SetCollector(c)
+}
+
+// Metrics returns a snapshot of the engine-lifetime execution metrics:
+// statement and error counts, per-operator row and timing totals, NFA
+// and CSR cache effectiveness, and consumed budgets. The snapshot is
+// a plain value; it marshals to JSON for export.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ev.Registry().Snapshot()
 }
 
 // Graph returns a registered graph (or materialised view) by name.
@@ -306,15 +488,47 @@ func (e *Engine) EvalStatementContext(ctx context.Context, stmt *Statement) (*Re
 // Explain returns the static evaluation plan of a statement: the
 // MATCH join tree with predicate-pushdown placement, path-search
 // strategies, OPTIONAL left-joins and CONSTRUCT grouping phases.
-// Nothing is evaluated.
+// Nothing is evaluated. The same plan is available through Eval by
+// prefixing the statement with EXPLAIN; the Result carries it in Plan.
 func (e *Engine) Explain(src string) (string, error) {
+	return e.ExplainContext(context.Background(), src)
+}
+
+// ExplainContext is Explain under the caller's context. Planning is
+// governed like evaluation: a cancelled or expired context fails with
+// a *QueryError of KindCanceled or KindTimeout.
+func (e *Engine) ExplainContext(ctx context.Context, src string) (string, error) {
 	stmt, err := parser.Parse(src)
 	if err != nil {
 		return "", err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.ev.Explain(stmt)
+	return e.ev.ExplainContext(ctx, stmt)
+}
+
+// ExplainAnalyze executes the statement and returns its plan annotated
+// with observed per-operator row counts, timings and the index-vs-scan
+// decisions actually taken, followed by statement totals (path-kernel
+// frontier work, cache effectiveness, consumed budget). Like the
+// EXPLAIN ANALYZE of SQL engines the statement really runs: GRAPH VIEW
+// definitions it contains are committed on success. The same output is
+// available through Eval by prefixing a statement with EXPLAIN ANALYZE.
+func (e *Engine) ExplainAnalyze(src string) (string, error) {
+	return e.ExplainAnalyzeContext(context.Background(), src)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze under the caller's context;
+// the execution leg runs through the exact cancellation/budget/panic
+// containment path of EvalContext.
+func (e *Engine) ExplainAnalyzeContext(ctx context.Context, src string) (string, error) {
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ev.ExplainAnalyzeContext(ctx, stmt)
 }
 
 // EvalScript evaluates a script of semicolon-separated statements and
@@ -355,6 +569,7 @@ func (e *Engine) LoadGraphJSON(r io.Reader) (*Graph, error) {
 	if err := e.cat.RegisterGraph(g); err != nil {
 		return nil, err
 	}
+	e.applyPendingDefault(g.Name())
 	return g, nil
 }
 

@@ -19,10 +19,22 @@ import "gcore/internal/lexer"
 // paper's lines 39–47 and 57–66 wrap whole queries in GRAPH VIEW) is
 // legal.
 type Statement struct {
-	Paths  []*PathClause
-	Graphs []*GraphClause
-	Query  Query // nil for definition-only statements
+	Explain ExplainMode // EXPLAIN / EXPLAIN ANALYZE prefix, if any
+	Paths   []*PathClause
+	Graphs  []*GraphClause
+	Query   Query // nil for definition-only statements
 }
+
+// ExplainMode marks a statement prefixed with EXPLAIN (print the plan
+// without executing) or EXPLAIN ANALYZE (execute, then print the plan
+// annotated with observed row counts and timings).
+type ExplainMode uint8
+
+const (
+	ExplainNone ExplainMode = iota
+	ExplainPlan
+	ExplainAnalyze
+)
 
 // Pos returns the source position of the statement's first clause, for
 // error messages that locate a failing statement inside a script. The

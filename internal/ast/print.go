@@ -12,6 +12,12 @@ import (
 // tests use as a round-trip check.
 func (s *Statement) String() string {
 	var sb strings.Builder
+	switch s.Explain {
+	case ExplainPlan:
+		sb.WriteString("EXPLAIN\n")
+	case ExplainAnalyze:
+		sb.WriteString("EXPLAIN ANALYZE\n")
+	}
 	for _, p := range s.Paths {
 		sb.WriteString(p.String())
 		sb.WriteByte('\n')

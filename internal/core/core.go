@@ -25,6 +25,7 @@ import (
 	"gcore/internal/catalog"
 	"gcore/internal/faultinject"
 	"gcore/internal/gov"
+	"gcore/internal/obs"
 	"gcore/internal/par"
 	"gcore/internal/ppg"
 	"gcore/internal/rpq"
@@ -37,10 +38,17 @@ type Evaluator struct {
 	cat     *catalog.Catalog
 	limits  gov.Limits // zero fields = ungoverned
 	workers int        // 0 = GOMAXPROCS, 1 = sequential
+
+	registry *obs.Registry    // lifetime per-operator metrics
+	trace    obs.TraceHandler // user span hook; nil = no tracing
+	sink     *obs.Collector   // user-supplied collector; nil = scratch
+	scratch  *obs.Collector   // reusable metrics-only collector
 }
 
 // New creates an evaluator over the given catalog.
-func New(cat *catalog.Catalog) *Evaluator { return &Evaluator{cat: cat} }
+func New(cat *catalog.Catalog) *Evaluator {
+	return &Evaluator{cat: cat, registry: obs.NewRegistry(), scratch: obs.NewCollector()}
+}
 
 // Catalog returns the evaluator's catalog.
 func (ev *Evaluator) Catalog() *catalog.Catalog { return ev.cat }
@@ -65,6 +73,18 @@ func (ev *Evaluator) SetLimits(l gov.Limits) { ev.limits = l }
 
 // Limits returns the current per-statement resource budget.
 func (ev *Evaluator) Limits() gov.Limits { return ev.limits }
+
+// SetTraceHandler installs the span hook invoked at every operator
+// start/end; nil detaches it.
+func (ev *Evaluator) SetTraceHandler(h obs.TraceHandler) { ev.trace = h }
+
+// SetCollector installs a user-held collector that accumulates spans
+// across statements; nil reverts to the internal per-statement
+// scratch collector.
+func (ev *Evaluator) SetCollector(col *obs.Collector) { ev.sink = col }
+
+// Registry returns the evaluator's lifetime metrics registry.
+func (ev *Evaluator) Registry() *obs.Registry { return ev.registry }
 
 // checkBudget enforces the binding-table bound.
 func (c *evalCtx) checkBudget(tbl *bindings.Table) error {
@@ -96,10 +116,12 @@ func (c *evalCtx) leftJoinBudget(a, b *bindings.Table) (*bindings.Table, error) 
 }
 
 // Result is the outcome of a statement: a graph (the normal, closed
-// case) or a table (the SELECT extension).
+// case), a table (the SELECT extension), or a rendered plan (EXPLAIN
+// and EXPLAIN ANALYZE statements).
 type Result struct {
 	Graph *ppg.Graph
 	Table *table.Table
+	Plan  string
 }
 
 // Error is an evaluation error.
@@ -164,8 +186,13 @@ type nfaKey struct {
 type evalCtx struct {
 	ev        *Evaluator
 	gov       *gov.Governor
+	col       *obs.Collector // nil-safe; set by evalGoverned
 	tempPaths map[ppg.PathID]*tempPath
 	anonSeq   int
+
+	// lastScanIndexed reports whether the most recent node scan used
+	// the label index; the scan span reads it right after scanNodes.
+	lastScanIndexed bool
 
 	// pendingViews holds GRAPH VIEW results defined by this statement,
 	// in definition order. They are visible to the rest of the
@@ -263,7 +290,39 @@ func stmtText(stmt *ast.Statement) string {
 // catalog and every registered graph are left exactly as they were —
 // GRAPH VIEW definitions reach the catalog only after the whole
 // statement has succeeded.
-func (ev *Evaluator) EvalStatementContext(ctx context.Context, stmt *ast.Statement) (res *Result, err error) {
+func (ev *Evaluator) EvalStatementContext(ctx context.Context, stmt *ast.Statement) (*Result, error) {
+	switch stmt.Explain {
+	case ast.ExplainPlan:
+		plan, err := ev.ExplainContext(ctx, stmt)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Plan: plan}, nil
+	case ast.ExplainAnalyze:
+		plan, err := ev.ExplainAnalyzeContext(ctx, stmt)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Plan: plan}, nil
+	}
+	col := ev.sink
+	if col != nil {
+		col.SetHandler(ev.trace)
+	} else {
+		// The scratch collector is reset per statement: metrics-only
+		// (no labels) unless a trace handler wants the events.
+		col = ev.scratch
+		col.Reset(ev.trace)
+	}
+	return ev.evalGoverned(ctx, stmt, col)
+}
+
+// evalGoverned runs one statement under governance with col
+// collecting operator spans; every statement — plain, traced, or the
+// execution leg of EXPLAIN ANALYZE — goes through here, so all three
+// share one cancellation/budget/containment path. The statement's
+// aggregate stats are folded into the evaluator's registry.
+func (ev *Evaluator) evalGoverned(ctx context.Context, stmt *ast.Statement, col *obs.Collector) (res *Result, err error) {
 	if err := analyzeStatement(stmt); err != nil {
 		return nil, err
 	}
@@ -277,10 +336,23 @@ func (ev *Evaluator) EvalStatementContext(ctx context.Context, stmt *ast.Stateme
 		defer cancel()
 	}
 	c := ev.newCtx(gov.New(ctx, limits))
+	c.col = col
+	mark := col.Mark()
+	sp := col.Start(obs.OpStatement)
+	if sp.Verbose() {
+		sp.SetLabel(stmtText(stmt))
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, gov.PanicError(r, stmtText(stmt))
 		}
+		col.RecordBudget(c.gov.FrontierUsed(), c.gov.ResultsUsed())
+		if err != nil {
+			sp.Fail()
+		} else {
+			sp.Rows(0, resultRows(res)).End()
+		}
+		ev.registry.Observe(col.Since(mark), err)
 	}()
 	// Entry checkpoint: a statement under an already-dead context
 	// fails here, before any clause runs — even one whose evaluation
@@ -298,6 +370,20 @@ func (ev *Evaluator) EvalStatementContext(ctx context.Context, stmt *ast.Stateme
 		}
 	}
 	return out, nil
+}
+
+// resultRows is the statement span's output cardinality: result table
+// rows, or the element count of the constructed graph.
+func resultRows(res *Result) int64 {
+	switch {
+	case res == nil:
+		return 0
+	case res.Table != nil:
+		return int64(res.Table.Len())
+	case res.Graph != nil:
+		return int64(res.Graph.NumNodes() + res.Graph.NumEdges() + res.Graph.NumPaths())
+	}
+	return 0
 }
 
 func (c *evalCtx) evalStatement(s *scope, stmt *ast.Statement) (*Result, error) {
@@ -396,16 +482,28 @@ func (c *evalCtx) evalBasic(s *scope, bq *ast.BasicQuery, outer *bindings.Table)
 		tbl = outer
 	}
 	if bq.Select != nil {
+		sp := c.col.Start(obs.OpSelect)
+		if sp.Verbose() {
+			sp.SetLabel(selectLabel(bq.Select))
+		}
 		t, err := c.evalSelect(s, bq.Select, tbl, graphs)
 		if err != nil {
+			sp.Fail()
 			return nil, err
 		}
+		sp.Rows(int64(tbl.Len()), int64(t.Len())).End()
 		return &Result{Table: t}, nil
+	}
+	sp := c.col.Start(obs.OpConstruct)
+	if sp.Verbose() {
+		sp.SetLabel(constructLabel)
 	}
 	g, err := c.evalConstruct(s, bq.Construct, tbl, graphs)
 	if err != nil {
+		sp.Fail()
 		return nil, err
 	}
+	sp.Rows(int64(tbl.Len()), int64(g.NumNodes()+g.NumEdges()+g.NumPaths())).End()
 	return &Result{Graph: g}, nil
 }
 
@@ -413,7 +511,11 @@ func (c *evalCtx) evalBasic(s *scope, bq *ast.BasicQuery, outer *bindings.Table)
 func (c *evalCtx) resolveLocation(s *scope, lp *ast.LocatedPattern) (*ppg.Graph, error) {
 	switch {
 	case lp.OnQuery != nil:
+		// The ON subquery's operators are recorded one level down so
+		// plan annotation matches only top-level spans.
+		c.col.EnterSub()
 		res, err := c.evalQuery(s, lp.OnQuery, bindings.Unit())
+		c.col.ExitSub()
 		if err != nil {
 			return nil, err
 		}

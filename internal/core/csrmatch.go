@@ -33,7 +33,9 @@ func (c *evalCtx) snapOf(g *ppg.Graph) *csr.Snapshot {
 	if DisableCSR {
 		return nil
 	}
-	return csr.Of(g)
+	snap, hit := csr.OfCounted(g)
+	c.col.CSREvent(hit)
+	return snap
 }
 
 // resolvedSpec is a label spec with every name interned against one
@@ -139,6 +141,7 @@ func (c *evalCtx) scanNodesCSR(snap *csr.Snapshot, g *ppg.Graph, np *ast.NodePat
 	w := tbl.Width()
 	rs := resolveSpec(snap, np.Labels)
 	ords, indexed := indexedNodeOrdinals(snap, rs)
+	c.lastScanIndexed = indexed
 	if !indexed {
 		ords = make([]int32, snap.NumNodes())
 		for i := range ords {

@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"gcore/internal/ast"
+	"gcore/internal/faultinject"
+	"gcore/internal/gov"
+	"gcore/internal/obs"
 	"gcore/internal/ppg"
 )
 
@@ -22,11 +26,31 @@ import (
 // print as "?" here while the runtime plans against the materialised
 // graph.
 func (ev *Evaluator) Explain(stmt *ast.Statement) (string, error) {
+	return ev.ExplainContext(context.Background(), stmt)
+}
+
+// ExplainContext is Explain under the caller's context and the
+// evaluator's Limits: an EXPLAIN issued against a dead context fails
+// with the same KindCanceled/KindTimeout errors evaluation would,
+// keeping the governance surface uniform across entry points.
+func (ev *Evaluator) ExplainContext(ctx context.Context, stmt *ast.Statement) (string, error) {
 	if err := analyzeStatement(stmt); err != nil {
 		return "", err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	limits := ev.limits
+	if limits.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, limits.Timeout)
+		defer cancel()
+	}
+	if err := gov.New(ctx, limits).Checkpoint(faultinject.SiteEvalStart); err != nil {
+		return "", err
+	}
 	var sb strings.Builder
-	explainStatement(ev, &sb, stmt, "")
+	explainStatement(ev, &sb, stmt, "", nil)
 	return sb.String(), nil
 }
 
@@ -48,7 +72,29 @@ func (ev *Evaluator) staticGraph(lp *ast.LocatedPattern) *ppg.Graph {
 	}
 }
 
-func explainStatement(ev *Evaluator, sb *strings.Builder, stmt *ast.Statement, indent string) {
+// Shared step labels: the plan printer emits them and the evaluator
+// records them on operator spans, so EXPLAIN ANALYZE can line actual
+// measurements up against plan lines by exact text.
+
+func scanStepLabel(np *ast.NodePattern) string {
+	return "node scan " + np.String()
+}
+
+func expandStepLabel(x *ast.EdgePattern, next *ast.NodePattern) string {
+	return "expand " + x.String() + next.String() + " (adjacency)"
+}
+
+func pathStepLabel(x *ast.PathPattern, next *ast.NodePattern) string {
+	return pathStrategy(x) + " " + x.String() + next.String()
+}
+
+const constructLabel = "CONSTRUCT (identity-respecting, §A.3)"
+
+func selectLabel(sc *ast.SelectClause) string {
+	return fmt.Sprintf("SELECT %d column(s) → table", len(sc.Items))
+}
+
+func explainStatement(ev *Evaluator, sb *strings.Builder, stmt *ast.Statement, indent string, ann *planAnnotator) {
 	for _, pc := range stmt.Paths {
 		fmt.Fprintf(sb, "%sPATH VIEW %s\n", indent, pc.Name)
 		fmt.Fprintf(sb, "%s  segment: %s", indent, pc.Patterns[0].String())
@@ -71,25 +117,25 @@ func explainStatement(ev *Evaluator, sb *strings.Builder, stmt *ast.Statement, i
 			kind = "GRAPH VIEW (registered in the catalog)"
 		}
 		fmt.Fprintf(sb, "%s%s %s\n", indent, kind, gc.Name)
-		explainStatement(ev, sb, gc.Body, indent+"  ")
+		explainStatement(ev, sb, gc.Body, indent+"  ", ann)
 	}
 	if stmt.Query != nil {
-		explainQuery(ev, sb, stmt.Query, indent)
+		explainQuery(ev, sb, stmt.Query, indent, ann)
 	}
 }
 
-func explainQuery(ev *Evaluator, sb *strings.Builder, q ast.Query, indent string) {
+func explainQuery(ev *Evaluator, sb *strings.Builder, q ast.Query, indent string, ann *planAnnotator) {
 	switch x := q.(type) {
 	case *ast.SetQuery:
 		fmt.Fprintf(sb, "%sGRAPH %s (identity-wise, §A.5)\n", indent, x.Op)
-		explainQuery(ev, sb, x.Left, indent+"  ")
-		explainQuery(ev, sb, x.Right, indent+"  ")
+		explainQuery(ev, sb, x.Left, indent+"  ", ann)
+		explainQuery(ev, sb, x.Right, indent+"  ", ann)
 	case *ast.BasicQuery:
-		explainBasic(ev, sb, x, indent)
+		explainBasic(ev, sb, x, indent, ann)
 	}
 }
 
-func explainBasic(ev *Evaluator, sb *strings.Builder, bq *ast.BasicQuery, indent string) {
+func explainBasic(ev *Evaluator, sb *strings.Builder, bq *ast.BasicQuery, indent string, ann *planAnnotator) {
 	boundVars := map[string]bool{}
 	boundKnown := true
 	switch {
@@ -97,7 +143,7 @@ func explainBasic(ev *Evaluator, sb *strings.Builder, bq *ast.BasicQuery, indent
 		fmt.Fprintf(sb, "%sFROM %s (import binding table)\n", indent, bq.From)
 		boundKnown = false // columns are only known at run time
 	case bq.Match != nil:
-		explainMatch(ev, sb, bq.Match, indent)
+		explainMatch(ev, sb, bq.Match, indent, ann)
 		for _, lp := range bq.Match.Patterns {
 			collectVars(lp.Pattern, boundVars)
 		}
@@ -121,21 +167,23 @@ func explainBasic(ev *Evaluator, sb *strings.Builder, bq *ast.BasicQuery, indent
 		if bq.Select.Limit >= 0 {
 			fmt.Fprintf(sb, ", LIMIT %d", bq.Select.Limit)
 		}
-		sb.WriteString(" → table\n")
+		sb.WriteString(" → table")
+		sb.WriteString(ann.suffix(obs.OpSelect, ""))
+		sb.WriteByte('\n')
 	case bq.Construct != nil:
-		explainConstruct(sb, bq.Construct, indent, boundVars, boundKnown)
+		explainConstruct(sb, bq.Construct, indent, boundVars, boundKnown, ann)
 	}
 }
 
-func explainMatch(ev *Evaluator, sb *strings.Builder, mc *ast.MatchClause, indent string) {
+func explainMatch(ev *Evaluator, sb *strings.Builder, mc *ast.MatchClause, indent string, ann *planAnnotator) {
 	fmt.Fprintf(sb, "%sMATCH\n", indent)
 	conjs := prepareConjuncts(mc.Where)
 	// Track which conjuncts each chain will absorb, mirroring
 	// applyReady's schema test as variables become bound. Each chain is
 	// walked in the direction the planner picks, so the step order —
 	// and therefore the pushdown points — match the evaluation.
-	ests := explainPatterns(ev, sb, mc.Patterns, conjs, indent)
-	explainJoinOrder(sb, ests, indent)
+	ests := explainPatterns(ev, sb, mc.Patterns, conjs, indent, ann)
+	explainJoinOrder(sb, ests, indent, ann)
 	var residual []string
 	for _, cj := range conjs {
 		if !cj.applied {
@@ -147,10 +195,12 @@ func explainMatch(ev *Evaluator, sb *strings.Builder, mc *ast.MatchClause, inden
 		}
 	}
 	if len(residual) > 0 {
-		fmt.Fprintf(sb, "%s  residual filter: %s\n", indent, strings.Join(residual, " AND "))
+		fmt.Fprintf(sb, "%s  residual filter: %s%s\n", indent,
+			strings.Join(residual, " AND "), ann.suffix(obs.OpResidual, ""))
 	}
 	for oi, ob := range mc.Optionals {
-		fmt.Fprintf(sb, "%s  left-outer-join OPTIONAL block %d\n", indent, oi+1)
+		fmt.Fprintf(sb, "%s  left-outer-join OPTIONAL block %d%s\n", indent, oi+1,
+			ann.suffix(obs.OpLeftJoin, ""))
 		bConjs := prepareConjuncts(ob.Where)
 		bEsts := make([]int, len(ob.Patterns))
 		for i, lp := range ob.Patterns {
@@ -158,9 +208,9 @@ func explainMatch(ev *Evaluator, sb *strings.Builder, mc *ast.MatchClause, inden
 			pl := planChain(lp.Pattern, g)
 			bEsts[i] = patternEstimate(lp, pl)
 			explainScanDirection(sb, pl, g, indent+"    ")
-			explainChain(sb, pl.runGp, bConjs, indent+"    ")
+			explainChain(sb, pl.runGp, bConjs, indent+"    ", ann)
 		}
-		explainJoinOrder(sb, bEsts, indent+"  ")
+		explainJoinOrder(sb, bEsts, indent+"  ", ann)
 		var brest []string
 		for _, cj := range bConjs {
 			if !cj.applied {
@@ -168,7 +218,8 @@ func explainMatch(ev *Evaluator, sb *strings.Builder, mc *ast.MatchClause, inden
 			}
 		}
 		if len(brest) > 0 {
-			fmt.Fprintf(sb, "%s    block filter: %s\n", indent, strings.Join(brest, " AND "))
+			fmt.Fprintf(sb, "%s    block filter: %s%s\n", indent,
+				strings.Join(brest, " AND "), ann.suffix(obs.OpResidual, ""))
 		}
 	}
 }
@@ -176,7 +227,7 @@ func explainMatch(ev *Evaluator, sb *strings.Builder, mc *ast.MatchClause, inden
 // explainPatterns prints each conjunct pattern of a MATCH with the
 // planner's scan decision, returning the per-pattern estimates that
 // drive the fold order.
-func explainPatterns(ev *Evaluator, sb *strings.Builder, pats []*ast.LocatedPattern, conjs []*conjunct, indent string) []int {
+func explainPatterns(ev *Evaluator, sb *strings.Builder, pats []*ast.LocatedPattern, conjs []*conjunct, indent string, ann *planAnnotator) []int {
 	ests := make([]int, len(pats))
 	for pi, lp := range pats {
 		loc := "default graph"
@@ -195,7 +246,7 @@ func explainPatterns(ev *Evaluator, sb *strings.Builder, pats []*ast.LocatedPatt
 		pl := planChain(lp.Pattern, g)
 		ests[pi] = patternEstimate(lp, pl)
 		explainScanDirection(sb, pl, g, indent+"    ")
-		explainChain(sb, pl.runGp, conjs, indent+"    ")
+		explainChain(sb, pl.runGp, conjs, indent+"    ", ann)
 	}
 	return ests
 }
@@ -228,7 +279,7 @@ func explainScanDirection(sb *strings.Builder, pl chainPlan, g *ppg.Graph, inden
 
 // explainJoinOrder prints the fold order of a multi-pattern MATCH (or
 // OPTIONAL block), mirroring foldConjuncts.
-func explainJoinOrder(sb *strings.Builder, ests []int, indent string) {
+func explainJoinOrder(sb *strings.Builder, ests []int, indent string, ann *planAnnotator) {
 	if len(ests) < 2 {
 		return
 	}
@@ -237,7 +288,8 @@ func explainJoinOrder(sb *strings.Builder, ests []int, indent string) {
 	for i, o := range order {
 		parts[i] = fmt.Sprintf("pattern %d [est %s]", o+1, estString(ests[o]))
 	}
-	fmt.Fprintf(sb, "%s  join order: %s\n", indent, strings.Join(parts, " ⋈ "))
+	fmt.Fprintf(sb, "%s  join order: %s%s\n", indent,
+		strings.Join(parts, " ⋈ "), ann.suffix(obs.OpJoin, ""))
 }
 
 func estString(est int) string {
@@ -250,7 +302,7 @@ func estString(est int) string {
 // explainChain walks one pattern chain, reporting each step and the
 // conjuncts that become applicable (and marks them applied, like
 // applyReady does, so later chains don't re-claim them).
-func explainChain(sb *strings.Builder, gp *ast.GraphPattern, conjs []*conjunct, indent string) {
+func explainChain(sb *strings.Builder, gp *ast.GraphPattern, conjs []*conjunct, indent string, ann *planAnnotator) {
 	bound := map[string]bool{}
 	claim := func() []string {
 		var out []string
@@ -272,10 +324,15 @@ func explainChain(sb *strings.Builder, gp *ast.GraphPattern, conjs []*conjunct, 
 		}
 		return out
 	}
-	step := func(desc string) {
+	step := func(op obs.Op, desc string) {
 		fmt.Fprintf(sb, "%s%s", indent, desc)
 		if pushed := claim(); len(pushed) > 0 {
 			fmt.Fprintf(sb, "  ⊳ filter: %s", strings.Join(pushed, " AND "))
+		}
+		if op == obs.OpScan {
+			sb.WriteString(ann.scanSuffix(desc))
+		} else {
+			sb.WriteString(ann.suffix(op, desc))
 		}
 		sb.WriteByte('\n')
 	}
@@ -290,7 +347,7 @@ func explainChain(sb *strings.Builder, gp *ast.GraphPattern, conjs []*conjunct, 
 		}
 	}
 	bindNode(gp.Nodes[0])
-	step("node scan " + gp.Nodes[0].String())
+	step(obs.OpScan, scanStepLabel(gp.Nodes[0]))
 	for i, link := range gp.Links {
 		next := gp.Nodes[i+1]
 		switch x := link.(type) {
@@ -304,7 +361,7 @@ func explainChain(sb *strings.Builder, gp *ast.GraphPattern, conjs []*conjunct, 
 				}
 			}
 			bindNode(next)
-			step("expand " + x.String() + next.String() + " (adjacency)")
+			step(obs.OpExpand, expandStepLabel(x, next))
 		case *ast.PathPattern:
 			if x.Var != "" {
 				bound[x.Var] = true
@@ -313,7 +370,7 @@ func explainChain(sb *strings.Builder, gp *ast.GraphPattern, conjs []*conjunct, 
 				bound[x.CostVar] = true
 			}
 			bindNode(next)
-			step(pathStrategy(x) + " " + x.String() + next.String())
+			step(obs.OpPath, pathStepLabel(x, next))
 		}
 	}
 }
@@ -341,8 +398,8 @@ func pathStrategy(pp *ast.PathPattern) string {
 	}
 }
 
-func explainConstruct(sb *strings.Builder, cc *ast.ConstructClause, indent string, bound map[string]bool, boundKnown bool) {
-	fmt.Fprintf(sb, "%sCONSTRUCT (identity-respecting, §A.3)\n", indent)
+func explainConstruct(sb *strings.Builder, cc *ast.ConstructClause, indent string, bound map[string]bool, boundKnown bool, ann *planAnnotator) {
+	fmt.Fprintf(sb, "%s%s%s\n", indent, constructLabel, ann.suffix(obs.OpConstruct, ""))
 	for _, item := range cc.Items {
 		if item.GraphName != "" {
 			fmt.Fprintf(sb, "%s  graph union with %s\n", indent, item.GraphName)

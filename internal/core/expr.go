@@ -610,7 +610,11 @@ func (e *env) evalExists(q ast.Query) (value.Value, error) {
 		s = newScope(nil)
 	}
 	outer := e.outerRowTable()
+	// Subquery operators record one level down (they run per row and
+	// would otherwise swamp the top-level plan annotation).
+	e.c.col.EnterSub()
 	res, err := e.c.evalQuery(s, q, outer)
+	e.c.col.ExitSub()
 	if err != nil {
 		return value.Null, err
 	}
@@ -631,7 +635,9 @@ func (e *env) evalPatternPred(gp *ast.GraphPattern) (value.Value, error) {
 	if s == nil {
 		s = newScope(nil)
 	}
+	e.c.col.EnterSub()
 	tbl, err := e.c.evalGraphPattern(s, gp, e.patternGraph)
+	e.c.col.ExitSub()
 	if err != nil {
 		return value.Null, err
 	}

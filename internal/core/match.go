@@ -7,6 +7,7 @@ import (
 	"gcore/internal/ast"
 	"gcore/internal/bindings"
 	"gcore/internal/faultinject"
+	"gcore/internal/obs"
 	"gcore/internal/ppg"
 	"gcore/internal/value"
 )
@@ -90,9 +91,28 @@ func (c *evalCtx) evalMatch(s *scope, mc *ast.MatchClause, outer *bindings.Table
 		ests = append(ests, est)
 	}
 	var err error
-	tbl, err = c.foldConjuncts(tables, ests)
-	if err != nil {
-		return nil, nil, err
+	if len(tables) > 1 {
+		// The join span covers only multi-pattern folds, matching the
+		// one "join order" line EXPLAIN prints in that case.
+		jsp := c.col.Start(obs.OpJoin)
+		if jsp.Verbose() {
+			jsp.SetLabel("conjunct join fold")
+		}
+		var rowsIn int64
+		for _, t := range tables {
+			rowsIn += int64(t.Len())
+		}
+		tbl, err = c.foldConjuncts(tables, ests)
+		if err != nil {
+			jsp.Fail()
+			return nil, nil, err
+		}
+		jsp.Rows(rowsIn, int64(tbl.Len())).End()
+	} else {
+		tbl, err = c.foldConjuncts(tables, ests)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	// Correlate with the outer query's bindings (Jγ0KΩ,G semantics).
 	tbl, err = c.joinBudget(tbl, outer)
@@ -106,13 +126,32 @@ func (c *evalCtx) evalMatch(s *scope, mc *ast.MatchClause, outer *bindings.Table
 	}
 	if mc.Where != nil {
 		env := c.newEnv(s, graphs, patternGraph)
+		// Span only when conjuncts remain, matching the one "residual
+		// filter" line EXPLAIN prints in that case.
+		var rsp *obs.ActiveSpan
+		if anyUnapplied(conjs) {
+			rsp = c.col.Start(obs.OpResidual)
+			if rsp.Verbose() {
+				rsp.SetLabel("residual filter")
+			}
+		}
+		rowsIn := int64(tbl.Len())
 		filtered, err := c.residualFilter(conjs, tbl, env)
 		if err != nil {
+			rsp.Fail()
 			return nil, nil, err
 		}
+		rsp.Rows(rowsIn, int64(filtered.Len())).End()
 		tbl = filtered
 	}
 	for _, ob := range mc.Optionals {
+		// The left-join span brackets the whole block: its chains,
+		// fold, block filter and the outer join itself.
+		osp := c.col.Start(obs.OpLeftJoin)
+		if osp.Verbose() {
+			osp.SetLabel("OPTIONAL left join")
+		}
+		rowsIn := int64(tbl.Len())
 		bGraphs := []*ppg.Graph{}
 		bConjs := prepareConjuncts(ob.Where)
 		var (
@@ -122,11 +161,13 @@ func (c *evalCtx) evalMatch(s *scope, mc *ast.MatchClause, outer *bindings.Table
 		for _, lp := range ob.Patterns {
 			g, err := c.resolveLocation(s, lp)
 			if err != nil {
+				osp.Fail()
 				return nil, nil, err
 			}
 			bGraphs = append(bGraphs, g)
 			t, est, err := c.evalChainPlanned(s, lp.Pattern, g, bConjs)
 			if err != nil {
+				osp.Fail()
 				return nil, nil, err
 			}
 			if lp.OnQuery != nil {
@@ -135,9 +176,30 @@ func (c *evalCtx) evalMatch(s *scope, mc *ast.MatchClause, outer *bindings.Table
 			bTables = append(bTables, t)
 			bEsts = append(bEsts, est)
 		}
-		bt, err := c.foldConjuncts(bTables, bEsts)
-		if err != nil {
-			return nil, nil, err
+		var bt *bindings.Table
+		var err error
+		if len(bTables) > 1 {
+			jsp := c.col.Start(obs.OpJoin)
+			if jsp.Verbose() {
+				jsp.SetLabel("conjunct join fold")
+			}
+			var jIn int64
+			for _, t := range bTables {
+				jIn += int64(t.Len())
+			}
+			bt, err = c.foldConjuncts(bTables, bEsts)
+			if err != nil {
+				jsp.Fail()
+				osp.Fail()
+				return nil, nil, err
+			}
+			jsp.Rows(jIn, int64(bt.Len())).End()
+		} else {
+			bt, err = c.foldConjuncts(bTables, bEsts)
+			if err != nil {
+				osp.Fail()
+				return nil, nil, err
+			}
 		}
 		if ob.Where != nil {
 			bg := patternGraph
@@ -145,19 +207,44 @@ func (c *evalCtx) evalMatch(s *scope, mc *ast.MatchClause, outer *bindings.Table
 				bg = bGraphs[0]
 			}
 			env := c.newEnv(s, append(append([]*ppg.Graph{}, graphs...), bGraphs...), bg)
+			var rsp *obs.ActiveSpan
+			if anyUnapplied(bConjs) {
+				rsp = c.col.Start(obs.OpResidual)
+				if rsp.Verbose() {
+					rsp.SetLabel("block filter")
+				}
+			}
+			fIn := int64(bt.Len())
 			filtered, err := c.residualFilter(bConjs, bt, env)
 			if err != nil {
+				rsp.Fail()
+				osp.Fail()
 				return nil, nil, err
 			}
+			rsp.Rows(fIn, int64(filtered.Len())).End()
 			bt = filtered
 		}
 		graphs = append(graphs, bGraphs...)
 		tbl, err = c.leftJoinBudget(tbl, bt)
 		if err != nil {
+			osp.Fail()
 			return nil, nil, err
 		}
+		osp.Rows(rowsIn, int64(tbl.Len())).End()
 	}
 	return tbl, graphs, nil
+}
+
+// anyUnapplied reports whether a WHERE conjunct is still pending at
+// the residual-filter point; it gates the residual span so spans line
+// up one-to-one with the residual lines EXPLAIN prints.
+func anyUnapplied(conjs []*conjunct) bool {
+	for _, cj := range conjs {
+		if !cj.applied {
+			return true
+		}
+	}
+	return false
 }
 
 // evalGraphPattern evaluates one basic graph pattern chain on g,
@@ -190,29 +277,54 @@ func (c *evalCtx) evalChainPlanned(s *scope, gp *ast.GraphPattern, g *ppg.Graph,
 		run, runNames = pl.runGp, reverseNames(names)
 	}
 
+	// Each step span covers the operator plus the eager conjunct
+	// application riding on it, mirroring the "⊳ filter" suffix of the
+	// plan line; its label is the exact plan-line text so EXPLAIN
+	// ANALYZE can match measurements to lines.
+	sp := c.col.Start(obs.OpScan)
+	if sp.Verbose() {
+		sp.SetLabel(scanStepLabel(run.Nodes[0]))
+	}
 	tbl, err := c.scanNodes(g, run.Nodes[0], runNames.node[0])
 	if err != nil {
+		sp.Fail()
 		return nil, 0, err
 	}
 	if tbl, err = c.applyReady(conjs, tbl, g); err != nil {
+		sp.Fail()
 		return nil, 0, err
 	}
+	sp.Indexed(c.lastScanIndexed).Rows(0, int64(tbl.Len())).End()
 	for i, link := range run.Links {
+		rowsIn := int64(tbl.Len())
+		var sp *obs.ActiveSpan
 		switch x := link.(type) {
 		case *ast.EdgePattern:
+			sp = c.col.Start(obs.OpExpand)
+			if sp.Verbose() {
+				sp.SetLabel(expandStepLabel(x, run.Nodes[i+1]))
+			}
 			tbl, err = c.extendEdge(g, tbl, runNames.node[i], x, runNames.link[i], run.Nodes[i+1], runNames.node[i+1])
 		case *ast.PathPattern:
+			sp = c.col.Start(obs.OpPath)
+			if sp.Verbose() {
+				sp.SetLabel(pathStepLabel(x, run.Nodes[i+1]))
+			}
 			tbl, err = c.extendPath(s, g, tbl, runNames.node[i], x, runNames.link[i], run.Nodes[i+1], runNames.node[i+1])
 		}
 		if err != nil {
+			sp.Fail()
 			return nil, 0, err
 		}
 		if tbl, err = c.applyReady(conjs, tbl, g); err != nil {
+			sp.Fail()
 			return nil, 0, err
 		}
 		if err := c.checkBudget(tbl); err != nil {
+			sp.Fail()
 			return nil, 0, err
 		}
+		sp.Rows(rowsIn, int64(tbl.Len())).End()
 	}
 	if pl.reversed {
 		tbl = c.restoreForwardOrder(tbl, gp, names, g)
@@ -471,6 +583,7 @@ func (c *evalCtx) scanNodes(g *ppg.Graph, np *ast.NodePattern, varName string) (
 	bp := newBindPlan(tbl, np.Props)
 	w := tbl.Width()
 	ids, indexed := indexedNodeCandidates(g, np.Labels)
+	c.lastScanIndexed = indexed
 	if !indexed {
 		ids = g.NodeIDs()
 	}

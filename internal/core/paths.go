@@ -72,6 +72,10 @@ func (va *viewAdapter) Segments(name string, from ppg.NodeID) ([]rpq.Segment, er
 // strictly more powerful than existential filters because the joined
 // variables can appear in the COST expression).
 func (c *evalCtx) materializePathView(s *scope, pc *ast.PathClause, g *ppg.Graph) (map[ppg.NodeID][]rpq.Segment, error) {
+	// The view's own chains record one level down: their spans belong
+	// to the view materialisation, not to the enclosing query's plan.
+	c.col.EnterSub()
+	defer c.col.ExitSub()
 	walk := pc.Patterns[0]
 	names := c.patternVarNames(walk)
 
@@ -253,8 +257,10 @@ func defaultRegex() *ast.Regex { return anyStarRegex }
 func (c *evalCtx) compiledNFA(rx *ast.Regex, reversed bool) (*rpq.NFA, error) {
 	key := nfaKey{rx: rx, reversed: reversed}
 	if n, ok := c.nfaCache[key]; ok {
+		c.col.NFAEvent(true)
 		return n, nil
 	}
+	c.col.NFAEvent(false)
 	use := rx
 	if reversed {
 		var err error
@@ -390,6 +396,7 @@ func (c *evalCtx) extendPath(s *scope, g *ppg.Graph, tbl *bindings.Table, leftVa
 		eng = rpq.NewEngine(g, views)
 	}
 	eng.SetGovernor(c.gov)
+	eng.SetCollector(c.col)
 
 	vars := append(tbl.Vars(), rightVar)
 	if pp.Mode != ast.PathReach {

@@ -6,6 +6,7 @@ import (
 	"gcore/internal/ast"
 	"gcore/internal/bindings"
 	"gcore/internal/faultinject"
+	"gcore/internal/obs"
 	"gcore/internal/ppg"
 	"gcore/internal/value"
 )
@@ -147,6 +148,14 @@ func (c *evalCtx) applyReady(conjs []*conjunct, tbl *bindings.Table, g *ppg.Grap
 	if len(ready) == 0 {
 		return tbl, nil
 	}
+	// The filter span nests inside the enclosing scan/expand span (the
+	// plan prints pushed conjuncts as a suffix of the step line); it
+	// exists so the metrics registry can price pushdown separately.
+	sp := c.col.Start(obs.OpFilter)
+	if sp.Verbose() {
+		sp.SetLabel("pushdown filter")
+	}
+	rowsIn := int64(tbl.Len())
 	// Label tests (x:A|B) over the pattern graph short-circuit to an
 	// interned-label probe on the CSR snapshot; every other conjunct —
 	// and any ref the snapshot does not know — goes through the
@@ -224,6 +233,7 @@ func (c *evalCtx) applyReady(conjs []*conjunct, tbl *bindings.Table, g *ppg.Grap
 		return keep, nil
 	})
 	if err != nil {
+		sp.Fail()
 		return nil, err
 	}
 	var idx []int
@@ -234,6 +244,7 @@ func (c *evalCtx) applyReady(conjs []*conjunct, tbl *bindings.Table, g *ppg.Grap
 	for _, cj := range ready {
 		cj.applied = true
 	}
+	sp.Rows(rowsIn, int64(out.Len())).End()
 	return out, nil
 }
 

@@ -84,6 +84,18 @@ func Of(g *ppg.Graph) *Snapshot {
 	return g.Snapshot(func() any { return Build(g) }).(*Snapshot)
 }
 
+// OfCounted is Of plus a reuse report: hit is true when the cached
+// generation was returned and false when this call (re)built the
+// snapshot, feeding the observability CSR-cache counters.
+func OfCounted(g *ppg.Graph) (snap *Snapshot, hit bool) {
+	built := false
+	s := g.Snapshot(func() any {
+		built = true
+		return Build(g)
+	}).(*Snapshot)
+	return s, !built
+}
+
 // Build constructs a fresh snapshot of g, bypassing the cache.
 func Build(g *ppg.Graph) *Snapshot {
 	s := &Snapshot{gen: g.Generation()}

@@ -227,6 +227,27 @@ func (g *Governor) AddResults(n int) error {
 	return nil
 }
 
+// FrontierUsed reports the product-automaton states charged so far.
+// The counter is maintained only when MaxPathFrontier is set — the
+// unlimited path deliberately skips the atomic so ungoverned kernels
+// pay nothing — so observability reports it as "budget consumed", not
+// as total frontier activity (kernel spans carry that).
+func (g *Governor) FrontierUsed() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.frontier.Load()
+}
+
+// ResultsUsed reports the constructed elements charged so far, under
+// the same limit-gated caveat as FrontierUsed.
+func (g *Governor) ResultsUsed() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.results.Load()
+}
+
 // BindingsError is the KindBudget error for an overflowing binding
 // table: rows is the size the table reached when the budget tripped.
 func (g *Governor) BindingsError(rows int) *QueryError {

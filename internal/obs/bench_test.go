@@ -1,0 +1,37 @@
+package obs
+
+import "testing"
+
+// BenchmarkCollectorSpan is the cost of one fully-populated span on
+// the metrics-only path (no handler, labels skipped) — the per-
+// operator overhead EXPLAIN-less queries pay when a collector is
+// installed.
+func BenchmarkCollectorSpan(b *testing.B) {
+	c := NewCollector()
+	c.Reset(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := c.Start(OpExpand)
+		if sp.Verbose() {
+			sp.SetLabel("expand (x)-[:knows]->(y) (adjacency)")
+		}
+		sp.Rows(128, 256).End()
+		if i&1023 == 0 {
+			c.Reset(nil)
+		}
+	}
+}
+
+// BenchmarkNilCollectorSpan is the cost when no collector is
+// installed at all — the default query path.
+func BenchmarkNilCollectorSpan(b *testing.B) {
+	var c *Collector
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := c.Start(OpExpand)
+		if sp.Verbose() {
+			sp.SetLabel("never")
+		}
+		sp.Rows(128, 256).End()
+	}
+}

@@ -1,0 +1,433 @@
+// Package obs is the execution-observability layer: a cheap
+// per-statement Collector threaded alongside the governance Governor
+// through every operator (scans, expansions, path searches, joins,
+// filters, CONSTRUCT/SELECT) and the rpq kernels.
+//
+// Design constraints, in order:
+//
+//  1. Zero cost when absent. Every recording entry point is nil-safe
+//     on a nil *Collector / nil *ActiveSpan, so uninstrumented
+//     evaluation pays one pointer test per operator, not per row.
+//  2. No per-row work. Spans record rows in/out as table lengths at
+//     operator boundaries; rpq kernels count steps locally and flush
+//     once at kernel end. This also makes row counts deterministic
+//     across parallelism levels — a chunked parallel scan and a
+//     sequential scan produce the same table, hence the same counts.
+//  3. Race-safe. The evaluator runs operators on worker goroutines
+//     and engines are used from tests concurrently; all counters are
+//     atomic and the span list is mutex-guarded.
+//
+// A Collector accumulates; Mark/Since carve out the slice belonging
+// to one statement so a long-lived sink Collector (WithCollector) can
+// span many queries while the engine still reports per-statement
+// stats to its Registry.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op identifies an operator class. The set mirrors the EXPLAIN tree:
+// one value per line kind the plan printer can emit.
+type Op uint8
+
+const (
+	// OpStatement wraps a whole statement evaluation.
+	OpStatement Op = iota
+	// OpScan is the node scan seeding a pattern chain.
+	OpScan
+	// OpExpand is one adjacency expansion step (edge pattern).
+	OpExpand
+	// OpPath is one path-pattern step (reachability / k-shortest /
+	// ALL-paths search seeded from the frontier table).
+	OpPath
+	// OpFilter is an eager pushed-down conjunct application.
+	OpFilter
+	// OpResidual is the residual WHERE filter (subqueries et al.).
+	OpResidual
+	// OpJoin is the conjunct-pattern fold of one MATCH.
+	OpJoin
+	// OpLeftJoin is one OPTIONAL block's left outer join.
+	OpLeftJoin
+	// OpConstruct is the CONSTRUCT clause building the result graph.
+	OpConstruct
+	// OpSelect is the SELECT clause building the result table.
+	OpSelect
+	// OpShortest is a k-shortest product-automaton kernel run.
+	OpShortest
+	// OpReach is a reachability-sweep kernel run.
+	OpReach
+	// OpAllPaths is an ALL-paths enumeration kernel run.
+	OpAllPaths
+
+	numOps = int(OpAllPaths) + 1
+)
+
+var opNames = [numOps]string{
+	"statement", "scan", "expand", "path", "filter", "residual",
+	"join", "left-join", "construct", "select",
+	"shortest", "reach", "all-paths",
+}
+
+func (o Op) String() string {
+	if int(o) < numOps {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Span is one finished operator execution. Rows are table lengths at
+// the operator boundary; Pops/Arrivals are kernel frontier counters
+// (pops from the search frontier, pushes onto it).
+type Span struct {
+	Op    Op
+	Label string // plan-line text; empty unless the collector is verbose
+	Depth int32  // 0 for top-level operators, >0 inside subqueries
+
+	RowsIn   int64
+	RowsOut  int64
+	Pops     int64
+	Arrivals int64
+
+	Indexed bool // scan used the label index (vs. full node scan)
+	Err     bool
+
+	Elapsed time.Duration
+}
+
+// TraceHandler receives operator span events. Implementations must be
+// safe for concurrent use: operators run on worker goroutines, so
+// SpanStart/SpanEnd for different spans may interleave and event
+// order between sibling operators is not deterministic. The engine
+// never retains the Span past the SpanEnd call.
+type TraceHandler interface {
+	// SpanStart fires when an operator begins. The label is not yet
+	// known (it is set during execution); depth>0 means a subquery.
+	SpanStart(op Op, depth int)
+	// SpanEnd fires with the completed span.
+	SpanEnd(span Span)
+}
+
+// Collector accumulates spans and cache/budget counters for one or
+// more statements. The zero value is NOT ready; use NewCollector. A
+// nil *Collector is a valid no-op receiver for Start and the event
+// methods.
+type Collector struct {
+	mu      sync.Mutex
+	spans   []Span
+	handler TraceHandler
+
+	verbose atomic.Bool  // record labels (EXPLAIN ANALYZE / tracing)
+	depth   atomic.Int32 // subquery nesting, muting labels below 0
+
+	nfaHits      atomic.Int64
+	nfaMisses    atomic.Int64
+	csrReuses    atomic.Int64
+	csrBuilds    atomic.Int64
+	frontierUsed atomic.Int64
+	resultsUsed  atomic.Int64
+}
+
+// NewCollector returns a collector that records span labels (verbose
+// mode), suitable for EXPLAIN ANALYZE and for user-held collectors.
+func NewCollector() *Collector {
+	c := &Collector{}
+	c.verbose.Store(true)
+	return c
+}
+
+// Reset clears all spans and counters and installs h as the trace
+// handler. Label recording is enabled only when a handler is present;
+// the metrics-only path skips label formatting entirely. Reset is how
+// the evaluator reuses one scratch collector across statements.
+func (c *Collector) Reset(h TraceHandler) {
+	c.mu.Lock()
+	c.spans = c.spans[:0]
+	c.handler = h
+	c.mu.Unlock()
+	c.verbose.Store(h != nil)
+	c.depth.Store(0)
+	c.nfaHits.Store(0)
+	c.nfaMisses.Store(0)
+	c.csrReuses.Store(0)
+	c.csrBuilds.Store(0)
+	c.frontierUsed.Store(0)
+	c.resultsUsed.Store(0)
+}
+
+// SetHandler installs (or clears) the trace handler without touching
+// recorded spans or counters.
+func (c *Collector) SetHandler(h TraceHandler) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.handler = h
+	c.mu.Unlock()
+}
+
+// EnterSub marks entry into a subquery (EXISTS, pattern predicate, ON
+// subquery, path-view materialisation). Spans recorded inside carry
+// Depth>0 so plan annotation and the registry count only top-level
+// operators, while trace handlers still see the full tree.
+func (c *Collector) EnterSub() {
+	if c == nil {
+		return
+	}
+	c.depth.Add(1)
+}
+
+// ExitSub closes the innermost subquery scope.
+func (c *Collector) ExitSub() {
+	if c == nil {
+		return
+	}
+	c.depth.Add(-1)
+}
+
+// NFAEvent records a regex→NFA compilation cache probe.
+func (c *Collector) NFAEvent(hit bool) {
+	if c == nil {
+		return
+	}
+	if hit {
+		c.nfaHits.Add(1)
+	} else {
+		c.nfaMisses.Add(1)
+	}
+}
+
+// CSREvent records a CSR snapshot probe: hit means the cached
+// generation was reused, miss means the snapshot was (re)built.
+func (c *Collector) CSREvent(hit bool) {
+	if c == nil {
+		return
+	}
+	if hit {
+		c.csrReuses.Add(1)
+	} else {
+		c.csrBuilds.Add(1)
+	}
+}
+
+// RecordBudget adds the governor's consumed budget for one statement.
+// The counters are nonzero only when the corresponding limit is set:
+// the governor deliberately skips its atomics when unlimited, so the
+// hot kernels pay nothing by default (kernel spans still report
+// frontier activity via Pops/Arrivals).
+func (c *Collector) RecordBudget(frontier, results int64) {
+	if c == nil {
+		return
+	}
+	if frontier != 0 {
+		c.frontierUsed.Add(frontier)
+	}
+	if results != 0 {
+		c.resultsUsed.Add(results)
+	}
+}
+
+// Start opens a span for op. On a nil collector it returns nil, and
+// every *ActiveSpan method is nil-safe, so call sites need no guard:
+//
+//	sp := c.col.Start(obs.OpScan)
+//	... work ...
+//	sp.Rows(0, int64(tbl.Len())).End()
+func (c *Collector) Start(op Op) *ActiveSpan {
+	if c == nil {
+		return nil
+	}
+	sp := &ActiveSpan{c: c, start: time.Now()}
+	sp.span.Op = op
+	sp.span.Depth = c.depth.Load()
+	c.mu.Lock()
+	h := c.handler
+	c.mu.Unlock()
+	if h != nil {
+		h.SpanStart(op, int(sp.span.Depth))
+	}
+	return sp
+}
+
+// ActiveSpan is an in-flight operator measurement. Methods chain and
+// are nil-safe; End (or Fail) finalises the span exactly once.
+type ActiveSpan struct {
+	c     *Collector
+	span  Span
+	start time.Time
+}
+
+// Verbose reports whether the span records labels. Callers use it to
+// skip label formatting on the metrics-only path.
+func (sp *ActiveSpan) Verbose() bool {
+	return sp != nil && sp.c.verbose.Load()
+}
+
+// SetLabel attaches the plan-line text identifying this operator.
+func (sp *ActiveSpan) SetLabel(label string) *ActiveSpan {
+	if sp != nil {
+		sp.span.Label = label
+	}
+	return sp
+}
+
+// Rows records the operator's input and output cardinality.
+func (sp *ActiveSpan) Rows(in, out int64) *ActiveSpan {
+	if sp != nil {
+		sp.span.RowsIn = in
+		sp.span.RowsOut = out
+	}
+	return sp
+}
+
+// Indexed records whether a scan used the label index.
+func (sp *ActiveSpan) Indexed(used bool) *ActiveSpan {
+	if sp != nil {
+		sp.span.Indexed = used
+	}
+	return sp
+}
+
+// Frontier records kernel frontier counters: pops from the search
+// frontier and arrivals pushed onto it.
+func (sp *ActiveSpan) Frontier(pops, arrivals int64) *ActiveSpan {
+	if sp != nil {
+		sp.span.Pops = pops
+		sp.span.Arrivals = arrivals
+	}
+	return sp
+}
+
+// End finalises the span, appends it to the collector, and notifies
+// the trace handler.
+func (sp *ActiveSpan) End() {
+	if sp == nil {
+		return
+	}
+	sp.span.Elapsed = time.Since(sp.start)
+	c := sp.c
+	c.mu.Lock()
+	c.spans = append(c.spans, sp.span)
+	h := c.handler
+	c.mu.Unlock()
+	if h != nil {
+		h.SpanEnd(sp.span)
+	}
+}
+
+// Fail finalises the span with the error flag set.
+func (sp *ActiveSpan) Fail() {
+	if sp == nil {
+		return
+	}
+	sp.span.Err = true
+	sp.End()
+}
+
+// Mark is a position in a collector's history; Since/SpansSince
+// report only what was recorded after the mark, letting one sink
+// collector serve many statements.
+type Mark struct {
+	spans     int
+	nfaHits   int64
+	nfaMisses int64
+	csrReuses int64
+	csrBuilds int64
+	frontier  int64
+	results   int64
+}
+
+// Mark snapshots the collector's current position. Safe on nil (the
+// zero Mark then matches the empty history).
+func (c *Collector) Mark() Mark {
+	if c == nil {
+		return Mark{}
+	}
+	c.mu.Lock()
+	n := len(c.spans)
+	c.mu.Unlock()
+	return Mark{
+		spans:     n,
+		nfaHits:   c.nfaHits.Load(),
+		nfaMisses: c.nfaMisses.Load(),
+		csrReuses: c.csrReuses.Load(),
+		csrBuilds: c.csrBuilds.Load(),
+		frontier:  c.frontierUsed.Load(),
+		results:   c.resultsUsed.Load(),
+	}
+}
+
+// SpansSince returns a copy of the spans recorded after m.
+func (c *Collector) SpansSince(m Mark) []Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.spans >= len(c.spans) {
+		return nil
+	}
+	out := make([]Span, len(c.spans)-m.spans)
+	copy(out, c.spans[m.spans:])
+	return out
+}
+
+// OpStat aggregates the spans of one operator class.
+type OpStat struct {
+	Count    int64
+	RowsIn   int64
+	RowsOut  int64
+	Pops     int64
+	Arrivals int64
+	Elapsed  time.Duration
+}
+
+// Stats is the aggregate view of a collector (or a Since window).
+type Stats struct {
+	Ops [numOps]OpStat
+
+	NFAHits      int64
+	NFAMisses    int64
+	CSRReuses    int64
+	CSRBuilds    int64
+	FrontierUsed int64
+	ResultsUsed  int64
+}
+
+// Op returns the aggregate for one operator class.
+func (s *Stats) Op(op Op) OpStat { return s.Ops[op] }
+
+// Since aggregates everything recorded after m. Subquery spans
+// (Depth>0) are folded into the same operator classes — a row scanned
+// inside EXISTS is still a row scanned.
+func (c *Collector) Since(m Mark) Stats {
+	var st Stats
+	if c == nil {
+		return st
+	}
+	c.mu.Lock()
+	spans := c.spans[min(m.spans, len(c.spans)):]
+	for i := range spans {
+		sp := &spans[i]
+		os := &st.Ops[sp.Op]
+		os.Count++
+		os.RowsIn += sp.RowsIn
+		os.RowsOut += sp.RowsOut
+		os.Pops += sp.Pops
+		os.Arrivals += sp.Arrivals
+		os.Elapsed += sp.Elapsed
+	}
+	c.mu.Unlock()
+	st.NFAHits = c.nfaHits.Load() - m.nfaHits
+	st.NFAMisses = c.nfaMisses.Load() - m.nfaMisses
+	st.CSRReuses = c.csrReuses.Load() - m.csrReuses
+	st.CSRBuilds = c.csrBuilds.Load() - m.csrBuilds
+	st.FrontierUsed = c.frontierUsed.Load() - m.frontier
+	st.ResultsUsed = c.resultsUsed.Load() - m.results
+	return st
+}
+
+// Stats aggregates the collector's full history.
+func (c *Collector) Stats() Stats { return c.Since(Mark{}) }

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Registry accumulates per-operator statistics across the lifetime of
+// an engine. All counters are atomic: statements observe their stats
+// concurrently with snapshot readers (expvar, \metrics).
+type Registry struct {
+	queries atomic.Int64
+	errors  atomic.Int64
+
+	ops [numOps]opCounters
+
+	nfaHits      atomic.Int64
+	nfaMisses    atomic.Int64
+	csrReuses    atomic.Int64
+	csrBuilds    atomic.Int64
+	frontierUsed atomic.Int64
+	resultsUsed  atomic.Int64
+}
+
+type opCounters struct {
+	count    atomic.Int64
+	rowsIn   atomic.Int64
+	rowsOut  atomic.Int64
+	pops     atomic.Int64
+	arrivals atomic.Int64
+	elapsed  atomic.Int64 // nanoseconds
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Observe folds one statement's stats into the registry.
+func (r *Registry) Observe(st Stats, err error) {
+	if r == nil {
+		return
+	}
+	r.queries.Add(1)
+	if err != nil {
+		r.errors.Add(1)
+	}
+	for i := range st.Ops {
+		os := &st.Ops[i]
+		if os.Count == 0 {
+			continue
+		}
+		oc := &r.ops[i]
+		oc.count.Add(os.Count)
+		oc.rowsIn.Add(os.RowsIn)
+		oc.rowsOut.Add(os.RowsOut)
+		oc.pops.Add(os.Pops)
+		oc.arrivals.Add(os.Arrivals)
+		oc.elapsed.Add(int64(os.Elapsed))
+	}
+	r.nfaHits.Add(st.NFAHits)
+	r.nfaMisses.Add(st.NFAMisses)
+	r.csrReuses.Add(st.CSRReuses)
+	r.csrBuilds.Add(st.CSRBuilds)
+	r.frontierUsed.Add(st.FrontierUsed)
+	r.resultsUsed.Add(st.ResultsUsed)
+}
+
+// OpMetrics is the exported aggregate for one operator class.
+type OpMetrics struct {
+	Count     int64         `json:"count"`
+	RowsIn    int64         `json:"rows_in"`
+	RowsOut   int64         `json:"rows_out"`
+	Pops      int64         `json:"pops,omitempty"`
+	Arrivals  int64         `json:"arrivals,omitempty"`
+	ElapsedNS int64         `json:"elapsed_ns"`
+	Elapsed   time.Duration `json:"-"`
+}
+
+// Metrics is a point-in-time snapshot of a Registry, shaped for JSON
+// export (expvar, -metrics, \metrics).
+type Metrics struct {
+	Queries int64 `json:"queries"`
+	Errors  int64 `json:"errors"`
+
+	Operators map[string]OpMetrics `json:"operators"`
+
+	NFACacheHits   int64 `json:"nfa_cache_hits"`
+	NFACacheMisses int64 `json:"nfa_cache_misses"`
+	CSRReuses      int64 `json:"csr_reuses"`
+	CSRBuilds      int64 `json:"csr_builds"`
+	FrontierUsed   int64 `json:"frontier_used"`
+	ResultsUsed    int64 `json:"results_used"`
+}
+
+// Snapshot returns a consistent-enough copy of the registry: each
+// counter is read atomically; cross-counter skew is bounded by
+// in-flight statements.
+func (r *Registry) Snapshot() Metrics {
+	m := Metrics{Operators: map[string]OpMetrics{}}
+	if r == nil {
+		return m
+	}
+	m.Queries = r.queries.Load()
+	m.Errors = r.errors.Load()
+	for i := range r.ops {
+		oc := &r.ops[i]
+		n := oc.count.Load()
+		if n == 0 {
+			continue
+		}
+		ns := oc.elapsed.Load()
+		m.Operators[Op(i).String()] = OpMetrics{
+			Count:     n,
+			RowsIn:    oc.rowsIn.Load(),
+			RowsOut:   oc.rowsOut.Load(),
+			Pops:      oc.pops.Load(),
+			Arrivals:  oc.arrivals.Load(),
+			ElapsedNS: ns,
+			Elapsed:   time.Duration(ns),
+		}
+	}
+	m.NFACacheHits = r.nfaHits.Load()
+	m.NFACacheMisses = r.nfaMisses.Load()
+	m.CSRReuses = r.csrReuses.Load()
+	m.CSRBuilds = r.csrBuilds.Load()
+	m.FrontierUsed = r.frontierUsed.Load()
+	m.ResultsUsed = r.resultsUsed.Load()
+	return m
+}

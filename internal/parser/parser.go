@@ -130,6 +130,19 @@ func (p *parser) expectIdent(what string) (string, error) {
 
 func (p *parser) parseStatement() (*ast.Statement, error) {
 	stmt := &ast.Statement{}
+	// EXPLAIN [ANALYZE] is a statement prefix, not a keyword: both words
+	// stay usable as ordinary identifiers (labels, variables) elsewhere.
+	// The lexer classifies them as Ident, so the check is case-insensitive
+	// on the token text; a statement proper always starts with one of the
+	// PATH/GRAPH/CONSTRUCT/SELECT keywords, so no ambiguity arises.
+	if t := p.cur(); t.Kind == lexer.Ident && strings.EqualFold(t.Text, "EXPLAIN") {
+		p.next()
+		stmt.Explain = ast.ExplainPlan
+		if t := p.cur(); t.Kind == lexer.Ident && strings.EqualFold(t.Text, "ANALYZE") {
+			p.next()
+			stmt.Explain = ast.ExplainAnalyze
+		}
+	}
 	for {
 		switch {
 		case p.cur().IsKeyword("PATH"):

@@ -6,6 +6,7 @@ import (
 
 	"gcore/internal/csr"
 	"gcore/internal/faultinject"
+	"gcore/internal/obs"
 	"gcore/internal/ppg"
 )
 
@@ -299,7 +300,15 @@ func (e *Engine) shortestCSR(src ppg.NodeID, nfa *NFA, k int) (map[ppg.NodeID][]
 	results := map[ppg.NodeID][]PathResult{}
 	sigs := map[ppg.NodeID]map[WalkSig]bool{}
 
-	steps := 0
+	steps, pushed, found := 0, 0, 0
+	if sp := e.col.Start(obs.OpShortest); sp != nil {
+		if sp.Verbose() {
+			sp.SetLabel("k-shortest product search (csr)")
+		}
+		defer func() {
+			sp.Frontier(int64(steps), int64(pushed)).Rows(0, int64(found)).End()
+		}()
+	}
 	for len(st.h) > 0 {
 		if steps&(checkStride-1) == 0 {
 			if err := e.gov.Checkpoint(faultinject.SiteRPQCSRShortest); err != nil {
@@ -381,9 +390,13 @@ func (e *Engine) shortestCSR(src ppg.NodeID, nfa *NFA, k int) (map[ppg.NodeID][]
 				}
 			}
 		}
+		pushed += len(st.arrivals) - before
 		if err := e.gov.GrowFrontier(len(st.arrivals) - before); err != nil {
 			return nil, err
 		}
+	}
+	for _, prs := range results {
+		found += len(prs)
 	}
 	return results, nil
 }
@@ -429,7 +442,15 @@ func (e *Engine) reachableCSR(src ppg.NodeID, nfa *NFA) ([]ppg.NodeID, error) {
 	queue := []ccfg{{srcOrd, int32(nfa.start)}}
 	accept := int32(nfa.accept)
 	hit := make([]bool, e.snap.NumNodes())
-	steps := 0
+	steps, pushed, found := 0, 0, 0
+	if sp := e.col.Start(obs.OpReach); sp != nil {
+		if sp.Verbose() {
+			sp.SetLabel("reachability sweep (csr)")
+		}
+		defer func() {
+			sp.Frontier(int64(steps), int64(pushed)).Rows(0, int64(found)).End()
+		}()
+	}
 	for len(queue) > 0 {
 		if steps&(checkStride-1) == 0 {
 			if err := e.gov.Checkpoint(faultinject.SiteRPQCSRReach); err != nil {
@@ -452,6 +473,7 @@ func (e *Engine) reachableCSR(src ppg.NodeID, nfa *NFA) ([]ppg.NodeID, error) {
 		if err != nil {
 			return nil, err
 		}
+		pushed += len(queue) - before
 		if err := e.gov.GrowFrontier(len(queue) - before); err != nil {
 			return nil, err
 		}
@@ -462,6 +484,7 @@ func (e *Engine) reachableCSR(src ppg.NodeID, nfa *NFA) ([]ppg.NodeID, error) {
 			out = append(out, e.snap.NodeID(int32(u)))
 		}
 	}
+	found = len(out)
 	return out, nil
 }
 
@@ -485,7 +508,15 @@ func (e *Engine) allPathsCSR(src ppg.NodeID, nfa *NFA) (*AllPaths, error) {
 	start := ccfg{srcOrd, int32(nfa.start)}
 	ap.cReached[start] = true
 	queue := []ccfg{start}
-	steps := 0
+	steps, pushed := 0, 0
+	if sp := e.col.Start(obs.OpAllPaths); sp != nil {
+		if sp.Verbose() {
+			sp.SetLabel("ALL-paths sweep (csr)")
+		}
+		defer func() {
+			sp.Frontier(int64(steps), int64(pushed)).End()
+		}()
+	}
 	for len(queue) > 0 {
 		if steps&(checkStride-1) == 0 {
 			if err := e.gov.Checkpoint(faultinject.SiteRPQCSRAll); err != nil {
@@ -508,6 +539,7 @@ func (e *Engine) allPathsCSR(src ppg.NodeID, nfa *NFA) (*AllPaths, error) {
 		if err != nil {
 			return nil, err
 		}
+		pushed += len(ap.cEdges) - before
 		if err := e.gov.GrowFrontier(len(ap.cEdges) - before); err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ import (
 	"gcore/internal/csr"
 	"gcore/internal/faultinject"
 	"gcore/internal/gov"
+	"gcore/internal/obs"
 	"gcore/internal/ppg"
 )
 
@@ -45,6 +46,11 @@ type Engine struct {
 	// e.g. in tests) runs ungoverned — every method on it is nil-safe.
 	gov *gov.Governor
 
+	// col receives one span per kernel run, carrying the frontier
+	// counters the kernel already maintains (pops, arrivals) — zero
+	// per-step recording cost. Nil runs unobserved.
+	col *obs.Collector
+
 	// snap is the graph's CSR snapshot; non-nil engines run the CSR
 	// kernels (csr_search.go), nil ones the legacy map-based kernels
 	// below. The resolved-transition cache is shared by concurrent
@@ -57,6 +63,12 @@ type Engine struct {
 // SetGovernor attaches a query governor to the engine's search loops.
 // Searches already running are unaffected; nil detaches.
 func (e *Engine) SetGovernor(g *gov.Governor) { e.gov = g }
+
+// SetCollector attaches an observability collector: each kernel run
+// (k-shortest, reachability, ALL-paths) records one span with its
+// frontier totals. Nil detaches. The collector is internally
+// synchronised, so concurrent searches on one engine may share it.
+func (e *Engine) SetCollector(col *obs.Collector) { e.col = col }
 
 // UseLegacy forces NewEngine to return legacy (map-based) engines.
 // Exported for differential tests and ablation benchmarks only.
@@ -156,7 +168,13 @@ func (e *Engine) ShortestPaths(src ppg.NodeID, nfa *NFA, k int) (map[ppg.NodeID]
 	results := map[ppg.NodeID][]PathResult{}
 	sigs := map[ppg.NodeID]map[WalkSig]bool{}
 
-	steps := 0
+	steps, pushed, found := 0, 0, 0
+	if sp := e.col.Start(obs.OpShortest); sp != nil {
+		if sp.Verbose() {
+			sp.SetLabel("k-shortest product search (legacy)")
+		}
+		defer func() { sp.Frontier(int64(steps), int64(pushed)).Rows(0, int64(found)).End() }()
+	}
 	for h.Len() > 0 {
 		if steps&(checkStride-1) == 0 {
 			if err := e.gov.Checkpoint(faultinject.SiteRPQShortest); err != nil {
@@ -196,9 +214,13 @@ func (e *Engine) ShortestPaths(src ppg.NodeID, nfa *NFA, k int) (map[ppg.NodeID]
 		if err := e.expand(nfa, a.c, emit); err != nil {
 			return nil, err
 		}
+		pushed += len(arrivals) - before
 		if err := e.gov.GrowFrontier(len(arrivals) - before); err != nil {
 			return nil, err
 		}
+	}
+	for _, prs := range results {
+		found += len(prs)
 	}
 	return results, nil
 }
@@ -292,7 +314,13 @@ func (e *Engine) Reachable(src ppg.NodeID, nfa *NFA) ([]ppg.NodeID, error) {
 	seen := map[cfg]bool{start: true}
 	queue := []cfg{start}
 	hit := map[ppg.NodeID]bool{}
-	steps := 0
+	steps, pushed, found := 0, 0, 0
+	if sp := e.col.Start(obs.OpReach); sp != nil {
+		if sp.Verbose() {
+			sp.SetLabel("reachability sweep (legacy)")
+		}
+		defer func() { sp.Frontier(int64(steps), int64(pushed)).Rows(0, int64(found)).End() }()
+	}
 	for len(queue) > 0 {
 		if steps&(checkStride-1) == 0 {
 			if err := e.gov.Checkpoint(faultinject.SiteRPQReach); err != nil {
@@ -315,6 +343,7 @@ func (e *Engine) Reachable(src ppg.NodeID, nfa *NFA) ([]ppg.NodeID, error) {
 		if err != nil {
 			return nil, err
 		}
+		pushed += len(queue) - before
 		if err := e.gov.GrowFrontier(len(queue) - before); err != nil {
 			return nil, err
 		}
@@ -324,6 +353,7 @@ func (e *Engine) Reachable(src ppg.NodeID, nfa *NFA) ([]ppg.NodeID, error) {
 		out = append(out, n)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	found = len(out)
 	return out, nil
 }
 
@@ -366,7 +396,13 @@ func (e *Engine) AllPaths(src ppg.NodeID, nfa *NFA) (*AllPaths, error) {
 	start := cfg{src, nfa.start}
 	ap.reached[start] = true
 	queue := []cfg{start}
-	steps := 0
+	steps, pushed := 0, 0
+	if sp := e.col.Start(obs.OpAllPaths); sp != nil {
+		if sp.Verbose() {
+			sp.SetLabel("ALL-paths sweep (legacy)")
+		}
+		defer func() { sp.Frontier(int64(steps), int64(pushed)).End() }()
+	}
 	for len(queue) > 0 {
 		if steps&(checkStride-1) == 0 {
 			if err := e.gov.Checkpoint(faultinject.SiteRPQAll); err != nil {
@@ -388,6 +424,7 @@ func (e *Engine) AllPaths(src ppg.NodeID, nfa *NFA) (*AllPaths, error) {
 		if err != nil {
 			return nil, err
 		}
+		pushed += len(ap.edges) - before
 		if err := e.gov.GrowFrontier(len(ap.edges) - before); err != nil {
 			return nil, err
 		}
