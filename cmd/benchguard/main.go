@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	go test -bench 'BenchmarkJoin|BenchmarkParallelMatch' -benchmem \
+//	go test -bench 'BenchmarkJoin|BenchmarkParallelMatch|BenchmarkFilteredScan' -benchmem \
 //	    -run '^$' . ./internal/bindings | tee bench.head.txt
 //	go run ./cmd/benchguard -base bench.base.txt -head bench.head.txt
 package main
@@ -27,7 +27,7 @@ func main() {
 	// instrumentation live (spans open at every operator boundary),
 	// so the guard doubles as the proof that instrumentation stays
 	// within the allocation budget.
-	guard := flag.String("guard", "BenchmarkJoin,BenchmarkParallelMatch", "comma-separated benchmark name prefixes to guard")
+	guard := flag.String("guard", "BenchmarkJoin,BenchmarkParallelMatch,BenchmarkFilteredScan", "comma-separated benchmark name prefixes to guard")
 	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression (0.20 = 20%)")
 	flag.Parse()
 

@@ -70,7 +70,9 @@ func ExampleEngine_Eval_select() {
 }
 
 // Explain shows the evaluation plan without running anything — note
-// the filter pushed onto the node scan, before the path search.
+// the filter pushed onto the node scan, before the path search, and
+// its [col] mark: the comparison compiles against the snapshot's
+// property columns instead of evaluating row at a time.
 func ExampleEngine_Explain() {
 	eng := gcore.NewEngine()
 	if err := eng.RegisterGraph(gcore.SampleSocialGraph()); err != nil {
@@ -88,7 +90,7 @@ func ExampleEngine_Explain() {
 	// MATCH
 	//   scan pattern 1 (default graph)
 	//     start: left end, forward scan [est 5]
-	//     node scan (n :Person)  ⊳ filter: (n.firstName = 'John')
+	//     node scan (n :Person)  ⊳ filter: (n.firstName = 'John') [col]
 	//     reachability BFS (product automaton) -/<(:knows)*>/->(m :Person)
 	// CONSTRUCT (identity-respecting, §A.3)
 	//   node (m)  [by identity]

@@ -1,0 +1,41 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+
+	"gcore/internal/table"
+	"gcore/internal/value"
+)
+
+// BenchmarkBindingTable measures the FROM-clause conversion of a
+// registered table into binding maps. The per-row maps are sized by
+// the column count up front, so growth rehashes never happen.
+func BenchmarkBindingTable(b *testing.B) {
+	c := New()
+	tbl := table.New("t", "a", "b", "c", "d")
+	for i := 0; i < 1000; i++ {
+		if err := tbl.AddRow(
+			value.Int(int64(i)),
+			value.Str(fmt.Sprintf("row-%d", i)),
+			value.Float(float64(i)/3),
+			value.Bool(i%2 == 0),
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.RegisterTable(tbl); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := c.BindingTable("t")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 1000 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}

@@ -177,7 +177,9 @@ func (c *Catalog) BindingTable(name string) ([]map[string]value.Value, []string,
 	}
 	rows := make([]map[string]value.Value, 0, len(t.Rows))
 	for _, row := range t.Rows {
-		b := map[string]value.Value{}
+		// Sized by the column count: every binding holds at most one
+		// entry per column, and rows with no NULLs hold exactly that.
+		b := make(map[string]value.Value, len(t.Cols))
 		for i, col := range t.Cols {
 			if !row[i].IsNull() {
 				b[col] = row[i]

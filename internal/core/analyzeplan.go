@@ -137,6 +137,10 @@ func writeAnalyzeFooter(sb *strings.Builder, st obs.Stats) {
 		fmt.Fprintf(sb, "caches: NFA %d hit/%d compiled, CSR %d reused/%d built\n",
 			st.NFAHits, st.NFAMisses, st.CSRReuses, st.CSRBuilds)
 	}
+	if st.PropColHits+st.PropColFallbacks > 0 {
+		fmt.Fprintf(sb, "prop columns: %d predicate rows columnar, %d interpreted\n",
+			st.PropColHits, st.PropColFallbacks)
+	}
 	if st.FrontierUsed > 0 || st.ResultsUsed > 0 {
 		fmt.Fprintf(sb, "budget: frontier %d, result elements %d\n", st.FrontierUsed, st.ResultsUsed)
 	}

@@ -435,6 +435,9 @@ func ensureNode(g *ppg.Graph, n *ppg.Node) {
 		for k, v := range n.Props {
 			existing.Props[k] = v
 		}
+		if len(n.Props) > 0 {
+			g.TouchProps()
+		}
 		return
 	}
 	if err := g.AddNode(n); err != nil {
@@ -452,6 +455,9 @@ func ensureEdge(g *ppg.Graph, e *ppg.Edge) error {
 		}
 		for k, v := range e.Props {
 			existing.Props[k] = v
+		}
+		if len(e.Props) > 0 {
+			g.TouchProps()
 		}
 		return nil
 	}

@@ -126,9 +126,11 @@ func indexedNodeOrdinals(snap *csr.Snapshot, rs resolvedSpec) ([]int32, bool) {
 
 // scanNodesCSR is the snapshot form of scanNodes: candidates come
 // from the ordinal partitions (or the full ordinal range), label
-// conjuncts are integer tests, and only property checks touch the
-// live ppg structs.
-func (c *evalCtx) scanNodesCSR(snap *csr.Snapshot, g *ppg.Graph, np *ast.NodePattern, varName string) (*bindings.Table, error) {
+// conjuncts are integer tests, compilable WHERE conjuncts run as
+// columnar predicates on the candidate ordinals before any row
+// exists, and only the remaining property checks touch the live ppg
+// structs.
+func (c *evalCtx) scanNodesCSR(snap *csr.Snapshot, g *ppg.Graph, np *ast.NodePattern, varName string, conjs []*conjunct) (*bindings.Table, error) {
 	vars := []string{varName}
 	for _, ps := range np.Props {
 		if ps.Mode == ast.PropBind {
@@ -148,10 +150,14 @@ func (c *evalCtx) scanNodesCSR(snap *csr.Snapshot, g *ppg.Graph, np *ast.NodePat
 			ords[i] = int32(i)
 		}
 	}
+	preds := c.scanPrefilter(snap, np, varName, conjs)
 	parts, err := c.mapSlabs(len(ords), specsParallelSafe(np.Props), func(lo, hi int) ([]value.Value, error) {
 		var slab []value.Value
 		scratch := make([]value.Value, w)
 		var combos []propCombo
+		var colHits int64
+		defer func() { c.col.PropColEvent(colHits, 0) }()
+	cands:
 		for i, u := range ords[lo:hi] {
 			if i&(checkStride-1) == 0 {
 				if err := c.gov.Checkpoint(faultinject.SiteCoreScan); err != nil {
@@ -160,6 +166,12 @@ func (c *evalCtx) scanNodesCSR(snap *csr.Snapshot, g *ppg.Graph, np *ast.NodePat
 			}
 			if !rs.matchesNode(snap, u) {
 				continue
+			}
+			for _, pr := range preds {
+				colHits++
+				if !pr.node.test(u, pr.p) {
+					continue cands
+				}
 			}
 			n := snap.Node(u)
 			ok, err := c.propsMatch(g, n.Props, np.Props)

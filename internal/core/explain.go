@@ -319,7 +319,14 @@ func explainChain(sb *strings.Builder, gp *ast.GraphPattern, conjs []*conjunct, 
 			}
 			if ok {
 				cj.applied = true
-				out = append(out, ast.ExprString(cj.expr))
+				desc := ast.ExprString(cj.expr)
+				// The index-vs-column decision: conjuncts compilable
+				// against the snapshot's property columns are marked,
+				// the rest evaluate row-at-a-time.
+				if !DisableCSR && !DisablePropColumns && cj.colPred() != nil {
+					desc += " [col]"
+				}
+				out = append(out, desc)
 			}
 		}
 		return out

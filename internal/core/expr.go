@@ -7,6 +7,7 @@ import (
 
 	"gcore/internal/ast"
 	"gcore/internal/bindings"
+	"gcore/internal/csr"
 	"gcore/internal/ppg"
 	"gcore/internal/value"
 )
@@ -38,6 +39,11 @@ type env struct {
 	// The graph being constructed, consulted first for property and
 	// label lookups so WHEN can see fresh assignments.
 	constructed *ppg.Graph
+
+	// Cached CSR snapshot of graphs[0] for columnar property reads
+	// (lookupProp); resolved lazily on the first property access.
+	colSnap    *csr.Snapshot
+	colSnapSet bool
 }
 
 func (c *evalCtx) newEnv(s *scope, graphs []*ppg.Graph, patternGraph *ppg.Graph) *env {
@@ -122,8 +128,36 @@ func (e *env) lookupLabels(ref value.Value) (ppg.Labels, bool) {
 	return nil, false
 }
 
-// lookupProp resolves σ(x, k) across the graphs in scope.
+// lookupProp resolves σ(x, k) across the graphs in scope. When the
+// ref belongs to the first graph consulted — no graph is under
+// construction and the element is in graphs[0]'s snapshot — the read
+// comes from the frozen property columns, which resolve identically
+// to the interpreter walk (the first LabelsOf hit wins, and the
+// columns mirror Properties.Get exactly); any other ref falls through
+// to the walk.
 func (e *env) lookupProp(ref value.Value, key string) value.Value {
+	if !DisablePropColumns && !DisableCSR && e.constructed == nil && len(e.graphs) > 0 {
+		if !e.colSnapSet {
+			e.colSnapSet = true
+			// csr.Of, not snapOf: the cache counters must stay
+			// parallelism-invariant, and environments are per-chunk.
+			e.colSnap = csr.Of(e.graphs[0])
+		}
+		if snap := e.colSnap; snap != nil {
+			if id, ok := ref.RefID(); ok {
+				switch ref.Kind() {
+				case value.KindNode:
+					if u, ok := snap.Ord(ppg.NodeID(id)); ok {
+						return snap.NodeProp(u, key)
+					}
+				case value.KindEdge:
+					if ed, ok := snap.EdgeOrd(ppg.EdgeID(id)); ok {
+						return snap.EdgeProp(ed, key)
+					}
+				}
+			}
+		}
+	}
 	var out value.Value
 	found := false
 	e.allGraphs(func(g *ppg.Graph) bool {

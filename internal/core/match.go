@@ -285,7 +285,7 @@ func (c *evalCtx) evalChainPlanned(s *scope, gp *ast.GraphPattern, g *ppg.Graph,
 	if sp.Verbose() {
 		sp.SetLabel(scanStepLabel(run.Nodes[0]))
 	}
-	tbl, err := c.scanNodes(g, run.Nodes[0], runNames.node[0])
+	tbl, err := c.scanNodes(g, run.Nodes[0], runNames.node[0], conjs)
 	if err != nil {
 		sp.Fail()
 		return nil, 0, err
@@ -564,13 +564,17 @@ func indexedNodeCandidates(g *ppg.Graph, spec ast.LabelSpec) ([]ppg.NodeID, bool
 // scanNodes produces the binding table of a single node pattern,
 // consulting the graph's label index instead of scanning all nodes
 // whenever the pattern names a label. Candidate chunks are matched
-// concurrently and merged in input order.
-func (c *evalCtx) scanNodes(g *ppg.Graph, np *ast.NodePattern, varName string) (*bindings.Table, error) {
+// concurrently and merged in input order. On the CSR path, WHERE
+// conjuncts compilable against the property columns are applied to
+// candidate ordinals before any row is materialised (scanPrefilter);
+// the legacy path ignores conjs and leaves every conjunct to
+// applyReady, producing the identical table.
+func (c *evalCtx) scanNodes(g *ppg.Graph, np *ast.NodePattern, varName string, conjs []*conjunct) (*bindings.Table, error) {
 	if np.Copy {
 		return nil, errf("the copy form (=%s) is only allowed in CONSTRUCT", np.Var)
 	}
 	if snap := c.snapOf(g); snap != nil {
-		return c.scanNodesCSR(snap, g, np, varName)
+		return c.scanNodesCSR(snap, g, np, varName, conjs)
 	}
 	vars := []string{varName}
 	for _, ps := range np.Props {

@@ -27,6 +27,10 @@ type conjunct struct {
 	vars     []string // sorted free variables
 	pushable bool     // no subqueries: safe to evaluate early
 	applied  bool
+
+	// Compiled columnar form (propcols.go), cached on first attempt.
+	col      *colPred
+	colTried bool
 }
 
 // prepareConjuncts splits a WHERE expression.
@@ -157,15 +161,21 @@ func (c *evalCtx) applyReady(conjs []*conjunct, tbl *bindings.Table, g *ppg.Grap
 	}
 	rowsIn := int64(tbl.Len())
 	// Label tests (x:A|B) over the pattern graph short-circuit to an
-	// interned-label probe on the CSR snapshot; every other conjunct —
-	// and any ref the snapshot does not know — goes through the
-	// interpreter as before.
+	// interned-label probe on the CSR snapshot, and compilable
+	// property comparisons (propcols.go) to a columnar test; every
+	// other conjunct — and any ref the snapshot does not know — goes
+	// through the interpreter as before.
 	snap := c.snapOf(g)
 	type labelFast struct {
 		v    string
 		lids []int32
 	}
-	fasts := make([]*labelFast, len(ready))
+	type accel struct {
+		label *labelFast
+		pred  *boundPred
+		slot  int
+	}
+	accels := make([]accel, len(ready))
 	if snap != nil {
 		for i, cj := range ready {
 			if lt, ok := cj.expr.(*ast.LabelTest); ok {
@@ -173,7 +183,13 @@ func (c *evalCtx) applyReady(conjs []*conjunct, tbl *bindings.Table, g *ppg.Grap
 				for j, l := range lt.Labels {
 					lids[j] = snap.LabelID(l)
 				}
-				fasts[i] = &labelFast{v: lt.Var, lids: lids}
+				accels[i] = accel{label: &labelFast{v: lt.Var, lids: lids}, slot: tbl.SlotOf(lt.Var)}
+				continue
+			}
+			if !DisablePropColumns {
+				if p := cj.colPred(); p != nil {
+					accels[i] = accel{pred: bindColPred(snap, p), slot: tbl.SlotOf(p.v)}
+				}
 			}
 		}
 	}
@@ -181,16 +197,22 @@ func (c *evalCtx) applyReady(conjs []*conjunct, tbl *bindings.Table, g *ppg.Grap
 	// concurrently; each chunk gets its own environment (the current
 	// row index is mutated per row) and the kept row indices merge in
 	// input order.
-	fastSlots := make([]int, len(ready))
-	for i, f := range fasts {
-		if f != nil {
-			fastSlots[i] = tbl.SlotOf(f.v)
+	slotVal := func(ri, slot int) (value.Value, bool) {
+		if slot < 0 {
+			return value.Null, false
 		}
+		v := tbl.RowAt(ri)[slot]
+		if v.IsAbsent() {
+			return value.Null, false
+		}
+		return v, true
 	}
 	parts, err := c.mapIdx(tbl.Len(), true, func(lo, hi int) ([]int, error) {
 		env := c.newEnv(nil, []*ppg.Graph{g}, g)
 		env.rowTab = tbl
 		var keep []int
+		var colHits, colFalls int64
+		defer func() { c.col.PropColEvent(colHits, colFalls) }()
 	next:
 		for ri := lo; ri < hi; ri++ {
 			if (ri-lo)&(checkStride-1) == 0 {
@@ -200,21 +222,24 @@ func (c *evalCtx) applyReady(conjs []*conjunct, tbl *bindings.Table, g *ppg.Grap
 			}
 			env.rowIdx = ri
 			for i, cj := range ready {
-				if f := fasts[i]; f != nil {
-					var v value.Value
-					bound := false
-					if s := fastSlots[i]; s >= 0 {
-						v = tbl.RowAt(ri)[s]
-						if bound = !v.IsAbsent(); !bound {
-							v = value.Null
-						}
-					}
+				if f := accels[i].label; f != nil {
+					v, bound := slotVal(ri, accels[i].slot)
 					if pass, handled := labelTestFast(snap, f.lids, v, bound); handled {
 						if !pass {
 							continue next
 						}
 						continue
 					}
+				} else if bp := accels[i].pred; bp != nil {
+					v, bound := slotVal(ri, accels[i].slot)
+					if pass, handled := bp.evalRef(v, bound); handled {
+						colHits++
+						if !pass {
+							continue next
+						}
+						continue
+					}
+					colFalls++
 				}
 				v, err := env.eval(cj.expr)
 				if err != nil {
@@ -260,9 +285,29 @@ func (c *evalCtx) residualFilter(conjs []*conjunct, tbl *bindings.Table, env *en
 	if len(rest) == 0 {
 		return tbl, nil
 	}
+	// Compilable conjuncts land here when pushdown is disabled or
+	// their variables never became bound mid-chain; they still answer
+	// from the columns of the first match graph when the ref is there
+	// (constructed graphs and scope graphs are consulted by the
+	// interpreter first and later respectively, so a column hit on
+	// graphs[0] resolves exactly like the interpreter's walk).
+	preds := make([]*boundPred, len(rest))
+	slots := make([]int, len(rest))
+	if !DisablePropColumns && env.constructed == nil && len(env.graphs) > 0 {
+		if snap := c.snapOf(env.graphs[0]); snap != nil {
+			for i, cj := range rest {
+				if p := cj.colPred(); p != nil {
+					preds[i] = bindColPred(snap, p)
+					slots[i] = tbl.SlotOf(p.v)
+				}
+			}
+		}
+	}
 	env.rowTab = tbl
 	defer func() { env.rowTab = nil }()
 	var keep []int
+	var colHits, colFalls int64
+	defer func() { c.col.PropColEvent(colHits, colFalls) }()
 rows:
 	for i := 0; i < tbl.Len(); i++ {
 		if i&(checkStride-1) == 0 {
@@ -271,7 +316,25 @@ rows:
 			}
 		}
 		env.rowIdx = i
-		for _, cj := range rest {
+		for j, cj := range rest {
+			if bp := preds[j]; bp != nil {
+				var v value.Value
+				bound := false
+				if s := slots[j]; s >= 0 {
+					v = tbl.RowAt(i)[s]
+					if bound = !v.IsAbsent(); !bound {
+						v = value.Null
+					}
+				}
+				if pass, handled := bp.evalRef(v, bound); handled {
+					colHits++
+					if !pass {
+						continue rows
+					}
+					continue
+				}
+				colFalls++
+			}
 			v, err := env.eval(cj.expr)
 			if err != nil {
 				return nil, err

@@ -47,6 +47,54 @@ func (c *evalCtx) evalSelect(s *scope, sc *ast.SelectClause, tbl *bindings.Table
 		hasAgg = hasAgg || aggItem[i]
 	}
 
+	// evalRow projects one µ (the current environment row) through the
+	// select items and ORDER BY keys.
+	evalRow := func() (projRow, error) {
+		vals := make([]value.Value, len(sc.Items))
+		for i, it := range sc.Items {
+			v, err := env.eval(it.Expr)
+			if err != nil {
+				return projRow{}, err
+			}
+			vals[i] = v
+		}
+		keys := make([]value.Value, len(sc.OrderBy))
+		for i, oi := range sc.OrderBy {
+			if vr, ok := oi.Expr.(*ast.VarRef); ok {
+				if col, isAlias := alias[vr.Name]; isAlias {
+					keys[i] = vals[col]
+					continue
+				}
+			}
+			v, err := env.eval(oi.Expr)
+			if err != nil {
+				return projRow{}, err
+			}
+			keys[i] = v
+		}
+		return projRow{vals, keys}, nil
+	}
+
+	sorted := tbl.Sorted()
+	var rows []projRow
+	if !hasAgg && !DisablePropColumns {
+		// No aggregates: one output row per binding. Rows dispatch
+		// through the slot table (and property reads through the
+		// snapshot columns) instead of materialising a map per row.
+		env.rowTab = sorted
+		for ri := 0; ri < sorted.Len(); ri++ {
+			env.rowIdx = ri
+			r, err := evalRow()
+			if err != nil {
+				env.rowTab = nil
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+		env.rowTab = nil
+		return finishSelect(out, sc, rows)
+	}
+
 	// groups: one entry per output row — a representative binding and
 	// (when aggregating) the rows of its group.
 	type outGroup struct {
@@ -54,7 +102,7 @@ func (c *evalCtx) evalSelect(s *scope, sc *ast.SelectClause, tbl *bindings.Table
 		rows []bindings.Binding
 	}
 	var groups []outGroup
-	sortedRows := tbl.Sorted().Rows()
+	sortedRows := sorted.Rows()
 	if !hasAgg {
 		for _, b := range sortedRows {
 			groups = append(groups, outGroup{rep: b})
@@ -91,40 +139,28 @@ func (c *evalCtx) evalSelect(s *scope, sc *ast.SelectClause, tbl *bindings.Table
 		}
 	}
 
-	type rowWithKeys struct {
-		vals []value.Value
-		keys []value.Value
-	}
-	var rows []rowWithKeys
 	for _, g := range groups {
 		env.row = g.rep
 		env.groupRows = g.rows
-		vals := make([]value.Value, len(sc.Items))
-		for i, it := range sc.Items {
-			v, err := env.eval(it.Expr)
-			if err != nil {
-				return nil, err
-			}
-			vals[i] = v
+		r, err := evalRow()
+		if err != nil {
+			return nil, err
 		}
-		keys := make([]value.Value, len(sc.OrderBy))
-		for i, oi := range sc.OrderBy {
-			if vr, ok := oi.Expr.(*ast.VarRef); ok {
-				if col, isAlias := alias[vr.Name]; isAlias {
-					keys[i] = vals[col]
-					continue
-				}
-			}
-			v, err := env.eval(oi.Expr)
-			if err != nil {
-				return nil, err
-			}
-			keys[i] = v
-		}
-		rows = append(rows, rowWithKeys{vals, keys})
+		rows = append(rows, r)
 	}
 	env.groupRows = nil
+	return finishSelect(out, sc, rows)
+}
 
+// projRow is one projected output row with its ORDER BY sort keys.
+type projRow struct {
+	vals []value.Value
+	keys []value.Value
+}
+
+// finishSelect applies ORDER BY, DISTINCT and LIMIT to the projected
+// rows and fills the output table.
+func finishSelect(out *table.Table, sc *ast.SelectClause, rows []projRow) (*table.Table, error) {
 	if len(sc.OrderBy) > 0 {
 		sort.SliceStable(rows, func(i, j int) bool {
 			for k, oi := range sc.OrderBy {

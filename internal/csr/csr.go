@@ -18,11 +18,14 @@
 // evaluation order is preserved by construction.
 //
 // Snapshots are immutable and generation-tagged: ppg.Graph counts its
-// structural mutations, and Of serves the cached snapshot only while
-// the generation matches, rebuilding otherwise. Property maps are NOT
-// copied — the snapshot holds the live *ppg.Node/*ppg.Edge pointers,
-// so property reads always see current values (property mutation does
-// not change structure and needs no invalidation).
+// mutations — structural ones and in-place property writes alike (see
+// ppg.Graph.TouchProps) — and Of serves the cached snapshot only
+// while the generation matches, rebuilding otherwise. Properties are
+// frozen at build time into typed columns (props.go): one dense
+// column per key with a presence bitmap, scalar payload arrays for
+// uniformly-typed singleton values, interned strings, and the stored
+// FSET(V) sets mirrored exactly for the multi-valued and mixed-type
+// overflow cases.
 package csr
 
 import (
@@ -75,6 +78,12 @@ type Snapshot struct {
 	// the label.
 	nodesByLabel [][]int32
 	edgesByLabel [][]int32
+
+	// Columnar property storage (props.go): one column per key over
+	// the ordinal range, plus the snapshot-wide string table.
+	strings  *Interner
+	nodeCols map[string]*PropCol
+	edgeCols map[string]*PropCol
 }
 
 // Of returns the snapshot of g at its current generation, building it
@@ -127,6 +136,7 @@ func Build(g *ppg.Graph) *Snapshot {
 	s.internLabels()
 	s.buildAdjacency(n, m)
 	s.buildPartitions()
+	s.buildPropColumns()
 	return s
 }
 
@@ -246,8 +256,10 @@ func (s *Snapshot) Ord(id ppg.NodeID) (int32, bool) {
 func (s *Snapshot) NodeID(u int32) ppg.NodeID { return s.nodeIDs[u] }
 
 // Node returns the node at an ordinal. The pointer aliases the live
-// graph: labels must be read through the snapshot (they are frozen at
-// build time), properties through the pointer (always current).
+// graph; labels and properties are both frozen at build time (labels
+// in the interned label arrays, properties in the columns), and every
+// mutation — including in-place property writes — bumps the graph
+// generation and invalidates the snapshot.
 func (s *Snapshot) Node(u int32) *ppg.Node { return s.nodes[u] }
 
 // EdgeID maps an edge ordinal back to its identifier.
@@ -259,7 +271,7 @@ func (s *Snapshot) EdgeOrd(id ppg.EdgeID) (int32, bool) {
 	return e, ok
 }
 
-// Edge returns the edge at an ordinal (live pointer, as with Node).
+// Edge returns the edge at an ordinal (aliasing rules as with Node).
 func (s *Snapshot) Edge(e int32) *ppg.Edge { return s.edges[e] }
 
 // Src returns the source-node ordinal of an edge ordinal.

@@ -128,6 +128,8 @@ type Collector struct {
 	csrBuilds    atomic.Int64
 	frontierUsed atomic.Int64
 	resultsUsed  atomic.Int64
+	propColHits  atomic.Int64
+	propColFalls atomic.Int64
 }
 
 // NewCollector returns a collector that records span labels (verbose
@@ -155,6 +157,8 @@ func (c *Collector) Reset(h TraceHandler) {
 	c.csrBuilds.Store(0)
 	c.frontierUsed.Store(0)
 	c.resultsUsed.Store(0)
+	c.propColHits.Store(0)
+	c.propColFalls.Store(0)
 }
 
 // SetHandler installs (or clears) the trace handler without touching
@@ -209,6 +213,22 @@ func (c *Collector) CSREvent(hit bool) {
 		c.csrReuses.Add(1)
 	} else {
 		c.csrBuilds.Add(1)
+	}
+}
+
+// PropColEvent records columnar-predicate activity, batched per
+// filter chunk: hits counts predicate evaluations answered from the
+// snapshot's property columns, falls those that fell back to the
+// interpreter (refs the snapshot does not know).
+func (c *Collector) PropColEvent(hits, falls int64) {
+	if c == nil {
+		return
+	}
+	if hits != 0 {
+		c.propColHits.Add(hits)
+	}
+	if falls != 0 {
+		c.propColFalls.Add(falls)
 	}
 }
 
@@ -337,6 +357,8 @@ type Mark struct {
 	csrBuilds int64
 	frontier  int64
 	results   int64
+	propHits  int64
+	propFalls int64
 }
 
 // Mark snapshots the collector's current position. Safe on nil (the
@@ -356,6 +378,8 @@ func (c *Collector) Mark() Mark {
 		csrBuilds: c.csrBuilds.Load(),
 		frontier:  c.frontierUsed.Load(),
 		results:   c.resultsUsed.Load(),
+		propHits:  c.propColHits.Load(),
+		propFalls: c.propColFalls.Load(),
 	}
 }
 
@@ -388,12 +412,14 @@ type OpStat struct {
 type Stats struct {
 	Ops [numOps]OpStat
 
-	NFAHits      int64
-	NFAMisses    int64
-	CSRReuses    int64
-	CSRBuilds    int64
-	FrontierUsed int64
-	ResultsUsed  int64
+	NFAHits          int64
+	NFAMisses        int64
+	CSRReuses        int64
+	CSRBuilds        int64
+	FrontierUsed     int64
+	ResultsUsed      int64
+	PropColHits      int64
+	PropColFallbacks int64
 }
 
 // Op returns the aggregate for one operator class.
@@ -426,6 +452,8 @@ func (c *Collector) Since(m Mark) Stats {
 	st.CSRBuilds = c.csrBuilds.Load() - m.csrBuilds
 	st.FrontierUsed = c.frontierUsed.Load() - m.frontier
 	st.ResultsUsed = c.resultsUsed.Load() - m.results
+	st.PropColHits = c.propColHits.Load() - m.propHits
+	st.PropColFallbacks = c.propColFalls.Load() - m.propFalls
 	return st
 }
 

@@ -286,12 +286,19 @@ func (g *Graph) Name() string { return g.name }
 // Generation returns the structural mutation counter. It increases on
 // every successful AddNode/AddEdge/AddPath/SetNodeLabels/SetEdgeLabels
 // (and therefore on the graphs the set operations build, which insert
-// element by element). Derived structures built at generation G are
-// valid exactly while Generation() == G.
+// element by element), and on TouchProps. Derived structures built at
+// generation G are valid exactly while Generation() == G.
 func (g *Graph) Generation() uint64 { return g.gen }
 
 // bump invalidates derived structures after a structural mutation.
 func (g *Graph) bump() { g.gen++ }
+
+// TouchProps records an in-place property write on an existing
+// element. Property writes do not change structure, but derived
+// structures now freeze property values too (the CSR snapshot's
+// columns), so code that mutates a Props map it did not just create
+// must invalidate them like any other mutation.
+func (g *Graph) TouchProps() { g.bump() }
 
 // Snapshot returns the value cached for the current generation,
 // building and caching it via build on a miss. It is safe for
