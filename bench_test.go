@@ -425,3 +425,68 @@ func BenchmarkParse(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRepeatedEval measures the repeated-traffic shape the plan
+// cache serves: one statement evaluated from source again and again.
+// The cache sub-benchmark hits after the first compile; nocache
+// ablates the cache (core.DisablePlanCache), so every iteration pays
+// lex/parse/analyze and planning again.
+func BenchmarkRepeatedEval(b *testing.B) {
+	const q = `SELECT n.firstName AS name, n.lastName AS last, n.employer AS emp, n.age AS age,
+       CASE WHEN n.age > 40 THEN 'senior' ELSE 'junior' END AS band,
+       n.age * 365 AS days, n.firstName + ' ' + n.lastName AS full
+MATCH (n:Person) ON social_graph
+WHERE n.employer = 'Acme' AND n.age >= 18 AND n.age < 95
+  AND n.firstName <> 'nobody' AND (n.lastName <> 'X' OR n.age > 20)
+  AND n.age * 2 + 1 > 36 AND n.employer IN 'Acme'
+  AND n.age + 1 > 18 AND n.age - 1 < 95 AND n.age / 1 >= 18
+  AND (n.employer = 'Acme' OR n.employer = 'HAL' OR n.employer = '[MV] Clean Code')
+  AND NOT (n.firstName = '' AND n.lastName = '')
+  AND CASE WHEN n.age > 40 THEN TRUE ELSE n.age < 100 END
+ORDER BY name, last, age`
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"cache", false}, {"nocache", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			core.DisablePlanCache = mode.disable
+			defer func() { core.DisablePlanCache = false }()
+			eng := benchEngine(b)
+			if _, err := eng.Eval(q); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Eval(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPreparedEval measures executing a prepared statement with
+// per-execution parameter bindings — the statement compiles once at
+// Prepare, every Eval is a cache hit.
+func BenchmarkPreparedEval(b *testing.B) {
+	eng := benchEngine(b)
+	p, err := eng.Prepare(`SELECT n.firstName AS name
+MATCH (n:Person) ON social_graph
+WHERE n.employer = $emp AND n.age >= $min
+ORDER BY name`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := map[string]gcore.Value{"emp": gcore.Str("Acme"), "min": gcore.Int(18)}
+	if _, err := p.Eval(params); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Eval(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,8 +8,8 @@
 //
 // Usage:
 //
-//	go test -bench 'BenchmarkJoin|BenchmarkParallelMatch|BenchmarkFilteredScan' -benchmem \
-//	    -run '^$' . ./internal/bindings | tee bench.head.txt
+//	go test -bench 'BenchmarkJoin|BenchmarkParallelMatch|BenchmarkFilteredScan|BenchmarkRepeatedEval|BenchmarkPreparedEval' \
+//	    -benchmem -run '^$' . ./internal/bindings | tee bench.head.txt
 //	go run ./cmd/benchguard -base bench.base.txt -head bench.head.txt
 package main
 
@@ -27,7 +27,11 @@ func main() {
 	// instrumentation live (spans open at every operator boundary),
 	// so the guard doubles as the proof that instrumentation stays
 	// within the allocation budget.
-	guard := flag.String("guard", "BenchmarkJoin,BenchmarkParallelMatch,BenchmarkFilteredScan", "comma-separated benchmark name prefixes to guard")
+	// BenchmarkRepeatedEval covers both plan-cache modes (the /cache
+	// sub-benchmark is the hit path, /nocache the ablated fallback),
+	// and BenchmarkPreparedEval the parameterised prepared-statement
+	// path, so a plan-cache regression shows up as an allocation jump.
+	guard := flag.String("guard", "BenchmarkJoin,BenchmarkParallelMatch,BenchmarkFilteredScan,BenchmarkRepeatedEval,BenchmarkPreparedEval", "comma-separated benchmark name prefixes to guard")
 	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression (0.20 = 20%)")
 	flag.Parse()
 

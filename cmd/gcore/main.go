@@ -18,11 +18,12 @@
 //	-timeout duration    per-statement evaluation timeout (0 disables)
 //	-slowlog duration    log statements slower than this to stderr
 //	-metrics             print engine metrics as JSON on exit
+//	-nocache             disable the plan cache
 //
 // With a query argument the command evaluates it and exits; otherwise
 // it starts a read-eval-print loop. In the REPL, statements end with
 // ';' and the commands \graphs, \tables, \ast, \save, \metrics,
-// \help and \quit are available. Prefixing a statement with EXPLAIN
+// \cache, \help and \quit are available. Prefixing a statement with EXPLAIN
 // prints its plan instead of running it; EXPLAIN ANALYZE runs it and
 // prints the plan annotated with observed rows and timings.
 //
@@ -86,6 +87,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "per-statement evaluation timeout (e.g. 30s); 0 disables")
 	slowlog := fs.Duration("slowlog", 0, "log statements slower than this to stderr; 0 disables")
 	metrics := fs.Bool("metrics", false, "print engine metrics as JSON on exit")
+	nocache := fs.Bool("nocache", false, "disable the plan cache (every statement compiles from source)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +98,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *slowlog > 0 {
 		opts = append(opts, gcore.WithTraceHandler(&slowLogger{w: os.Stderr, threshold: *slowlog}))
+	}
+	if *nocache {
+		opts = append(opts, gcore.WithPlanCacheSize(-1))
 	}
 	eng := gcore.NewEngine(opts...)
 	publishMetrics(eng)
@@ -366,6 +371,7 @@ func replCommand(eng *gcore.Engine, stdout io.Writer, cmd string) bool {
                      (EXPLAIN ANALYZE <query>; runs it and annotates
                      the plan with observed rows and timings)
   \metrics           print engine metrics as JSON
+  \cache             print plan-cache counters and live entries
   \save <graph> <f>  write a graph as JSON to file f
   \quit              exit`)
 	case "\\graphs":
@@ -397,6 +403,8 @@ func replCommand(eng *gcore.Engine, stdout io.Writer, cmd string) bool {
 		if err := printMetrics(stdout, eng); err != nil {
 			fmt.Fprintln(stdout, "error:", err)
 		}
+	case "\\cache":
+		printPlanCache(stdout, eng)
 	case "\\save":
 		if len(fields) != 3 {
 			fmt.Fprintln(stdout, "usage: \\save <graph> <file>")
@@ -420,6 +428,25 @@ func replCommand(eng *gcore.Engine, stdout io.Writer, cmd string) bool {
 		fmt.Fprintf(stdout, "unknown command %s (try \\help)\n", fields[0])
 	}
 	return false
+}
+
+// printPlanCache renders the plan-cache counters and live entries.
+func printPlanCache(w io.Writer, eng *gcore.Engine) {
+	st := eng.PlanCacheStats()
+	if st.Capacity == 0 {
+		fmt.Fprintln(w, "plan cache disabled")
+		return
+	}
+	fmt.Fprintf(w, "plan cache: %d/%d entries, %d hits, %d misses, %d evictions, compile %s\n",
+		st.Entries, st.Capacity, st.Hits, st.Misses, st.Evictions,
+		st.CompileTime.Round(time.Microsecond))
+	for _, en := range eng.PlanCacheEntries() {
+		text := en.Text
+		if len(text) > 60 {
+			text = text[:57] + "..."
+		}
+		fmt.Fprintf(w, "  %4d× %s  %s\n", en.Hits, en.Compile.Round(time.Microsecond), text)
+	}
 }
 
 // printGraph renders a graph in a compact human-readable form.

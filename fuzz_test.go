@@ -175,3 +175,62 @@ func FuzzEval(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParamInline: evaluating a statement with $a/$b parameter
+// bindings must be indistinguishable from splicing the literals into
+// the source text — the uncached fallback is the oracle for the
+// parameterised path.
+func FuzzParamInline(f *testing.F) {
+	for _, s := range []string{
+		`SELECT n.firstName AS x MATCH (n:Person) WHERE n.employer = $b ORDER BY x`,
+		`CONSTRUCT (n) MATCH (n:Person) WHERE n.age > $a`,
+		`SELECT n.firstName AS x MATCH (n) WHERE n.age = $a OR n.firstName = $b ORDER BY x`,
+		`CONSTRUCT (n {score := $a}) MATCH (n:Person)`,
+		`CONSTRUCT (n) MATCH (n)-[e]->(m) WHERE e.since >= $a AND m.name <> $b`,
+	} {
+		f.Add(s, int64(30), "Acme")
+	}
+	f.Fuzz(func(t *testing.T, src string, iv int64, sv string) {
+		params := map[string]gcore.Value{"a": gcore.Int(iv), "b": gcore.Str(sv)}
+		inlined, err := parser.InlineParams(src, params)
+		if err != nil {
+			return // lex errors or parameters beyond $a/$b: nothing to compare
+		}
+		paramEng, err := repro.NewEngine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		paramEng.SetMaxBindings(200_000)
+		prep, err := paramEng.Prepare(src)
+		if err != nil {
+			// The statement itself is invalid; the inlined form must
+			// agree that it is.
+			inlineEng, ierr := repro.NewEngine()
+			if ierr != nil {
+				t.Fatal(ierr)
+			}
+			if _, ierr := inlineEng.Eval(inlined); ierr == nil {
+				t.Fatalf("Prepare rejected %q (%v) but the inlined form evaluated", src, err)
+			}
+			return
+		}
+		gotRes, gotErr := prep.Eval(params)
+		inlineEng, err := repro.NewEngine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		inlineEng.SetMaxBindings(200_000)
+		wantRes, wantErr := inlineEng.Eval(inlined)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("success diverged for %q:\nparam err:  %v\ninline err: %v", src, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			return // both failed; messages may name the expression differently
+		}
+		got := renderResult(gotRes, nil)
+		want := renderResult(wantRes, nil)
+		if got != want {
+			t.Fatalf("parameterised result diverged from inlined literals\nquery: %q\nparam:\n%s\ninline:\n%s", src, got, want)
+		}
+	})
+}

@@ -37,8 +37,10 @@ import (
 	"gcore/internal/catalog"
 	"gcore/internal/core"
 	"gcore/internal/gov"
+	"gcore/internal/lexer"
 	"gcore/internal/obs"
 	"gcore/internal/parser"
+	"gcore/internal/plancache"
 	"gcore/internal/ppg"
 	"gcore/internal/table"
 	"gcore/internal/value"
@@ -283,6 +285,14 @@ func WithCollector(c *Collector) Option {
 	return func(e *Engine) { e.ev.SetCollector(c) }
 }
 
+// WithPlanCacheSize bounds the engine's plan cache: n > 0 caps it at n
+// entries (least-recently-used eviction), n == 0 keeps the default
+// capacity, and n < 0 disables plan caching entirely — every statement
+// then compiles from source, with parameters inlined as literals.
+func WithPlanCacheSize(n int) Option {
+	return func(e *Engine) { e.ev.SetPlanCacheCapacity(n) }
+}
+
 // NewEngine creates an empty engine, configured by the given options:
 //
 //	eng := gcore.NewEngine(
@@ -427,7 +437,31 @@ func (e *Engine) SetCollector(c *Collector) {
 func (e *Engine) Metrics() Metrics {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.ev.Registry().Snapshot()
+	return e.ev.MetricsSnapshot()
+}
+
+// PlanCacheStats reports the plan cache's lifetime effectiveness:
+// hits, misses, evictions, total compile time spent on misses, and
+// current occupancy. The zero value is returned when caching is
+// disabled.
+type PlanCacheStats = plancache.Stats
+
+// PlanCacheEntry describes one live plan-cache entry.
+type PlanCacheEntry = plancache.EntryInfo
+
+// PlanCacheStats returns the plan cache's lifetime counters.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ev.PlanCacheStats()
+}
+
+// PlanCacheEntries lists the live plan-cache entries, most recently
+// used first.
+func (e *Engine) PlanCacheEntries() []PlanCacheEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ev.PlanCacheEntries()
 }
 
 // Graph returns a registered graph (or materialised view) by name.
@@ -466,11 +500,9 @@ func (e *Engine) Eval(src string) (*Result, error) {
 // frontier loops — and returns a *QueryError of KindCanceled or
 // KindTimeout. A cancelled statement leaves the engine unmodified.
 func (e *Engine) EvalContext(ctx context.Context, src string) (*Result, error) {
-	stmt, err := parser.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	return e.EvalStatementContext(ctx, stmt)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ev.EvalSrcContext(ctx, src, nil)
 }
 
 // EvalStatement evaluates an already-parsed statement.
@@ -522,13 +554,9 @@ func (e *Engine) ExplainAnalyze(src string) (string, error) {
 // the execution leg runs through the exact cancellation/budget/panic
 // containment path of EvalContext.
 func (e *Engine) ExplainAnalyzeContext(ctx context.Context, src string) (string, error) {
-	stmt, err := parser.Parse(src)
-	if err != nil {
-		return "", err
-	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.ev.ExplainAnalyzeContext(ctx, stmt)
+	return e.ev.ExplainAnalyzeSrcContext(ctx, src, nil)
 }
 
 // EvalScript evaluates a script of semicolon-separated statements and
@@ -542,19 +570,79 @@ func (e *Engine) EvalScript(src string) ([]*Result, error) {
 // EvalScriptContext evaluates a script under ctx; evaluation stops at
 // the first statement that fails (including by cancellation).
 func (e *Engine) EvalScriptContext(ctx context.Context, src string) ([]*Result, error) {
-	stmts, err := parser.ParseAll(src)
+	pieces, err := parser.SplitStatements(src)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*Result, 0, len(stmts))
-	for i, stmt := range stmts {
-		res, err := e.EvalStatementContext(ctx, stmt)
+	// Parse-validate every statement before evaluating any, so a
+	// script with a syntax error runs nothing; each piece keeps its
+	// original source positions. The parse here is throwaway — the
+	// evaluation below goes through the plan cache, so repeated
+	// scripts compile nothing at all.
+	poss := make([]lexer.Pos, len(pieces))
+	for i, piece := range pieces {
+		stmt, err := parser.Parse(piece)
 		if err != nil {
-			return out, fmt.Errorf("statement %d at %s: %w", i+1, stmt.Pos(), err)
+			return nil, err
+		}
+		poss[i] = stmt.Pos()
+	}
+	out := make([]*Result, 0, len(pieces))
+	for i, piece := range pieces {
+		e.mu.Lock()
+		res, err := e.ev.EvalSrcContext(ctx, piece, nil)
+		e.mu.Unlock()
+		if err != nil {
+			return out, fmt.Errorf("statement %d at %s: %w", i+1, poss[i], err)
 		}
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// Prepare validates one statement for repeated execution. The source
+// may reference $name parameters wherever a literal is allowed; each
+// Eval supplies their values. Preparation compiles the statement into
+// the plan cache (when enabled), so the first Eval already hits.
+func (e *Engine) Prepare(src string) (*Prepared, error) {
+	e.mu.Lock()
+	err := e.ev.CheckSrc(src)
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{eng: e, src: src, names: parser.ParamNames(src)}, nil
+}
+
+// Prepared is a statement validated once by Engine.Prepare and
+// executed any number of times with per-execution parameter bindings.
+// Safe for concurrent use; executions are serialised by the engine.
+type Prepared struct {
+	eng   *Engine
+	src   string
+	names []string
+}
+
+// Text returns the prepared source text.
+func (p *Prepared) Text() string { return p.src }
+
+// Params lists the distinct $name parameters of the statement in
+// first-use order.
+func (p *Prepared) Params() []string { return append([]string(nil), p.names...) }
+
+// Eval executes the prepared statement with the given parameter
+// bindings (nil for a statement without parameters). An execution
+// that reaches an unbound parameter fails; supplying extra bindings
+// is allowed.
+func (p *Prepared) Eval(params map[string]Value) (*Result, error) {
+	return p.EvalContext(context.Background(), params)
+}
+
+// EvalContext is Eval under the caller's context.
+func (p *Prepared) EvalContext(ctx context.Context, params map[string]Value) (*Result, error) {
+	p.eng.mu.Lock()
+	defer p.eng.mu.Unlock()
+	return p.eng.ev.EvalSrcContext(ctx, p.src, params)
 }
 
 // LoadGraphJSON reads a graph from its JSON interchange form and

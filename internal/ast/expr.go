@@ -22,6 +22,14 @@ type Literal struct {
 	P   lexer.Pos
 }
 
+// Param is a $name parameter reference in a prepared statement. Its
+// value is supplied per execution, so a cached AST stays shareable
+// across executions with different bindings.
+type Param struct {
+	Name string
+	P    lexer.Pos
+}
+
 // VarRef references a bound variable x.
 type VarRef struct {
 	Name string
@@ -180,6 +188,7 @@ type PatternPred struct {
 }
 
 func (*Literal) exprNode()     {}
+func (*Param) exprNode()       {}
 func (*VarRef) exprNode()      {}
 func (*PropAccess) exprNode()  {}
 func (*LabelTest) exprNode()   {}
@@ -193,6 +202,7 @@ func (*PatternPred) exprNode() {}
 
 // Pos implementations.
 func (e *Literal) Pos() lexer.Pos     { return e.P }
+func (e *Param) Pos() lexer.Pos       { return e.P }
 func (e *VarRef) Pos() lexer.Pos      { return e.P }
 func (e *PropAccess) Pos() lexer.Pos  { return e.P }
 func (e *LabelTest) Pos() lexer.Pos   { return e.P }

@@ -413,6 +413,8 @@ func ExprString(e Expr) string {
 			return "DATE '" + x.Val.String() + "'"
 		}
 		return x.Val.String()
+	case *Param:
+		return "$" + x.Name
 	case *VarRef:
 		return x.Name
 	case *PropAccess:

@@ -21,6 +21,11 @@ type Catalog struct {
 	tableGraphs map[string]*ppg.Graph // tables-as-graphs cache (§5)
 	defaultName string
 	ids         *ppg.IDGen
+
+	// version counts catalog mutations (graph/table registrations and
+	// default changes); consumers key compiled-statement caches on it
+	// so any registration retires plans compiled before it.
+	version uint64
 }
 
 // New creates an empty catalog. Generated identifiers start at 1000
@@ -37,6 +42,10 @@ func New() *Catalog {
 // IDs returns the engine-wide identifier generator.
 func (c *Catalog) IDs() *ppg.IDGen { return c.ids }
 
+// Version counts the catalog's mutations; it increments on every
+// graph or table registration and on default-graph changes.
+func (c *Catalog) Version() uint64 { return c.version }
+
 // RegisterGraph stores g under its name and reserves its identifiers.
 // The first registered graph becomes the default graph.
 func (c *Catalog) RegisterGraph(g *ppg.Graph) error {
@@ -48,6 +57,7 @@ func (c *Catalog) RegisterGraph(g *ppg.Graph) error {
 		return fmt.Errorf("catalog: %q already names a table", name)
 	}
 	c.graphs[name] = g
+	c.version++
 	for _, id := range g.NodeIDs() {
 		c.ids.Reserve(uint64(id))
 	}
@@ -72,6 +82,7 @@ func (c *Catalog) RegisterTable(t *table.Table) error {
 		return fmt.Errorf("catalog: %q already names a graph", t.Name)
 	}
 	c.tables[t.Name] = t
+	c.version++
 	delete(c.tableGraphs, t.Name)
 	return nil
 }
@@ -94,6 +105,7 @@ func (c *Catalog) SetDefault(name string) error {
 		return fmt.Errorf("catalog: unknown graph %q", name)
 	}
 	c.defaultName = name
+	c.version++
 	return nil
 }
 

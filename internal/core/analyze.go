@@ -334,6 +334,9 @@ func (a *analysis) checkExpr(e ast.Expr, aggOK bool) error {
 		return nil
 	case *ast.Literal:
 		return nil
+	case *ast.Param:
+		// Bindings are supplied per execution; nothing to check here.
+		return nil
 	case *ast.VarRef:
 		if a.allVars[x.Name] {
 			return errf("path variable %q was bound with ALL and may only be used for graph projection", x.Name)

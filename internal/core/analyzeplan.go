@@ -36,13 +36,19 @@ func (ev *Evaluator) ExplainAnalyze(stmt *ast.Statement) (string, error) {
 // the execution leg runs through the exact cancellation/budget/panic
 // containment path of EvalStatementContext.
 func (ev *Evaluator) ExplainAnalyzeContext(ctx context.Context, stmt *ast.Statement) (string, error) {
+	return ev.explainAnalyzeExec(ctx, exec{stmt: stmt})
+}
+
+// explainAnalyzeExec is the execution leg shared by the AST-level and
+// source-level (plan-cached) EXPLAIN ANALYZE entry points.
+func (ev *Evaluator) explainAnalyzeExec(ctx context.Context, ex exec) (string, error) {
 	col := obs.NewCollector()
 	col.SetHandler(ev.trace)
-	if _, err := ev.evalGoverned(ctx, stmt, col); err != nil {
+	if _, err := ev.evalGoverned(ctx, col, ex); err != nil {
 		return "", err
 	}
 	var sb strings.Builder
-	explainStatement(ev, &sb, stmt, "", newPlanAnnotator(col.SpansSince(obs.Mark{})))
+	explainStatement(ev, &sb, ex.stmt, "", newPlanAnnotator(col.SpansSince(obs.Mark{})))
 	writeAnalyzeFooter(&sb, col.Stats())
 	return sb.String(), nil
 }
@@ -143,6 +149,13 @@ func writeAnalyzeFooter(sb *strings.Builder, st obs.Stats) {
 	}
 	if st.FrontierUsed > 0 || st.ResultsUsed > 0 {
 		fmt.Fprintf(sb, "budget: frontier %d, result elements %d\n", st.FrontierUsed, st.ResultsUsed)
+	}
+	if st.PlanCacheHits+st.PlanCacheMisses > 0 {
+		if st.PlanCacheHits > 0 {
+			fmt.Fprintf(sb, "plan cache: hit (compile %s saved)\n", fmtElapsed(st.PlanCacheCompile))
+		} else {
+			fmt.Fprintf(sb, "plan cache: miss (compile %s)\n", fmtElapsed(st.PlanCacheCompile))
+		}
 	}
 }
 

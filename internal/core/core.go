@@ -27,6 +27,7 @@ import (
 	"gcore/internal/gov"
 	"gcore/internal/obs"
 	"gcore/internal/par"
+	"gcore/internal/plancache"
 	"gcore/internal/ppg"
 	"gcore/internal/rpq"
 	"gcore/internal/table"
@@ -43,11 +44,26 @@ type Evaluator struct {
 	trace    obs.TraceHandler // user span hook; nil = no tracing
 	sink     *obs.Collector   // user-supplied collector; nil = scratch
 	scratch  *obs.Collector   // reusable metrics-only collector
+
+	// planCache holds compiled statements keyed on normalised source
+	// text (see prepared.go); nil disables source-level caching.
+	planCache *plancache.Cache
+	// limitsFP memoizes the cache key's limits-and-knobs fingerprint.
+	limitsFP limitsFP
+	// normMemo remembers the last source→normalised-text mapping, so
+	// repeated traffic of one statement skips re-normalisation. Like
+	// limitsFP it relies on statement serialisation by the caller.
+	normMemo struct{ src, text string }
 }
 
 // New creates an evaluator over the given catalog.
 func New(cat *catalog.Catalog) *Evaluator {
-	return &Evaluator{cat: cat, registry: obs.NewRegistry(), scratch: obs.NewCollector()}
+	return &Evaluator{
+		cat:       cat,
+		registry:  obs.NewRegistry(),
+		scratch:   obs.NewCollector(),
+		planCache: plancache.New(0),
+	}
 }
 
 // Catalog returns the evaluator's catalog.
@@ -208,6 +224,14 @@ type evalCtx struct {
 	// re-evaluate their pattern per row, which would otherwise
 	// recompile the same regex per row).
 	nfaCache map[nfaKey]*rpq.NFA
+
+	// params are this execution's $name bindings (prepared statements).
+	params map[string]value.Value
+
+	// cached is the plan-cache entry this execution runs under, or nil:
+	// compiledNFA and evalChainPlanned consult it before recomputing,
+	// and publish what they compile for later executions.
+	cached *CachedStatement
 }
 
 func (ev *Evaluator) newCtx(gv *gov.Governor) *evalCtx {
@@ -291,15 +315,22 @@ func stmtText(stmt *ast.Statement) string {
 // GRAPH VIEW definitions reach the catalog only after the whole
 // statement has succeeded.
 func (ev *Evaluator) EvalStatementContext(ctx context.Context, stmt *ast.Statement) (*Result, error) {
-	switch stmt.Explain {
+	return ev.evalStatementExec(ctx, exec{stmt: stmt})
+}
+
+// evalStatementExec is EvalStatementContext with the execution extras
+// (parameter bindings, plan-cache entry and probe outcome) threaded
+// through; every source-level and AST-level entry point lands here.
+func (ev *Evaluator) evalStatementExec(ctx context.Context, ex exec) (*Result, error) {
+	switch ex.stmt.Explain {
 	case ast.ExplainPlan:
-		plan, err := ev.ExplainContext(ctx, stmt)
+		plan, err := ev.ExplainContext(ctx, ex.stmt)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Plan: plan}, nil
 	case ast.ExplainAnalyze:
-		plan, err := ev.ExplainAnalyzeContext(ctx, stmt)
+		plan, err := ev.explainAnalyzeExec(ctx, ex)
 		if err != nil {
 			return nil, err
 		}
@@ -314,7 +345,7 @@ func (ev *Evaluator) EvalStatementContext(ctx context.Context, stmt *ast.Stateme
 		col = ev.scratch
 		col.Reset(ev.trace)
 	}
-	return ev.evalGoverned(ctx, stmt, col)
+	return ev.evalGoverned(ctx, col, ex)
 }
 
 // evalGoverned runs one statement under governance with col
@@ -322,9 +353,13 @@ func (ev *Evaluator) EvalStatementContext(ctx context.Context, stmt *ast.Stateme
 // execution leg of EXPLAIN ANALYZE — goes through here, so all three
 // share one cancellation/budget/containment path. The statement's
 // aggregate stats are folded into the evaluator's registry.
-func (ev *Evaluator) evalGoverned(ctx context.Context, stmt *ast.Statement, col *obs.Collector) (res *Result, err error) {
-	if err := analyzeStatement(stmt); err != nil {
-		return nil, err
+func (ev *Evaluator) evalGoverned(ctx context.Context, col *obs.Collector, ex exec) (res *Result, err error) {
+	stmt := ex.stmt
+	if ex.cached == nil {
+		// Cached statements were analyzed once at compile time.
+		if err := analyzeStatement(stmt); err != nil {
+			return nil, err
+		}
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -337,6 +372,11 @@ func (ev *Evaluator) evalGoverned(ctx context.Context, stmt *ast.Statement, col 
 	}
 	c := ev.newCtx(gov.New(ctx, limits))
 	c.col = col
+	c.params = ex.params
+	c.cached = ex.cached
+	if ex.probe {
+		col.PlanCacheEvent(ex.hit, ex.compile)
+	}
 	mark := col.Mark()
 	sp := col.Start(obs.OpStatement)
 	if sp.Verbose() {

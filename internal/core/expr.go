@@ -214,6 +214,11 @@ func (e *env) eval(x ast.Expr) (value.Value, error) {
 		return value.Null, nil
 	case *ast.Literal:
 		return n.Val, nil
+	case *ast.Param:
+		if v, ok := e.c.params[n.Name]; ok {
+			return v, nil
+		}
+		return value.Null, errf("unbound parameter $%s", n.Name)
 	case *ast.VarRef:
 		if v, ok := e.lookup(n.Name); ok {
 			return v, nil

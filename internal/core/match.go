@@ -62,7 +62,7 @@ func (c *evalCtx) evalMatch(s *scope, mc *ast.MatchClause, outer *bindings.Table
 	// applied as soon as their variables are bound — before expensive
 	// path searches — which is semantically transparent (§A.2: the
 	// filter is a per-row predicate over its own variables).
-	conjs := prepareConjuncts(mc.Where)
+	conjs := c.prepareConjunctsCached(mc.Where)
 	// Evaluate every conjunct pattern in textual order (stable
 	// anonymous numbering), then fold the joins smallest estimate
 	// first — hidden row ordinals restore the textual fold order so
@@ -153,7 +153,7 @@ func (c *evalCtx) evalMatch(s *scope, mc *ast.MatchClause, outer *bindings.Table
 		}
 		rowsIn := int64(tbl.Len())
 		bGraphs := []*ppg.Graph{}
-		bConjs := prepareConjuncts(ob.Where)
+		bConjs := c.prepareConjunctsCached(ob.Where)
 		var (
 			bTables []*bindings.Table
 			bEsts   []int
@@ -271,7 +271,16 @@ func (c *evalCtx) evalChainPlanned(s *scope, gp *ast.GraphPattern, g *ppg.Graph,
 	// are assigned on the textual pattern — independent of planning —
 	// so anonymous numbering matches the unplanned evaluation.
 	names := c.patternVarNames(gp)
-	pl := planChain(gp, g)
+	pl, planned := chainPlan{}, false
+	if c.cached != nil {
+		pl, planned = c.cached.chainPlanFor(gp, g)
+	}
+	if !planned {
+		pl = planChain(gp, g)
+		if c.cached != nil {
+			c.cached.storeChainPlan(gp, g, pl)
+		}
+	}
 	run, runNames := gp, names
 	if pl.reversed {
 		run, runNames = pl.runGp, reverseNames(names)

@@ -260,6 +260,17 @@ func (c *evalCtx) compiledNFA(rx *ast.Regex, reversed bool) (*rpq.NFA, error) {
 		c.col.NFAEvent(true)
 		return n, nil
 	}
+	// Automata compiled by earlier executions of a cached statement
+	// survive in its plan-cache entry; NFAs are read-only after
+	// compilation and independent of graph state, so cross-statement
+	// reuse is always sound.
+	if c.cached != nil {
+		if n, ok := c.cached.nfa(key); ok {
+			c.col.NFAEvent(true)
+			c.nfaCache[key] = n
+			return n, nil
+		}
+	}
 	c.col.NFAEvent(false)
 	use := rx
 	if reversed {
@@ -274,6 +285,9 @@ func (c *evalCtx) compiledNFA(rx *ast.Regex, reversed bool) (*rpq.NFA, error) {
 		return nil, errf("%v", err)
 	}
 	c.nfaCache[key] = n
+	if c.cached != nil {
+		c.cached.storeNFA(key, n)
+	}
 	return n, nil
 }
 

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"gcore/internal/ast"
+	"gcore/internal/gov"
+	"gcore/internal/obs"
+	"gcore/internal/parser"
+	"gcore/internal/plancache"
+	"gcore/internal/ppg"
+	"gcore/internal/rpq"
+	"gcore/internal/value"
+)
+
+// Engine-level statement caching. The statement-scoped nfaCache of
+// evalCtx dies with each evaluation; a CachedStatement outlives it,
+// so repeated traffic of the same shape skips lex/parse/analyze, NFA
+// compilation and the selectivity planner. The cache key (built in
+// cacheKey) carries everything that legitimately changes the compiled
+// form; per-entry chain plans additionally self-validate against the
+// graph pointer and mutation generation they were computed for, so a
+// stale plan is never served even for graphs reached via ON.
+
+// DisablePlanCache is the ablation knob: when set, every evaluation
+// compiles from source again, with parameters inlined textually as
+// literals. Results are byte-identical either way (the differential
+// tests enforce it).
+var DisablePlanCache bool
+
+// CachedStatement is one plan-cache entry: the parsed and analyzed
+// statement plus the compiled artifacts accumulated by executions —
+// path-expression NFAs and selectivity-planner decisions. The AST is
+// immutable during evaluation, so one entry serves any number of
+// executions (with different parameter bindings).
+type CachedStatement struct {
+	stmt *ast.Statement
+
+	mu    sync.Mutex
+	nfas  map[nfaKey]*rpq.NFA
+	plans map[*ast.GraphPattern]cachedChainPlan
+	conjs map[ast.Expr][]conjunctProto
+}
+
+// conjunctProto is the immutable skeleton of one WHERE conjunct: the
+// AND-split and free-variable analysis are pure functions of the AST,
+// so they are computed once per cached statement. Each evaluation
+// clones fresh *conjunct values around the shared skeleton (the
+// applied/columnar fields are per-execution state).
+type conjunctProto struct {
+	expr     ast.Expr
+	vars     []string
+	pushable bool
+}
+
+// cachedChainPlan remembers which graph state a chain plan was
+// computed for: reuse requires the same graph object at the same
+// mutation generation. Patterns over graphs materialised at run time
+// (ON subqueries) simply miss here and re-plan.
+type cachedChainPlan struct {
+	plan chainPlan
+	g    *ppg.Graph
+	gen  uint64
+}
+
+func newCachedStatement(stmt *ast.Statement) *CachedStatement {
+	return &CachedStatement{
+		stmt:  stmt,
+		nfas:  map[nfaKey]*rpq.NFA{},
+		plans: map[*ast.GraphPattern]cachedChainPlan{},
+		conjs: map[ast.Expr][]conjunctProto{},
+	}
+}
+
+// Statement returns the cached parse tree.
+func (cs *CachedStatement) Statement() *ast.Statement { return cs.stmt }
+
+func (cs *CachedStatement) nfa(k nfaKey) (*rpq.NFA, bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	n, ok := cs.nfas[k]
+	return n, ok
+}
+
+func (cs *CachedStatement) storeNFA(k nfaKey, n *rpq.NFA) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.nfas[k] = n
+}
+
+func (cs *CachedStatement) conjuncts(e ast.Expr) ([]conjunctProto, bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ps, ok := cs.conjs[e]
+	return ps, ok
+}
+
+func (cs *CachedStatement) storeConjuncts(e ast.Expr, ps []conjunctProto) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.conjs[e] = ps
+}
+
+func (cs *CachedStatement) chainPlanFor(gp *ast.GraphPattern, g *ppg.Graph) (chainPlan, bool) {
+	if g == nil {
+		return chainPlan{}, false
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cp, ok := cs.plans[gp]
+	if !ok || cp.g != g || cp.gen != g.Generation() {
+		return chainPlan{}, false
+	}
+	return cp.plan, true
+}
+
+func (cs *CachedStatement) storeChainPlan(gp *ast.GraphPattern, g *ppg.Graph, pl chainPlan) {
+	if g == nil {
+		return
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.plans[gp] = cachedChainPlan{plan: pl, g: g, gen: g.Generation()}
+}
+
+// exec carries one execution's compiled statement and bindings plus
+// the cache-probe outcome (for the EXPLAIN ANALYZE footer and the
+// metrics counters).
+type exec struct {
+	stmt    *ast.Statement
+	cached  *CachedStatement // nil on the uncached fallback path
+	params  map[string]value.Value
+	probe   bool // a plan-cache probe happened
+	hit     bool
+	compile time.Duration
+}
+
+// SetPlanCacheCapacity resizes the evaluator's plan cache: n > 0
+// bounds it to n entries, n == 0 restores the default capacity, and
+// n < 0 disables caching entirely. The existing entries are dropped.
+func (ev *Evaluator) SetPlanCacheCapacity(n int) {
+	if n < 0 {
+		ev.planCache = nil
+		return
+	}
+	ev.planCache = plancache.New(n)
+}
+
+// PlanCacheStats returns hit/miss/eviction counters and occupancy of
+// the plan cache (zero Stats when caching is disabled).
+func (ev *Evaluator) PlanCacheStats() plancache.Stats {
+	if ev.planCache == nil {
+		return plancache.Stats{}
+	}
+	return ev.planCache.Stats()
+}
+
+// MetricsSnapshot is the registry snapshot with the plan cache's
+// lifetime counters merged in. The cache outlives statements, so its
+// numbers come from its own counters rather than per-statement
+// Observe folds — occupancy and evictions would otherwise be wrong.
+func (ev *Evaluator) MetricsSnapshot() obs.Metrics {
+	m := ev.registry.Snapshot()
+	if ev.planCache != nil {
+		st := ev.planCache.Stats()
+		m.PlanCacheHits = st.Hits
+		m.PlanCacheMisses = st.Misses
+		m.PlanCacheEvictions = st.Evictions
+		m.PlanCacheEntries = int64(st.Entries)
+		m.PlanCacheCompileNS = int64(st.CompileTime)
+	}
+	return m
+}
+
+// PlanCacheEntries lists the live cache entries, most recent first.
+func (ev *Evaluator) PlanCacheEntries() []plancache.EntryInfo {
+	if ev.planCache == nil {
+		return nil
+	}
+	return ev.planCache.Entries()
+}
+
+// cacheKey builds the plan-cache key for normalised statement text:
+// the catalog version covers registrations, the default graph's
+// generation covers mutations of the implicit target, the limits
+// fingerprint and worker count cover execution configuration, and the
+// ablation knobs are folded in so flipping one never reuses a plan
+// compiled under another regime.
+func (ev *Evaluator) cacheKey(text string) plancache.Key {
+	var gen uint64
+	if g := ev.cat.Default(); g != nil {
+		gen = g.Generation()
+	}
+	return plancache.Key{
+		Text:           text,
+		CatalogVersion: ev.cat.Version(),
+		Generation:     gen,
+		LimitsFP:       ev.limitsFingerprint(),
+		Workers:        ev.workers,
+	}
+}
+
+// limitsFP memoizes the rendered limits-and-knobs fingerprint: limits
+// and ablation knobs change rarely, while cacheKey runs on every
+// statement, so the string is rebuilt only when an input moves. Like
+// the rest of the evaluator's mutable state it relies on statement
+// serialisation by the caller.
+type limitsFP struct {
+	limits                 gov.Limits
+	reorder, csr, propCols bool
+	havePlanFP             bool
+	fp                     string
+}
+
+func (ev *Evaluator) limitsFingerprint() string {
+	m := &ev.limitsFP
+	if !m.havePlanFP || m.limits != ev.limits ||
+		m.reorder != DisableReorder || m.csr != DisableCSR || m.propCols != DisablePropColumns {
+		m.limits, m.reorder, m.csr, m.propCols = ev.limits, DisableReorder, DisableCSR, DisablePropColumns
+		m.havePlanFP = true
+		m.fp = fmt.Sprintf("%d|%d|%d|%d|%t%t%t",
+			ev.limits.MaxBindings, ev.limits.MaxPathFrontier,
+			ev.limits.MaxResultElements, int64(ev.limits.Timeout),
+			DisableReorder, DisableCSR, DisablePropColumns)
+	}
+	return m.fp
+}
+
+// prepareExec compiles src for one execution. With caching enabled it
+// probes the plan cache (singleflight on miss); otherwise it inlines
+// any parameters textually and parses fresh — the uncached fallback.
+func (ev *Evaluator) prepareExec(src string, params map[string]value.Value) (exec, error) {
+	if ev.planCache == nil || DisablePlanCache {
+		text := src
+		if len(params) > 0 {
+			var err error
+			text, err = parser.InlineParams(src, params)
+			if err != nil {
+				return exec{}, errf("%v", err)
+			}
+		}
+		stmt, err := parser.Parse(text)
+		if err != nil {
+			return exec{}, err
+		}
+		return exec{stmt: stmt, params: params}, nil
+	}
+	if ev.normMemo.src != src {
+		ev.normMemo.src, ev.normMemo.text = src, plancache.Normalize(src)
+	}
+	key := ev.cacheKey(ev.normMemo.text)
+	v, d, hit, err := ev.planCache.GetOrCompile(key, func() (any, error) {
+		stmt, err := parser.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		if err := analyzeStatement(stmt); err != nil {
+			return nil, err
+		}
+		return newCachedStatement(stmt), nil
+	})
+	if err != nil {
+		return exec{}, err
+	}
+	cs := v.(*CachedStatement)
+	return exec{stmt: cs.stmt, cached: cs, params: params, probe: true, hit: hit, compile: d}, nil
+}
+
+// CheckSrc compiles src without evaluating it: parse and semantic
+// analysis, through the plan cache when enabled (so a subsequent Eval
+// of the same text hits). Parameters may remain unbound.
+func (ev *Evaluator) CheckSrc(src string) error {
+	if ev.planCache == nil || DisablePlanCache {
+		stmt, err := parser.Parse(src)
+		if err != nil {
+			return err
+		}
+		return analyzeStatement(stmt)
+	}
+	_, err := ev.prepareExec(src, nil)
+	return err
+}
+
+// EvalSrc evaluates one statement from source through the plan cache.
+func (ev *Evaluator) EvalSrc(src string, params map[string]value.Value) (*Result, error) {
+	return ev.EvalSrcContext(context.Background(), src, params)
+}
+
+// EvalSrcContext is the source-level evaluation entry point: repeated
+// statements hit the plan cache and skip lex/parse/analyze, NFA
+// compilation and chain planning. params supplies $name bindings
+// (nil for statements without parameters); an execution that reaches
+// an unbound parameter fails.
+func (ev *Evaluator) EvalSrcContext(ctx context.Context, src string, params map[string]value.Value) (*Result, error) {
+	ex, err := ev.prepareExec(src, params)
+	if err != nil {
+		return nil, err
+	}
+	return ev.evalStatementExec(ctx, ex)
+}
+
+// ExplainAnalyzeSrcContext is ExplainAnalyzeContext from source text,
+// consulting the plan cache so the rendered footer reports the probe.
+func (ev *Evaluator) ExplainAnalyzeSrcContext(ctx context.Context, src string, params map[string]value.Value) (string, error) {
+	ex, err := ev.prepareExec(src, params)
+	if err != nil {
+		return "", err
+	}
+	return ev.explainAnalyzeExec(ctx, ex)
+}

@@ -62,11 +62,42 @@ func prepareConjuncts(e ast.Expr) []*conjunct {
 	return out
 }
 
+// prepareConjunctsCached is prepareConjuncts through the statement
+// cache: the AND-split and free-variable analysis depend only on the
+// AST, so a cached statement computes them once and every execution
+// just clones fresh conjuncts around the shared skeleton (their
+// applied/columnar fields are per-execution state).
+func (c *evalCtx) prepareConjunctsCached(e ast.Expr) []*conjunct {
+	if c.cached == nil || e == nil {
+		return prepareConjuncts(e)
+	}
+	protos, ok := c.cached.conjuncts(e)
+	if !ok {
+		conjs := prepareConjuncts(e)
+		protos = make([]conjunctProto, len(conjs))
+		for i, cj := range conjs {
+			protos[i] = conjunctProto{expr: cj.expr, vars: cj.vars, pushable: cj.pushable}
+		}
+		c.cached.storeConjuncts(e, protos)
+		return conjs
+	}
+	out := make([]*conjunct, len(protos))
+	for i := range protos {
+		p := &protos[i]
+		out[i] = &conjunct{expr: p.expr, vars: p.vars, pushable: p.pushable}
+	}
+	return out
+}
+
 // collectExprVars gathers the free variables of an expression and
 // reports whether it is pushable (free of subqueries).
 func collectExprVars(e ast.Expr, into map[string]bool) bool {
 	switch x := e.(type) {
 	case nil, *ast.Literal:
+		return true
+	case *ast.Param:
+		// A parameter is a per-execution constant: no free variables,
+		// and safe to push down (resolved from the context's bindings).
 		return true
 	case *ast.VarRef:
 		into[x.Name] = true

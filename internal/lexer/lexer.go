@@ -29,6 +29,7 @@ const (
 	Int
 	Float
 	Punct // one of the operator/punctuation lexemes, Text holds it
+	Param // $name parameter reference, Text holds the name without '$'
 )
 
 func (k Kind) String() string {
@@ -47,6 +48,8 @@ func (k Kind) String() string {
 		return "float"
 	case Punct:
 		return "punctuation"
+	case Param:
+		return "parameter"
 	}
 	return "token"
 }
@@ -58,11 +61,15 @@ type Pos struct {
 
 func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
 
-// Token is one lexeme with its position.
+// Token is one lexeme with its position. Off and End are the byte
+// offsets of the lexeme in the source (End exclusive), so callers can
+// splice the original text around a token — parameter inlining and
+// script statement splitting both need that.
 type Token struct {
-	Kind Kind
-	Text string
-	Pos  Pos
+	Kind     Kind
+	Text     string
+	Pos      Pos
+	Off, End int
 }
 
 // Is reports whether the token is the given punctuation lexeme.
@@ -77,6 +84,8 @@ func (t Token) String() string {
 		return "end of input"
 	case String:
 		return fmt.Sprintf("'%s'", t.Text)
+	case Param:
+		return fmt.Sprintf("%q", "$"+t.Text)
 	default:
 		return fmt.Sprintf("%q", t.Text)
 	}
@@ -160,6 +169,16 @@ func (l *lexer) next() (Token, error) {
 	if err := l.skipSpaceAndComments(); err != nil {
 		return Token{}, err
 	}
+	startOff := l.off
+	tok, err := l.scan()
+	if err != nil {
+		return Token{}, err
+	}
+	tok.Off, tok.End = startOff, l.off
+	return tok, nil
+}
+
+func (l *lexer) scan() (Token, error) {
 	start := l.pos()
 	r, _ := l.peek()
 	switch {
@@ -171,6 +190,8 @@ func (l *lexer) next() (Token, error) {
 		return l.lexNumber(start)
 	case unicode.IsLetter(r) || r == '_':
 		return l.lexWord(start)
+	case r == '$':
+		return l.lexParam(start)
 	}
 	// Compound punctuation.
 	for _, c := range compounds {
@@ -314,6 +335,25 @@ func (l *lexer) lexNumber(start Pos) (Token, error) {
 		}
 	}
 	return Token{Kind: kind, Text: sb.String(), Pos: start}, nil
+}
+
+// lexParam lexes a $name parameter reference for prepared statements.
+// The name follows identifier rules; Text holds it without the '$'.
+func (l *lexer) lexParam(start Pos) (Token, error) {
+	l.advance() // '$'
+	if r, _ := l.peek(); !unicode.IsLetter(r) && r != '_' {
+		return Token{}, l.errf(start, "expected parameter name after '$'")
+	}
+	var sb strings.Builder
+	for {
+		r, _ := l.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			sb.WriteRune(l.advance())
+			continue
+		}
+		break
+	}
+	return Token{Kind: Param, Text: sb.String(), Pos: start}, nil
 }
 
 func (l *lexer) lexWord(start Pos) (Token, error) {

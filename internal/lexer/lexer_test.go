@@ -192,3 +192,61 @@ func TestKeywordsCaseInsensitive(t *testing.T) {
 		}
 	}
 }
+
+func TestLexParams(t *testing.T) {
+	toks, err := Lex(`WHERE n.age > $min_age AND n.name = $name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var params []string
+	for _, tok := range toks {
+		if tok.Kind == Param {
+			params = append(params, tok.Text)
+		}
+	}
+	if len(params) != 2 || params[0] != "min_age" || params[1] != "name" {
+		t.Fatalf("params = %v", params)
+	}
+
+	// A parameter token's byte offsets span the whole $name form.
+	src := `x = $p1`
+	toks, err = Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := toks[len(toks)-2] // last real token before EOF
+	if p.Kind != Param || src[p.Off:p.End] != "$p1" {
+		t.Fatalf("token = %v, src[%d:%d] = %q", p, p.Off, p.End, src[p.Off:p.End])
+	}
+
+	// Bad parameter names fail with a position.
+	for _, bad := range []string{`$`, `$1x`, `$ name`} {
+		if _, err := Lex(bad); err == nil {
+			t.Errorf("Lex(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestTokenOffsets(t *testing.T) {
+	src := "MATCH (n) WHERE n.name = 'a b'"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks {
+		if tok.Kind == EOF {
+			if tok.Off != len(src) {
+				t.Errorf("EOF Off = %d, want %d", tok.Off, len(src))
+			}
+			continue
+		}
+		if tok.Off < 0 || tok.End > len(src) || tok.Off >= tok.End {
+			t.Errorf("token %v has bad offsets [%d,%d)", tok, tok.Off, tok.End)
+		}
+	}
+	// The string literal's slice includes its quotes.
+	last := toks[len(toks)-2]
+	if src[last.Off:last.End] != "'a b'" {
+		t.Errorf("string slice = %q", src[last.Off:last.End])
+	}
+}

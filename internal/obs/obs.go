@@ -130,6 +130,10 @@ type Collector struct {
 	resultsUsed  atomic.Int64
 	propColHits  atomic.Int64
 	propColFalls atomic.Int64
+
+	planHits      atomic.Int64
+	planMisses    atomic.Int64
+	planCompileNS atomic.Int64
 }
 
 // NewCollector returns a collector that records span labels (verbose
@@ -159,6 +163,9 @@ func (c *Collector) Reset(h TraceHandler) {
 	c.resultsUsed.Store(0)
 	c.propColHits.Store(0)
 	c.propColFalls.Store(0)
+	c.planHits.Store(0)
+	c.planMisses.Store(0)
+	c.planCompileNS.Store(0)
 }
 
 // SetHandler installs (or clears) the trace handler without touching
@@ -201,6 +208,21 @@ func (c *Collector) NFAEvent(hit bool) {
 	} else {
 		c.nfaMisses.Add(1)
 	}
+}
+
+// PlanCacheEvent records one plan-cache probe for the executing
+// statement. compile is the entry's compilation time: the cost a hit
+// avoided, or the cost a miss just paid.
+func (c *Collector) PlanCacheEvent(hit bool, compile time.Duration) {
+	if c == nil {
+		return
+	}
+	if hit {
+		c.planHits.Add(1)
+	} else {
+		c.planMisses.Add(1)
+	}
+	c.planCompileNS.Add(int64(compile))
 }
 
 // CSREvent records a CSR snapshot probe: hit means the cached
@@ -359,6 +381,10 @@ type Mark struct {
 	results   int64
 	propHits  int64
 	propFalls int64
+
+	planHits    int64
+	planMisses  int64
+	planCompile int64
 }
 
 // Mark snapshots the collector's current position. Safe on nil (the
@@ -371,15 +397,18 @@ func (c *Collector) Mark() Mark {
 	n := len(c.spans)
 	c.mu.Unlock()
 	return Mark{
-		spans:     n,
-		nfaHits:   c.nfaHits.Load(),
-		nfaMisses: c.nfaMisses.Load(),
-		csrReuses: c.csrReuses.Load(),
-		csrBuilds: c.csrBuilds.Load(),
-		frontier:  c.frontierUsed.Load(),
-		results:   c.resultsUsed.Load(),
-		propHits:  c.propColHits.Load(),
-		propFalls: c.propColFalls.Load(),
+		spans:       n,
+		nfaHits:     c.nfaHits.Load(),
+		nfaMisses:   c.nfaMisses.Load(),
+		csrReuses:   c.csrReuses.Load(),
+		csrBuilds:   c.csrBuilds.Load(),
+		frontier:    c.frontierUsed.Load(),
+		results:     c.resultsUsed.Load(),
+		propHits:    c.propColHits.Load(),
+		propFalls:   c.propColFalls.Load(),
+		planHits:    c.planHits.Load(),
+		planMisses:  c.planMisses.Load(),
+		planCompile: c.planCompileNS.Load(),
 	}
 }
 
@@ -420,6 +449,10 @@ type Stats struct {
 	ResultsUsed      int64
 	PropColHits      int64
 	PropColFallbacks int64
+
+	PlanCacheHits    int64
+	PlanCacheMisses  int64
+	PlanCacheCompile time.Duration
 }
 
 // Op returns the aggregate for one operator class.
@@ -454,6 +487,9 @@ func (c *Collector) Since(m Mark) Stats {
 	st.ResultsUsed = c.resultsUsed.Load() - m.results
 	st.PropColHits = c.propColHits.Load() - m.propHits
 	st.PropColFallbacks = c.propColFalls.Load() - m.propFalls
+	st.PlanCacheHits = c.planHits.Load() - m.planHits
+	st.PlanCacheMisses = c.planMisses.Load() - m.planMisses
+	st.PlanCacheCompile = time.Duration(c.planCompileNS.Load() - m.planCompile)
 	return st
 }
 

@@ -89,6 +89,15 @@ type Metrics struct {
 	CSRBuilds      int64 `json:"csr_builds"`
 	FrontierUsed   int64 `json:"frontier_used"`
 	ResultsUsed    int64 `json:"results_used"`
+
+	// Plan-cache lifetime counters. These are not fed through Observe:
+	// the cache outlives statements, so the engine fills them from the
+	// cache's own counters when it snapshots.
+	PlanCacheHits      int64 `json:"plan_cache_hits"`
+	PlanCacheMisses    int64 `json:"plan_cache_misses"`
+	PlanCacheEvictions int64 `json:"plan_cache_evictions"`
+	PlanCacheEntries   int64 `json:"plan_cache_entries"`
+	PlanCacheCompileNS int64 `json:"plan_cache_compile_ns"`
 }
 
 // Snapshot returns a consistent-enough copy of the registry: each

@@ -280,6 +280,9 @@ func (p *parser) parsePrimary() (ast.Expr, error) {
 		return &ast.Exists{Query: q, P: tok.Pos}, nil
 	case tok.Kind == lexer.Ident && p.peek().Is("("):
 		return p.parseFuncCall()
+	case tok.Kind == lexer.Param:
+		p.next()
+		return &ast.Param{Name: tok.Text, P: tok.Pos}, nil
 	case tok.Kind == lexer.Ident:
 		p.next()
 		return &ast.VarRef{Name: tok.Text, P: tok.Pos}, nil

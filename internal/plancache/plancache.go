@@ -1,0 +1,329 @@
+// Package plancache is a bounded LRU cache for compiled statements:
+// parsed ASTs plus whatever the evaluator wants to remember alongside
+// them (selectivity plans, compiled path-expression NFAs). Repeated
+// query traffic is overwhelmingly repeated shapes, so the cache turns
+// the per-statement lex/parse/analyze/plan cost into a map probe.
+//
+// Keys combine the normalised statement text with everything that
+// legitimately changes the compiled form: the catalog version (graph,
+// view and table registrations), the default graph's mutation
+// generation, the resource-limit fingerprint and the parallelism
+// setting. A graph mutation or catalog change therefore never serves
+// a stale plan — the old key simply stops being produced and its
+// entry ages out of the LRU.
+//
+// Concurrent misses of the same key are collapsed by a singleflight:
+// the first caller compiles, the rest wait and share the result.
+// Compile errors are returned to every waiter but never cached.
+package plancache
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultCapacity bounds the cache when the caller does not choose.
+const DefaultCapacity = 256
+
+// Key identifies one compiled statement shape.
+type Key struct {
+	// Text is the normalised statement source (see Normalize).
+	Text string
+	// CatalogVersion counts catalog mutations (registrations, default
+	// changes); any mutation retires all earlier entries.
+	CatalogVersion uint64
+	// Generation is the default graph's mutation generation.
+	Generation uint64
+	// LimitsFP fingerprints the per-statement resource limits.
+	LimitsFP string
+	// Workers is the parallelism setting the plan was compiled under.
+	Workers int
+}
+
+// Stats is a point-in-time view of cache effectiveness.
+type Stats struct {
+	Hits, Misses, Evictions int64
+	// CompileTime is the total time spent compiling misses.
+	CompileTime time.Duration
+	Entries     int
+	Capacity    int
+}
+
+// EntryInfo describes one live entry, for introspection (REPL \cache).
+type EntryInfo struct {
+	Text    string
+	Hits    int64
+	Compile time.Duration
+}
+
+type entry struct {
+	key     Key
+	val     any
+	compile time.Duration
+	hits    int64
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	d    time.Duration
+	err  error
+}
+
+// Cache is the bounded LRU; safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	items   map[Key]*list.Element
+	flights map[Key]*flight
+
+	hits, misses, evictions int64
+	compileNS               int64
+}
+
+// New creates a cache bounded to capacity entries; capacity <= 0 uses
+// DefaultCapacity.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[Key]*list.Element),
+		flights: make(map[Key]*flight),
+	}
+}
+
+// GetOrCompile returns the cached value for k, or runs compile once —
+// even under concurrent misses of the same key — and caches its
+// result. It reports the entry's compile duration (the cost a hit
+// avoided, or a miss paid) and whether the call was served from cache.
+// Waiters that share another caller's in-flight compilation count as
+// hits: they did not compile. Errors are propagated, never cached.
+func (c *Cache) GetOrCompile(k Key, compile func() (any, error)) (val any, d time.Duration, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		en := el.Value.(*entry)
+		en.hits++
+		c.hits++
+		c.mu.Unlock()
+		return en.val, en.compile, true, nil
+	}
+	if f, ok := c.flights[k]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, 0, false, f.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return f.val, f.d, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	c.mu.Unlock()
+
+	start := time.Now()
+	f.val, f.err = compile()
+	f.d = time.Since(start)
+
+	c.mu.Lock()
+	delete(c.flights, k)
+	c.misses++
+	c.compileNS += int64(f.d)
+	if f.err == nil {
+		c.insertLocked(k, f.val, f.d)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, 0, false, f.err
+	}
+	return f.val, f.d, false, nil
+}
+
+// Get peeks at k without affecting hit/miss counters or LRU order.
+func (c *Cache) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		return el.Value.(*entry).val, true
+	}
+	return nil, false
+}
+
+// Remove drops k, if present. Used when an entry's revalidation fails.
+func (c *Cache) Remove(k Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.Remove(el)
+		delete(c.items, k)
+	}
+}
+
+// Invalidate drops every entry (counters survive).
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[Key]*list.Element)
+}
+
+func (c *Cache) insertLocked(k Key, v any, compile time.Duration) {
+	if el, ok := c.items[k]; ok {
+		// A racing flight may have inserted between unlock and lock;
+		// keep the existing entry current.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&entry{key: k, val: v, compile: compile})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Stats returns current counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		CompileTime: time.Duration(c.compileNS),
+		Entries:     c.ll.Len(),
+		Capacity:    c.cap,
+	}
+}
+
+// Entries lists live entries, most recently used first.
+func (c *Cache) Entries() []EntryInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EntryInfo, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		en := el.Value.(*entry)
+		out = append(out, EntryInfo{Text: en.key.Text, Hits: en.hits, Compile: en.compile})
+	}
+	return out
+}
+
+// Normalize canonicalises statement text for keying: comments are
+// dropped and whitespace runs collapse to a single space, except
+// inside quoted strings, which are preserved byte-for-byte. Keyword
+// case is left alone — identifiers are case-sensitive and a cheap
+// normaliser cannot tell the two apart; differently-cased keywords
+// just occupy separate entries.
+func Normalize(src string) string {
+	if normalized(src) {
+		return src
+	}
+	var sb strings.Builder
+	sb.Grow(len(src))
+	pendingSpace := false
+	i, n := 0, len(src)
+	for i < n {
+		ch := src[i]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r' || ch == '\v' || ch == '\f':
+			pendingSpace = true
+			i++
+		case ch == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+			pendingSpace = true
+		case ch == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i < n {
+				if src[i] == '*' && i+1 < n && src[i+1] == '/' {
+					i += 2
+					break
+				}
+				i++
+			}
+			pendingSpace = true
+		case ch == '\'' || ch == '"':
+			if pendingSpace && sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			pendingSpace = false
+			quote := ch
+			sb.WriteByte(ch)
+			i++
+			for i < n {
+				c := src[i]
+				sb.WriteByte(c)
+				i++
+				if c == '\\' && i < n {
+					sb.WriteByte(src[i])
+					i++
+					continue
+				}
+				if c == quote {
+					// Doubled quote is an escaped quote; stay inside.
+					if i < n && src[i] == quote {
+						sb.WriteByte(src[i])
+						i++
+						continue
+					}
+					break
+				}
+			}
+		default:
+			if pendingSpace && sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			pendingSpace = false
+			sb.WriteByte(ch)
+			i++
+		}
+	}
+	return sb.String()
+}
+
+// normalized reports whether src is already in normal form, so
+// Normalize can return it without copying — the common case on the
+// hot probe path, where the same statement text arrives repeatedly.
+// Conservative: a double space inside a string literal sends the text
+// down the slow path, which preserves it correctly.
+func normalized(src string) bool {
+	if src == "" {
+		return true
+	}
+	if src[0] == ' ' || src[len(src)-1] == ' ' {
+		return false
+	}
+	prevSpace, prevSlash := false, false
+	for i := 0; i < len(src); i++ {
+		switch ch := src[i]; ch {
+		case ' ':
+			if prevSpace {
+				return false
+			}
+			prevSpace, prevSlash = true, false
+		case '\t', '\n', '\r', '\v', '\f', '#':
+			return false
+		case '*':
+			if prevSlash {
+				return false
+			}
+			prevSpace, prevSlash = false, false
+		case '/':
+			prevSpace, prevSlash = false, true
+		default:
+			prevSpace, prevSlash = false, false
+		}
+	}
+	return true
+}
