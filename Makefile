@@ -3,8 +3,9 @@
 .PHONY: all build test race bench benchjson benchbase benchcmp benchguard repro fuzz cover fmt vet
 
 # Packages with guarded hot-path benchmarks: the root suite (MATCH,
-# paths, construction) and the binding-table operators.
-BENCH_PKGS := . ./internal/bindings ./internal/obs
+# paths, construction), the binding-table operators, and the
+# write-ahead log append path.
+BENCH_PKGS := . ./internal/bindings ./internal/obs ./internal/wal
 
 all: build test
 
@@ -49,7 +50,7 @@ benchcmp:
 # beyond 20% on the guarded hot-path benchmarks fail, timing
 # regressions warn (allocs/op is machine-independent, ns/op is not).
 benchguard:
-	go test -bench='BenchmarkJoin|BenchmarkParallelMatch|BenchmarkFilteredScan' -benchmem -count=3 -run '^$$' $(BENCH_PKGS) | tee bench.head.txt
+	go test -bench='BenchmarkJoin|BenchmarkParallelMatch|BenchmarkFilteredScan|BenchmarkWALAppend' -benchmem -count=3 -run '^$$' $(BENCH_PKGS) | tee bench.head.txt
 	go run ./cmd/benchguard -base bench.base.txt -head bench.head.txt
 
 repro:

@@ -31,7 +31,10 @@ func main() {
 	// sub-benchmark is the hit path, /nocache the ablated fallback),
 	// and BenchmarkPreparedEval the parameterised prepared-statement
 	// path, so a plan-cache regression shows up as an allocation jump.
-	guard := flag.String("guard", "BenchmarkJoin,BenchmarkParallelMatch,BenchmarkFilteredScan,BenchmarkRepeatedEval,BenchmarkPreparedEval", "comma-separated benchmark name prefixes to guard")
+	// BenchmarkWALAppend guards the per-record durability overhead:
+	// every graph mutation pays one append, so an allocation creep
+	// here taxes every write.
+	guard := flag.String("guard", "BenchmarkJoin,BenchmarkParallelMatch,BenchmarkFilteredScan,BenchmarkRepeatedEval,BenchmarkPreparedEval,BenchmarkWALAppend", "comma-separated benchmark name prefixes to guard")
 	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression (0.20 = 20%)")
 	flag.Parse()
 

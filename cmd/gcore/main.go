@@ -12,6 +12,10 @@
 //	                     (social_graph, company_graph, example_graph,
 //	                     orders)
 //	-default name        select the default graph for MATCH without ON
+//	-data dir            open a durable data directory: every mutation
+//	                     is logged to a write-ahead log before it
+//	                     applies, and startup recovers the last
+//	                     checkpoint plus the log tail (crash-safe)
 //	-script file         evaluate a ;-separated script and exit
 //	-json                print result graphs/tables as JSON
 //	-out file            write the last result graph as JSON
@@ -23,7 +27,7 @@
 // With a query argument the command evaluates it and exits; otherwise
 // it starts a read-eval-print loop. In the REPL, statements end with
 // ';' and the commands \graphs, \tables, \ast, \save, \metrics,
-// \cache, \help and \quit are available. Prefixing a statement with EXPLAIN
+// \cache, \checkpoint, \help and \quit are available. Prefixing a statement with EXPLAIN
 // prints its plan instead of running it; EXPLAIN ANALYZE runs it and
 // prints the plan annotated with observed rows and timings.
 //
@@ -79,6 +83,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs.Var(&tableSpecs, "table", "table to load as name=file.csv (repeatable)")
 	sample := fs.Bool("sample", false, "register the paper's sample datasets")
 	defGraph := fs.String("default", "", "default graph name")
+	dataDir := fs.String("data", "", "durable data directory (write-ahead log + checkpoints)")
 	script := fs.String("script", "", "script file to evaluate")
 	asJSON := fs.Bool("json", false, "print results as JSON")
 	outFile := fs.String("out", "", "write the last result graph as JSON")
@@ -102,7 +107,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *nocache {
 		opts = append(opts, gcore.WithPlanCacheSize(-1))
 	}
-	eng := gcore.NewEngine(opts...)
+	var eng *gcore.Engine
+	var dur *gcore.DurableEngine
+	if *dataDir != "" {
+		var err error
+		dur, err = gcore.OpenDurable(*dataDir, gcore.WithEngineOptions(opts...))
+		if err != nil {
+			return err
+		}
+		defer dur.Close()
+		eng = dur.Engine
+		fmt.Fprintf(stdout, "durable catalog at %s (%d graphs)\n", *dataDir, len(eng.GraphNames()))
+	} else {
+		eng = gcore.NewEngine(opts...)
+	}
 	publishMetrics(eng)
 	if *loadDir != "" {
 		if err := eng.LoadCatalog(*loadDir); err != nil {
@@ -227,7 +245,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 	default:
-		if err := repl(eng, stdin, stdout, show, evalScript); err != nil {
+		if err := repl(eng, dur, stdin, stdout, show, evalScript); err != nil {
 			return err
 		}
 	}
@@ -252,7 +270,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "saved catalog to %s\n", *saveDir)
 	}
 	if *metrics {
-		if err := printMetrics(stdout, eng); err != nil {
+		if err := printMetrics(stdout, eng, dur); err != nil {
+			return err
+		}
+	}
+	// A clean exit compacts the log so the next start recovers from
+	// the checkpoint instead of replaying the whole tail.
+	if dur != nil {
+		if err := dur.Checkpoint(); err != nil {
 			return err
 		}
 	}
@@ -281,9 +306,14 @@ func (s *slowLogger) SpanEnd(sp gcore.Span) {
 	fmt.Fprintf(s.w, "slow query (%s): %s\n", sp.Elapsed.Round(time.Microsecond), text)
 }
 
-// printMetrics dumps the engine-lifetime metrics as indented JSON.
-func printMetrics(w io.Writer, eng *gcore.Engine) error {
-	data, err := json.MarshalIndent(eng.Metrics(), "", "  ")
+// printMetrics dumps the engine-lifetime metrics as indented JSON;
+// for a durable engine the snapshot includes the WAL counters.
+func printMetrics(w io.Writer, eng *gcore.Engine, dur *gcore.DurableEngine) error {
+	m := eng.Metrics()
+	if dur != nil {
+		m = dur.Metrics()
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -311,7 +341,7 @@ func publishMetrics(eng *gcore.Engine) {
 	})
 }
 
-func repl(eng *gcore.Engine, stdin io.Reader, stdout io.Writer, show func(*gcore.Result) error, evalScript func(string) ([]*gcore.Result, error)) error {
+func repl(eng *gcore.Engine, dur *gcore.DurableEngine, stdin io.Reader, stdout io.Writer, show func(*gcore.Result) error, evalScript func(string) ([]*gcore.Result, error)) error {
 	fmt.Fprintln(stdout, "G-CORE shell — statements end with ';', \\help for commands")
 	scanner := bufio.NewScanner(stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -328,7 +358,7 @@ func repl(eng *gcore.Engine, stdin io.Reader, stdout io.Writer, show func(*gcore
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if done := replCommand(eng, stdout, trimmed); done {
+			if done := replCommand(eng, dur, stdout, trimmed); done {
 				return nil
 			}
 			prompt()
@@ -357,7 +387,7 @@ func repl(eng *gcore.Engine, stdin io.Reader, stdout io.Writer, show func(*gcore
 
 // replCommand handles backslash commands; it reports whether the REPL
 // should exit.
-func replCommand(eng *gcore.Engine, stdout io.Writer, cmd string) bool {
+func replCommand(eng *gcore.Engine, dur *gcore.DurableEngine, stdout io.Writer, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\quit", "\\q":
@@ -372,6 +402,7 @@ func replCommand(eng *gcore.Engine, stdout io.Writer, cmd string) bool {
                      the plan with observed rows and timings)
   \metrics           print engine metrics as JSON
   \cache             print plan-cache counters and live entries
+  \checkpoint        write a durable checkpoint (requires -data)
   \save <graph> <f>  write a graph as JSON to file f
   \quit              exit`)
 	case "\\graphs":
@@ -400,11 +431,22 @@ func replCommand(eng *gcore.Engine, stdout io.Writer, cmd string) bool {
 		}
 		fmt.Fprint(stdout, plan)
 	case "\\metrics":
-		if err := printMetrics(stdout, eng); err != nil {
+		if err := printMetrics(stdout, eng, dur); err != nil {
 			fmt.Fprintln(stdout, "error:", err)
 		}
 	case "\\cache":
 		printPlanCache(stdout, eng)
+	case "\\checkpoint":
+		if dur == nil {
+			fmt.Fprintln(stdout, "error: not durable (start with -data <dir>)")
+			break
+		}
+		if err := dur.Checkpoint(); err != nil {
+			fmt.Fprintln(stdout, "error:", err)
+			break
+		}
+		wm := dur.WALStats()
+		fmt.Fprintf(stdout, "checkpoint written (%d records logged, %d checkpoints)\n", wm.Appends, wm.Checkpoints)
 	case "\\save":
 		if len(fields) != 3 {
 			fmt.Fprintln(stdout, "usage: \\save <graph> <file>")

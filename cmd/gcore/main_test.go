@@ -211,3 +211,46 @@ func TestRunSaveAndLoadCatalog(t *testing.T) {
 		t.Error("bad -load must fail")
 	}
 }
+
+func TestRunDurableDataDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	var out bytes.Buffer
+	// First run: register the sample datasets and a view durably.
+	err := run([]string{"-data", dir, "-sample",
+		`GRAPH VIEW acme AS (CONSTRUCT (n) MATCH (n:Person) ON social_graph WHERE n.employer = 'Acme')`},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second run: recovery restores the catalog; the view answers.
+	out.Reset()
+	err = run([]string{"-data", dir,
+		`SELECT n.firstName AS name MATCH (n) ON acme ORDER BY name`},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"Alice"`) {
+		t.Errorf("recovered catalog output = %q", out.String())
+	}
+	if !strings.Contains(out.String(), "durable catalog at") {
+		t.Errorf("banner missing: %q", out.String())
+	}
+	// REPL \checkpoint works against the same directory.
+	out.Reset()
+	err = run([]string{"-data", dir}, strings.NewReader("\\checkpoint\n\\quit\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "checkpoint written") {
+		t.Errorf("checkpoint output = %q", out.String())
+	}
+	// \checkpoint without -data reports an error instead of panicking.
+	out.Reset()
+	if err := run([]string{}, strings.NewReader("\\checkpoint\n\\quit\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "not durable") {
+		t.Errorf("non-durable checkpoint output = %q", out.String())
+	}
+}

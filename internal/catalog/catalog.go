@@ -26,6 +26,36 @@ type Catalog struct {
 	// default changes); consumers key compiled-statement caches on it
 	// so any registration retires plans compiled before it.
 	version uint64
+
+	hook ChangeHook
+}
+
+// Change is one catalog mutation presented to the change hook before
+// it is applied.
+type Change struct {
+	// Op is "register_graph", "register_table" or "set_default".
+	Op    string
+	Graph *ppg.Graph   // register_graph
+	Table *table.Table // register_table
+	Name  string       // set_default
+}
+
+// ChangeHook observes catalog mutations after validation and before
+// application; returning an error rejects the mutation, leaving the
+// catalog untouched. The durability layer logs catalog changes here —
+// the catalog is the boundary because views register their
+// materialised graphs directly against it, bypassing engine methods.
+type ChangeHook func(ch Change) error
+
+// SetChangeHook installs (or with nil removes) the catalog's change
+// hook.
+func (c *Catalog) SetChangeHook(h ChangeHook) { c.hook = h }
+
+func (c *Catalog) fireHook(ch Change) error {
+	if c.hook == nil {
+		return nil
+	}
+	return c.hook(ch)
 }
 
 // New creates an empty catalog. Generated identifiers start at 1000
@@ -56,6 +86,9 @@ func (c *Catalog) RegisterGraph(g *ppg.Graph) error {
 	if _, dup := c.tables[name]; dup {
 		return fmt.Errorf("catalog: %q already names a table", name)
 	}
+	if err := c.fireHook(Change{Op: "register_graph", Graph: g}); err != nil {
+		return err
+	}
 	c.graphs[name] = g
 	c.version++
 	for _, id := range g.NodeIDs() {
@@ -81,6 +114,9 @@ func (c *Catalog) RegisterTable(t *table.Table) error {
 	if _, dup := c.graphs[t.Name]; dup {
 		return fmt.Errorf("catalog: %q already names a graph", t.Name)
 	}
+	if err := c.fireHook(Change{Op: "register_table", Table: t}); err != nil {
+		return err
+	}
 	c.tables[t.Name] = t
 	c.version++
 	delete(c.tableGraphs, t.Name)
@@ -103,6 +139,9 @@ func (c *Catalog) Table(name string) (*table.Table, bool) {
 func (c *Catalog) SetDefault(name string) error {
 	if _, ok := c.graphs[name]; !ok {
 		return fmt.Errorf("catalog: unknown graph %q", name)
+	}
+	if err := c.fireHook(Change{Op: "set_default", Name: name}); err != nil {
+		return err
 	}
 	c.defaultName = name
 	c.version++

@@ -58,6 +58,35 @@ const (
 	SiteRPQCSRAll = "rpq.csr.all"
 )
 
+// The I/O probe sites of the durability subsystem (internal/wal and
+// the engine's checkpoint writer). These are not evaluation
+// checkpoints — queries on a non-durable engine never reach them — so
+// they live in IOSites, not AllSites: the crash-torture suite drives
+// each of them against an open durable engine and asserts that the
+// failed operation is rejected cleanly and that recovery restores the
+// committed prefix.
+const (
+	// SiteWALAppend fires at the top of every WAL record append; an
+	// injected error fails the append before any byte is written.
+	SiteWALAppend = "wal.append"
+	// SiteWALShortWrite fires before the record write; an injected
+	// error makes the WAL write only half the record and fail — a torn
+	// write that recovery must truncate.
+	SiteWALShortWrite = "wal.append.short"
+	// SiteWALSync fires in every segment fsync; an injected error
+	// simulates a failed fsync (the appended record is rolled back).
+	SiteWALSync = "wal.sync"
+	// SiteWALRoll fires before a segment roll.
+	SiteWALRoll = "wal.roll"
+	// SiteWALCheckpointWrite fires while the engine stages checkpoint
+	// state files; an injected error abandons the staging directory.
+	SiteWALCheckpointWrite = "wal.checkpoint.write"
+	// SiteWALCheckpointRename fires before the checkpoint directory is
+	// renamed into place; an injected error leaves the previous
+	// checkpoint current.
+	SiteWALCheckpointRename = "wal.checkpoint.rename"
+)
+
 // AllSites lists every declared probe site. The fault tests iterate
 // it so a new checkpoint cannot be added without being covered.
 func AllSites() []string {
@@ -75,6 +104,21 @@ func AllSites() []string {
 		SiteRPQCSRShortest,
 		SiteRPQCSRReach,
 		SiteRPQCSRAll,
+	}
+}
+
+// IOSites lists the durability I/O probe sites. They are kept apart
+// from AllSites because they are reached by durable-engine mutations,
+// not by query evaluation; the crash-torture suite iterates this list
+// so a new I/O fault point cannot be added without coverage.
+func IOSites() []string {
+	return []string{
+		SiteWALAppend,
+		SiteWALShortWrite,
+		SiteWALSync,
+		SiteWALRoll,
+		SiteWALCheckpointWrite,
+		SiteWALCheckpointRename,
 	}
 }
 

@@ -98,6 +98,16 @@ type Metrics struct {
 	PlanCacheEvictions int64 `json:"plan_cache_evictions"`
 	PlanCacheEntries   int64 `json:"plan_cache_entries"`
 	PlanCacheCompileNS int64 `json:"plan_cache_compile_ns"`
+
+	// Write-ahead-log lifetime counters, filled by the durable engine
+	// from its log when it snapshots (zero on a non-durable engine).
+	WALAppends       int64 `json:"wal_appends,omitempty"`
+	WALAppendedBytes int64 `json:"wal_appended_bytes,omitempty"`
+	WALSyncs         int64 `json:"wal_syncs,omitempty"`
+	WALRolls         int64 `json:"wal_rolls,omitempty"`
+	WALCheckpoints   int64 `json:"wal_checkpoints,omitempty"`
+	WALReplayed      int64 `json:"wal_replayed,omitempty"`
+	WALTornTruncated int64 `json:"wal_torn_truncated,omitempty"`
 }
 
 // Snapshot returns a consistent-enough copy of the registry: each

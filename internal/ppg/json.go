@@ -131,8 +131,93 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 			return err
 		}
 	}
-	g.replace(out)
-	return nil
+	return g.replace(out)
+}
+
+// Element codecs. The durability layer logs individual mutations as
+// JSON records; these encode one element in exactly the interchange
+// shape the graph documents use, so a WAL record and a snapshot agree
+// on representation.
+
+// EncodeNode encodes one node as an interchange JSON object.
+func EncodeNode(n *Node) ([]byte, error) {
+	return json.Marshal(jsonNode{ID: uint64(n.ID), Labels: n.Labels, Props: propsOut(n.Props)})
+}
+
+// DecodeNode decodes an EncodeNode document.
+func DecodeNode(data []byte) (*Node, error) {
+	var jn jsonNode
+	if err := json.Unmarshal(data, &jn); err != nil {
+		return nil, fmt.Errorf("ppg: decoding node: %w", err)
+	}
+	return &Node{ID: NodeID(jn.ID), Labels: NewLabels(jn.Labels...), Props: NewProperties(jn.Props)}, nil
+}
+
+// EncodeEdge encodes one edge as an interchange JSON object.
+func EncodeEdge(e *Edge) ([]byte, error) {
+	return json.Marshal(jsonEdge{
+		ID: uint64(e.ID), Src: uint64(e.Src), Dst: uint64(e.Dst),
+		Labels: e.Labels, Props: propsOut(e.Props),
+	})
+}
+
+// DecodeEdge decodes an EncodeEdge document.
+func DecodeEdge(data []byte) (*Edge, error) {
+	var je jsonEdge
+	if err := json.Unmarshal(data, &je); err != nil {
+		return nil, fmt.Errorf("ppg: decoding edge: %w", err)
+	}
+	return &Edge{
+		ID: EdgeID(je.ID), Src: NodeID(je.Src), Dst: NodeID(je.Dst),
+		Labels: NewLabels(je.Labels...), Props: NewProperties(je.Props),
+	}, nil
+}
+
+// EncodePath encodes one stored path as an interchange JSON object.
+func EncodePath(p *Path) ([]byte, error) {
+	jp := jsonPath{ID: uint64(p.ID), Labels: p.Labels, Props: propsOut(p.Props)}
+	for _, n := range p.Nodes {
+		jp.Nodes = append(jp.Nodes, uint64(n))
+	}
+	for _, e := range p.Edges {
+		jp.Edges = append(jp.Edges, uint64(e))
+	}
+	return json.Marshal(jp)
+}
+
+// DecodePath decodes an EncodePath document.
+func DecodePath(data []byte) (*Path, error) {
+	var jp jsonPath
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return nil, fmt.Errorf("ppg: decoding path: %w", err)
+	}
+	p := &Path{ID: PathID(jp.ID), Labels: NewLabels(jp.Labels...), Props: NewProperties(jp.Props)}
+	for _, n := range jp.Nodes {
+		p.Nodes = append(p.Nodes, NodeID(n))
+	}
+	for _, e := range jp.Edges {
+		p.Edges = append(p.Edges, EdgeID(e))
+	}
+	return p, nil
+}
+
+// EncodeProperties encodes a property map in the interchange value
+// encoding (singletons as bare scalars, sets wrapped).
+func EncodeProperties(p Properties) ([]byte, error) {
+	out := propsOut(p)
+	if out == nil {
+		out = map[string]value.Value{}
+	}
+	return json.Marshal(out)
+}
+
+// DecodeProperties decodes an EncodeProperties document.
+func DecodeProperties(data []byte) (Properties, error) {
+	var m map[string]value.Value
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("ppg: decoding properties: %w", err)
+	}
+	return NewProperties(m), nil
 }
 
 // WriteJSON writes the graph's interchange document to w.

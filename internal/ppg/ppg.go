@@ -264,6 +264,104 @@ type Graph struct {
 	snapMu  sync.Mutex
 	snapGen uint64
 	snapVal any
+
+	// hook, when set, observes every mutation before it is applied
+	// (the write-ahead boundary of the durability layer). A hook error
+	// rejects the mutation and leaves the graph untouched.
+	hook MutationHook
+}
+
+// MutOp enumerates the mutations a MutationHook observes — exactly
+// the generation-bumping mutator surface of Graph.
+type MutOp uint8
+
+// The mutation kinds.
+const (
+	// MutAddNode carries the node about to be inserted in Node.
+	MutAddNode MutOp = iota + 1
+	// MutAddEdge carries the edge about to be inserted in Edge.
+	MutAddEdge
+	// MutAddPath carries the stored path about to be inserted in Path.
+	MutAddPath
+	// MutSetNodeLabels carries NodeID and the replacement Labels.
+	MutSetNodeLabels
+	// MutSetEdgeLabels carries EdgeID and the replacement Labels.
+	MutSetEdgeLabels
+	// MutSetNodeProps carries NodeID and the replacement Props.
+	MutSetNodeProps
+	// MutSetEdgeProps carries EdgeID and the replacement Props.
+	MutSetEdgeProps
+	// MutSetPathProps carries PathID and the replacement Props.
+	MutSetPathProps
+	// MutTouchProps reports an untracked in-place property write
+	// (Graph.TouchProps): the graph's current state already includes
+	// the change, but the hook cannot know which element it was.
+	// Durability layers respond by snapshotting the whole graph.
+	MutTouchProps
+	// MutReplace reports wholesale replacement of the graph's contents
+	// (UnmarshalJSON on a live graph); Snapshot holds the new content.
+	MutReplace
+)
+
+func (op MutOp) String() string {
+	switch op {
+	case MutAddNode:
+		return "add-node"
+	case MutAddEdge:
+		return "add-edge"
+	case MutAddPath:
+		return "add-path"
+	case MutSetNodeLabels:
+		return "set-node-labels"
+	case MutSetEdgeLabels:
+		return "set-edge-labels"
+	case MutSetNodeProps:
+		return "set-node-props"
+	case MutSetEdgeProps:
+		return "set-edge-props"
+	case MutSetPathProps:
+		return "set-path-props"
+	case MutTouchProps:
+		return "touch-props"
+	case MutReplace:
+		return "replace"
+	}
+	return fmt.Sprintf("MutOp(%d)", uint8(op))
+}
+
+// Mutation describes one mutation about to be applied to a graph.
+// Only the fields relevant to Op are set; the referenced objects are
+// the live ones — hooks must not retain or modify them.
+type Mutation struct {
+	Op       MutOp
+	Node     *Node      // MutAddNode
+	Edge     *Edge      // MutAddEdge
+	Path     *Path      // MutAddPath
+	NodeID   NodeID     // MutSetNodeLabels, MutSetNodeProps
+	EdgeID   EdgeID     // MutSetEdgeLabels, MutSetEdgeProps
+	PathID   PathID     // MutSetPathProps
+	Labels   Labels     // MutSetNodeLabels, MutSetEdgeLabels
+	Props    Properties // MutSet*Props
+	Snapshot *Graph     // MutReplace: the replacement contents
+}
+
+// MutationHook observes mutations of one graph before they apply; see
+// SetMutationHook.
+type MutationHook func(g *Graph, m Mutation) error
+
+// SetMutationHook installs (or with nil removes) the graph's mutation
+// hook. The hook runs after a mutation is validated and before it is
+// applied; returning an error rejects the mutation, leaving the graph
+// exactly as it was. This is the write-ahead boundary the durability
+// layer logs at. Clones do not inherit the hook.
+func (g *Graph) SetMutationHook(h MutationHook) { g.hook = h }
+
+// fireHook runs the mutation hook, if any.
+func (g *Graph) fireHook(m Mutation) error {
+	if g.hook == nil {
+		return nil
+	}
+	return g.hook(g, m)
 }
 
 // New creates an empty graph with the given name.
@@ -297,8 +395,16 @@ func (g *Graph) bump() { g.gen++ }
 // element. Property writes do not change structure, but derived
 // structures now freeze property values too (the CSR snapshot's
 // columns), so code that mutates a Props map it did not just create
-// must invalidate them like any other mutation.
-func (g *Graph) TouchProps() { g.bump() }
+// must invalidate them like any other mutation. Unlike the tracked
+// mutators, TouchProps fires after the write has already happened and
+// cannot identify the element, so the hook sees MutTouchProps with no
+// payload and cannot reject it — a durability hook that fails here
+// must poison its log rather than roll back. Prefer SetNodeProps /
+// SetEdgeProps / SetPathProps, which are loggable and rejectable.
+func (g *Graph) TouchProps() {
+	_ = g.fireHook(Mutation{Op: MutTouchProps})
+	g.bump()
+}
 
 // Snapshot returns the value cached for the current generation,
 // building and caching it via build on a miss. It is safe for
@@ -320,7 +426,12 @@ func (g *Graph) Snapshot(build func() any) any {
 // replace moves out's contents into g field by field, leaving g's
 // snapshot-cache lock in place (a whole-struct copy would copy the
 // mutex). Any snapshot cached for g's previous contents is dropped.
-func (g *Graph) replace(out *Graph) {
+// The hook sees the wholesale swap as MutReplace carrying the new
+// contents and may reject it.
+func (g *Graph) replace(out *Graph) error {
+	if err := g.fireHook(Mutation{Op: MutReplace, Snapshot: out}); err != nil {
+		return err
+	}
 	g.name = out.name
 	g.nodes = out.nodes
 	g.edges = out.edges
@@ -332,7 +443,14 @@ func (g *Graph) replace(out *Graph) {
 	g.gen = out.gen
 	g.snapGen = 0
 	g.snapVal = nil
+	return nil
 }
+
+// ReplaceWith replaces g's entire contents (name included) with those
+// of out, as UnmarshalJSON does. The mutation hook sees it as
+// MutReplace and may reject it; the hook installation itself is kept.
+// The durability layer uses it to apply logged whole-graph snapshots.
+func (g *Graph) ReplaceWith(out *Graph) error { return g.replace(out) }
 
 // SetName renames the graph.
 func (g *Graph) SetName(name string) { g.name = name }
@@ -359,6 +477,9 @@ func (g *Graph) AddNode(n *Node) error {
 	if n.Props == nil {
 		n.Props = Properties{}
 	}
+	if err := g.fireHook(Mutation{Op: MutAddNode, Node: n}); err != nil {
+		return err
+	}
 	g.nodes[n.ID] = n
 	for _, l := range n.Labels {
 		g.nodesByLabel[l] = insertSorted(g.nodesByLabel[l], n.ID)
@@ -382,6 +503,9 @@ func (g *Graph) AddEdge(e *Edge) error {
 	if e.Props == nil {
 		e.Props = Properties{}
 	}
+	if err := g.fireHook(Mutation{Op: MutAddEdge, Edge: e}); err != nil {
+		return err
+	}
 	g.edges[e.ID] = e
 	g.out[e.Src] = insertSorted(g.out[e.Src], e.ID)
 	g.in[e.Dst] = insertSorted(g.in[e.Dst], e.ID)
@@ -400,6 +524,9 @@ func (g *Graph) SetNodeLabels(id NodeID, ls Labels) error {
 	n, ok := g.nodes[id]
 	if !ok {
 		return fmt.Errorf("ppg: graph %q has no node #%d", g.name, id)
+	}
+	if err := g.fireHook(Mutation{Op: MutSetNodeLabels, NodeID: id, Labels: ls}); err != nil {
+		return err
 	}
 	for _, l := range n.Labels {
 		g.nodesByLabel[l] = removeSorted(g.nodesByLabel[l], id)
@@ -422,6 +549,9 @@ func (g *Graph) SetEdgeLabels(id EdgeID, ls Labels) error {
 	if !ok {
 		return fmt.Errorf("ppg: graph %q has no edge #%d", g.name, id)
 	}
+	if err := g.fireHook(Mutation{Op: MutSetEdgeLabels, EdgeID: id, Labels: ls}); err != nil {
+		return err
+	}
 	for _, l := range e.Labels {
 		g.edgesByLabel[l] = removeSorted(g.edgesByLabel[l], id)
 		if len(g.edgesByLabel[l]) == 0 {
@@ -432,6 +562,60 @@ func (g *Graph) SetEdgeLabels(id EdgeID, ls Labels) error {
 	for _, l := range e.Labels {
 		g.edgesByLabel[l] = insertSorted(g.edgesByLabel[l], id)
 	}
+	g.bump()
+	return nil
+}
+
+// SetNodeProps replaces σ(n) for an already-inserted node. Unlike
+// mutating the Props map in place and calling TouchProps, this is a
+// tracked mutation: the hook sees the element and the new map and may
+// reject the write before it lands.
+func (g *Graph) SetNodeProps(id NodeID, p Properties) error {
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("ppg: graph %q has no node #%d", g.name, id)
+	}
+	if p == nil {
+		p = Properties{}
+	}
+	if err := g.fireHook(Mutation{Op: MutSetNodeProps, NodeID: id, Props: p}); err != nil {
+		return err
+	}
+	n.Props = p
+	g.bump()
+	return nil
+}
+
+// SetEdgeProps replaces σ(e) for an already-inserted edge.
+func (g *Graph) SetEdgeProps(id EdgeID, p Properties) error {
+	e, ok := g.edges[id]
+	if !ok {
+		return fmt.Errorf("ppg: graph %q has no edge #%d", g.name, id)
+	}
+	if p == nil {
+		p = Properties{}
+	}
+	if err := g.fireHook(Mutation{Op: MutSetEdgeProps, EdgeID: id, Props: p}); err != nil {
+		return err
+	}
+	e.Props = p
+	g.bump()
+	return nil
+}
+
+// SetPathProps replaces σ(p) for an already-inserted stored path.
+func (g *Graph) SetPathProps(id PathID, p Properties) error {
+	sp, ok := g.paths[id]
+	if !ok {
+		return fmt.Errorf("ppg: graph %q has no path #%d", g.name, id)
+	}
+	if p == nil {
+		p = Properties{}
+	}
+	if err := g.fireHook(Mutation{Op: MutSetPathProps, PathID: id, Props: p}); err != nil {
+		return err
+	}
+	sp.Props = p
 	g.bump()
 	return nil
 }
@@ -448,6 +632,9 @@ func (g *Graph) AddPath(p *Path) error {
 	}
 	if p.Props == nil {
 		p.Props = Properties{}
+	}
+	if err := g.fireHook(Mutation{Op: MutAddPath, Path: p}); err != nil {
+		return err
 	}
 	g.paths[p.ID] = p
 	g.bump()

@@ -1,0 +1,288 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gcore/internal/faultinject"
+)
+
+// Checkpoint protocol. A checkpoint is a directory of caller-written
+// state files plus the watermark the state was captured at:
+//
+//	<log>/ckpt-<seq>/            committed checkpoint
+//	    watermark.json           {"segment": S, "offset": O}
+//	    ...caller state files... (the engine's catalog JSON layout)
+//	<log>/CURRENT                {"dir": "ckpt-<seq>"} — the recovery root
+//
+// CommitCheckpoint orders writes so that a crash at any point leaves
+// CURRENT referencing a complete checkpoint: the staging directory is
+// fully written and fsynced, renamed to its final name, the parent
+// directory fsynced, and only then is CURRENT flipped (itself via
+// write-temp + rename + dir fsync). Superseded checkpoints and the
+// segments below the new watermark are deleted last — their loss was
+// already harmless.
+
+const (
+	currentFile   = "CURRENT"
+	watermarkFile = "watermark.json"
+	ckptPrefix    = "ckpt-"
+	ckptStaging   = "ckpt-tmp-"
+)
+
+type currentDoc struct {
+	Dir string `json:"dir"`
+}
+
+func ckptName(seq uint64) string { return fmt.Sprintf("%s%016d", ckptPrefix, seq) }
+
+// ckptSeq parses a committed checkpoint directory name.
+func ckptSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || strings.HasPrefix(name, ckptStaging) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(ckptPrefix):], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// BeginCheckpoint creates and returns a staging directory inside the
+// log directory. The caller writes its state files into it and then
+// either commits it with CommitCheckpoint or abandons it (Open and
+// CommitCheckpoint garbage-collect stale staging directories).
+func (l *Log) BeginCheckpoint() (string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return "", ErrClosed
+	}
+	return os.MkdirTemp(l.dir, ckptStaging+"*")
+}
+
+// CommitCheckpoint makes the staged state the durable recovery root
+// for watermark wm, then compacts: older checkpoints and segments
+// fully below wm are deleted. On error the previous checkpoint (if
+// any) remains current and the log remains usable.
+func (l *Log) CommitCheckpoint(stage string, wm Watermark) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	// The checkpointed state must never be *ahead* of the durable log
+	// at its watermark: fsync the tail first, whatever the policy.
+	if l.broken == nil && l.f != nil {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(wm, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(stage, watermarkFile), data, 0o644); err != nil {
+		return err
+	}
+	if err := syncTree(stage); err != nil {
+		return err
+	}
+	seq, err := l.nextCkptSeq()
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(l.dir, ckptName(seq))
+	if err := faultinject.Check(faultinject.SiteWALCheckpointRename); err != nil {
+		return fmt.Errorf("wal: committing checkpoint %s: %w", ckptName(seq), err)
+	}
+	if err := os.Rename(stage, final); err != nil {
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	// Flip CURRENT. From here the new checkpoint is the recovery root.
+	cur, err := json.Marshal(currentDoc{Dir: ckptName(seq)})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(l.dir, currentFile+".tmp")
+	if err := writeFileSync(tmp, cur); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, currentFile)); err != nil {
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	l.checkpoints.Add(1)
+	// Compact: everything the new checkpoint supersedes.
+	if err := l.gcLocked(ckptName(seq), wm); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CurrentCheckpoint resolves the recovery root: the committed
+// checkpoint directory and its watermark. ok is false when no
+// checkpoint has ever been committed (recover by replaying the whole
+// log). A CURRENT pointer to a missing or unreadable checkpoint is
+// corruption.
+func (l *Log) CurrentCheckpoint() (dir string, wm Watermark, ok bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	dir, wm, err = l.currentCheckpointLocked()
+	if err != nil || dir == "" {
+		return "", Watermark{}, false, err
+	}
+	return dir, wm, true, nil
+}
+
+func (l *Log) currentCheckpointLocked() (string, Watermark, error) {
+	data, err := os.ReadFile(filepath.Join(l.dir, currentFile))
+	if os.IsNotExist(err) {
+		return "", Watermark{}, nil
+	}
+	if err != nil {
+		return "", Watermark{}, err
+	}
+	var cur currentDoc
+	if err := json.Unmarshal(data, &cur); err != nil {
+		return "", Watermark{}, &CorruptError{Path: filepath.Join(l.dir, currentFile), Reason: "undecodable CURRENT pointer"}
+	}
+	if _, ok := ckptSeq(cur.Dir); !ok || strings.ContainsAny(cur.Dir, `/\`) {
+		return "", Watermark{}, &CorruptError{Path: filepath.Join(l.dir, currentFile), Reason: fmt.Sprintf("CURRENT names %q, not a checkpoint", cur.Dir)}
+	}
+	ckptDir := filepath.Join(l.dir, cur.Dir)
+	wdata, err := os.ReadFile(filepath.Join(ckptDir, watermarkFile))
+	if err != nil {
+		return "", Watermark{}, &CorruptError{Path: ckptDir, Reason: "checkpoint has no readable watermark"}
+	}
+	var wm Watermark
+	if err := json.Unmarshal(wdata, &wm); err != nil {
+		return "", Watermark{}, &CorruptError{Path: filepath.Join(ckptDir, watermarkFile), Reason: "undecodable watermark"}
+	}
+	return ckptDir, wm, nil
+}
+
+// nextCkptSeq picks the next checkpoint sequence number from the
+// directories present.
+func (l *Log) nextCkptSeq() (uint64, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	var max uint64
+	for _, ent := range ents {
+		if seq, ok := ckptSeq(ent.Name()); ok && seq > max {
+			max = seq
+		}
+	}
+	return max + 1, nil
+}
+
+// gcCheckpoints removes staging debris and checkpoints that CURRENT
+// does not reference (crashed or superseded commits). Called by Open.
+func (l *Log) gcCheckpoints() error {
+	cur, wm, err := l.currentCheckpointLocked()
+	if err != nil {
+		// A corrupt CURRENT is reported by recovery, not here; leave
+		// everything in place for inspection.
+		return nil
+	}
+	keep := ""
+	if cur != "" {
+		keep = filepath.Base(cur)
+	}
+	_ = wm
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		remove := strings.HasPrefix(name, ckptStaging) || name == currentFile+".tmp"
+		if _, ok := ckptSeq(name); ok && name != keep {
+			remove = true
+		}
+		if !remove {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(l.dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gcLocked deletes superseded checkpoints and compacted segments
+// after a commit of keep at watermark wm.
+func (l *Log) gcLocked(keep string, wm Watermark) error {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if _, ok := ckptSeq(name); (ok && name != keep) || strings.HasPrefix(name, ckptStaging) {
+			if err := os.RemoveAll(filepath.Join(l.dir, name)); err != nil {
+				return err
+			}
+			continue
+		}
+		if seq, ok := segSeq(name); ok && seq < wm.Seg {
+			if err := os.Remove(filepath.Join(l.dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs the file.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncTree fsyncs every regular file under dir and then dir itself.
+func syncTree(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name() < ents[j].Name() })
+	for _, ent := range ents {
+		if !ent.Type().IsRegular() {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+	}
+	return syncDir(dir)
+}
