@@ -3,9 +3,9 @@
 .PHONY: all build test race bench benchjson benchbase benchcmp benchguard repro fuzz cover fmt vet
 
 # Packages with guarded hot-path benchmarks: the root suite (MATCH,
-# paths, construction), the binding-table operators, and the
-# write-ahead log append path.
-BENCH_PKGS := . ./internal/bindings ./internal/obs ./internal/wal
+# paths, construction), the binding-table operators, the CSR snapshot
+# maintenance path, and the write-ahead log append path.
+BENCH_PKGS := . ./internal/bindings ./internal/csr ./internal/obs ./internal/wal
 
 all: build test
 
@@ -50,7 +50,7 @@ benchcmp:
 # beyond 20% on the guarded hot-path benchmarks fail, timing
 # regressions warn (allocs/op is machine-independent, ns/op is not).
 benchguard:
-	go test -bench='BenchmarkJoin|BenchmarkParallelMatch|BenchmarkFilteredScan|BenchmarkWALAppend' -benchmem -count=3 -run '^$$' $(BENCH_PKGS) | tee bench.head.txt
+	go test -bench='BenchmarkJoin|BenchmarkParallelMatch|BenchmarkFilteredScan|BenchmarkMutateThenRead|BenchmarkSnapshotDelta|BenchmarkWALAppend|BenchmarkWALGroupCommit' -benchmem -count=3 -run '^$$' $(BENCH_PKGS) | tee bench.head.txt
 	go run ./cmd/benchguard -base bench.base.txt -head bench.head.txt
 
 repro:

@@ -490,3 +490,63 @@ ORDER BY name`)
 		}
 	}
 }
+
+// BenchmarkMutateThenRead measures the mixed read/write workload the
+// incremental snapshot maintenance targets: every iteration appends a
+// node and an edge to SNB-2000 and immediately runs a filtered scan,
+// so each read pays for bringing the CSR snapshot up to date. The
+// incremental mode delta-applies the two-op delta; the full-rebuild
+// mode (core.DisableIncrementalSnapshot) reconstructs the snapshot
+// from scratch each time.
+func BenchmarkMutateThenRead(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"incremental", false}, {"full-rebuild", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := gcore.NewEngine()
+			social, _ := eng.GenerateSNB(gcore.SNBConfig{Persons: 2000, Seed: 1})
+			if err := eng.RegisterGraph(social); err != nil {
+				b.Fatal(err)
+			}
+			q := fmt.Sprintf(`SELECT p.lastName AS l
+MATCH (p:Person) ON %s
+WHERE p.firstName = 'John' AND p.lastName >= 'K'`, social.Name())
+			stmt, err := gcore.Parse(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			core.DisableIncrementalSnapshot = mode.disable
+			defer func() { core.DisableIncrementalSnapshot = false }()
+			g, _ := eng.Graph(social.Name())
+			persons := g.NodesWithLabel("Person")
+			if _, err := eng.EvalStatement(stmt); err != nil {
+				b.Fatal(err) // prime the snapshot chain
+			}
+			nextNode := gcore.NodeID(7_000_000)
+			nextEdge := gcore.EdgeID(8_000_000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := &gcore.Node{ID: nextNode, Labels: gcore.NewLabels("Person"),
+					Props: gcore.NewProperties(map[string]gcore.Value{"firstName": gcore.Str("Zed")})}
+				if err := g.AddNode(n); err != nil {
+					b.Fatal(err)
+				}
+				if err := g.AddEdge(&gcore.Edge{ID: nextEdge, Src: persons[i%len(persons)],
+					Dst: nextNode, Labels: gcore.NewLabels("knows")}); err != nil {
+					b.Fatal(err)
+				}
+				nextNode++
+				nextEdge++
+				res, err := eng.EvalStatement(stmt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Table.Len() == 0 {
+					b.Fatal("empty scan")
+				}
+			}
+		})
+	}
+}

@@ -33,8 +33,13 @@ func main() {
 	// path, so a plan-cache regression shows up as an allocation jump.
 	// BenchmarkWALAppend guards the per-record durability overhead:
 	// every graph mutation pays one append, so an allocation creep
-	// here taxes every write.
-	guard := flag.String("guard", "BenchmarkJoin,BenchmarkParallelMatch,BenchmarkFilteredScan,BenchmarkRepeatedEval,BenchmarkPreparedEval,BenchmarkWALAppend", "comma-separated benchmark name prefixes to guard")
+	// here taxes every write; BenchmarkWALGroupCommit the contended
+	// SyncAlways path with shared fsyncs.
+	// BenchmarkSnapshotDelta and BenchmarkMutateThenRead guard
+	// incremental snapshot maintenance: the delta apply must stay
+	// O(delta)-allocating, not O(graph), or mixed read/write
+	// workloads silently fall back to rebuild-per-read costs.
+	guard := flag.String("guard", "BenchmarkJoin,BenchmarkParallelMatch,BenchmarkFilteredScan,BenchmarkRepeatedEval,BenchmarkPreparedEval,BenchmarkMutateThenRead,BenchmarkSnapshotDelta,BenchmarkWALAppend,BenchmarkWALGroupCommit", "comma-separated benchmark name prefixes to guard")
 	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression (0.20 = 20%)")
 	flag.Parse()
 

@@ -143,6 +143,11 @@ func writeAnalyzeFooter(sb *strings.Builder, st obs.Stats) {
 		fmt.Fprintf(sb, "caches: NFA %d hit/%d compiled, CSR %d reused/%d built\n",
 			st.NFAHits, st.NFAMisses, st.CSRReuses, st.CSRBuilds)
 	}
+	if st.SnapshotFullBuilds+st.SnapshotDeltaApplies+st.SnapshotFallbacks > 0 {
+		fmt.Fprintf(sb, "snapshots: %d full, %d delta-applied (%d ops, %s shared/%s copied), %d fallback\n",
+			st.SnapshotFullBuilds, st.SnapshotDeltaApplies, st.SnapshotDeltaOps,
+			fmtBytes(st.SnapshotBytesShared), fmtBytes(st.SnapshotBytesCopied), st.SnapshotFallbacks)
+	}
 	if st.PropColHits+st.PropColFallbacks > 0 {
 		fmt.Fprintf(sb, "prop columns: %d predicate rows columnar, %d interpreted\n",
 			st.PropColHits, st.PropColFallbacks)
@@ -156,6 +161,19 @@ func writeAnalyzeFooter(sb *strings.Builder, st obs.Stats) {
 		} else {
 			fmt.Fprintf(sb, "plan cache: miss (compile %s)\n", fmtElapsed(st.PlanCacheCompile))
 		}
+	}
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix for the
+// snapshots footer line.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }
 

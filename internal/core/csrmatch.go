@@ -26,6 +26,16 @@ import (
 // ablation benchmarks.
 var DisableCSR bool
 
+// DisableIncrementalSnapshot turns delta-applied snapshot maintenance
+// off: every generation mismatch runs the full csr.Build, as before
+// the incremental path existed. Results are identical either way
+// (tested); the knob exists for differential tests and ablation
+// benchmarks. It gates inside the csr package so snapshots taken
+// outside snapOf (rpq kernels, expression contexts) honour it too.
+var DisableIncrementalSnapshot bool
+
+func init() { csr.BindDisableIncremental(&DisableIncrementalSnapshot) }
+
 // snapOf returns the graph's snapshot, or nil when CSR evaluation is
 // disabled. The snapshot is cached per generation inside the graph,
 // so repeated calls during one evaluation are cheap.
@@ -33,8 +43,12 @@ func (c *evalCtx) snapOf(g *ppg.Graph) *csr.Snapshot {
 	if DisableCSR {
 		return nil
 	}
-	snap, hit := csr.OfCounted(g)
-	c.col.CSREvent(hit)
+	snap, info := csr.OfCounted(g)
+	c.col.CSREvent(info.Kind == csr.BuildReused)
+	if info.Kind != csr.BuildReused {
+		c.col.SnapshotBuild(info.Kind == csr.BuildDelta, info.Kind == csr.BuildFallback,
+			info.DeltaOps, info.BytesShared, info.BytesCopied)
+	}
 	return snap
 }
 

@@ -209,22 +209,24 @@ func (ev *Evaluator) cacheKey(text string) plancache.Key {
 // the rest of the evaluator's mutable state it relies on statement
 // serialisation by the caller.
 type limitsFP struct {
-	limits                 gov.Limits
-	reorder, csr, propCols bool
-	havePlanFP             bool
-	fp                     string
+	limits                          gov.Limits
+	reorder, csr, propCols, incSnap bool
+	havePlanFP                      bool
+	fp                              string
 }
 
 func (ev *Evaluator) limitsFingerprint() string {
 	m := &ev.limitsFP
 	if !m.havePlanFP || m.limits != ev.limits ||
-		m.reorder != DisableReorder || m.csr != DisableCSR || m.propCols != DisablePropColumns {
-		m.limits, m.reorder, m.csr, m.propCols = ev.limits, DisableReorder, DisableCSR, DisablePropColumns
+		m.reorder != DisableReorder || m.csr != DisableCSR ||
+		m.propCols != DisablePropColumns || m.incSnap != DisableIncrementalSnapshot {
+		m.limits, m.reorder, m.csr, m.propCols, m.incSnap =
+			ev.limits, DisableReorder, DisableCSR, DisablePropColumns, DisableIncrementalSnapshot
 		m.havePlanFP = true
-		m.fp = fmt.Sprintf("%d|%d|%d|%d|%t%t%t",
+		m.fp = fmt.Sprintf("%d|%d|%d|%d|%t%t%t%t",
 			ev.limits.MaxBindings, ev.limits.MaxPathFrontier,
 			ev.limits.MaxResultElements, int64(ev.limits.Timeout),
-			DisableReorder, DisableCSR, DisablePropColumns)
+			DisableReorder, DisableCSR, DisablePropColumns, DisableIncrementalSnapshot)
 	}
 	return m.fp
 }

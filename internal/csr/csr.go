@@ -10,8 +10,8 @@
 //	ordinal u ∈ [0, NumNodes)   nodes, ascending by ppg.NodeID
 //	ordinal e ∈ [0, NumEdges)   edges, ascending by ppg.EdgeID
 //
-// with out/in adjacency as offset+target arrays (CSR, both
-// directions), label sets interned to small integer identifiers, and
+// with out/in adjacency as per-node runs over one flat array (CSR,
+// both directions), label sets interned to small integer identifiers, and
 // per-label node/edge partitions for indexed scans. Because ordinals
 // ascend with identifiers, iterating a CSR range visits elements in
 // exactly the order the ppg iteration does — the deterministic
@@ -20,7 +20,10 @@
 // Snapshots are immutable and generation-tagged: ppg.Graph counts its
 // mutations — structural ones and in-place property writes alike (see
 // ppg.Graph.TouchProps) — and Of serves the cached snapshot only
-// while the generation matches, rebuilding otherwise. Properties are
+// while the generation matches. On a mismatch it applies the recorded
+// mutation delta to the previous snapshot when it can (delta.go),
+// sharing every untouched array between versions, and rebuilds from
+// scratch otherwise. Properties are
 // frozen at build time into typed columns (props.go): one dense
 // column per key with a presence bitmap, scalar payload arrays for
 // uniformly-typed singleton values, interned strings, and the stored
@@ -39,28 +42,40 @@ import (
 const NoLabel int32 = -1
 
 // Snapshot is the CSR image of one graph at one generation.
+//
+// A snapshot is either a full build (Build) or a delta apply
+// (delta.go): the previous snapshot extended by a recorded mutation
+// delta, structurally sharing every untouched array. The *Patch
+// fields are the copy-on-write overlays a delta apply uses for state
+// it cannot extend in place — they are nil on a full build, keeping
+// the hot accessors overlay-free on the common path.
 type Snapshot struct {
 	gen uint64
 
 	// Node columns, indexed by node ordinal.
 	nodeIDs []ppg.NodeID
 	nodes   []*ppg.Node
-	ord     map[ppg.NodeID]int32
+	// ord maps identifiers to ordinals for the nodes of the last full
+	// build; nodes appended by delta applies live in ordPatch (the
+	// base map is shared across versions and never mutated).
+	ord      map[ppg.NodeID]int32
+	ordPatch map[ppg.NodeID]int32
 
 	// Edge columns, indexed by edge ordinal.
-	edgeIDs []ppg.EdgeID
-	edges   []*ppg.Edge
-	edgeOrd map[ppg.EdgeID]int32
-	edgeSrc []int32
-	edgeDst []int32
+	edgeIDs      []ppg.EdgeID
+	edges        []*ppg.Edge
+	edgeOrd      map[ppg.EdgeID]int32
+	edgeOrdPatch map[ppg.EdgeID]int32
+	edgeSrc      []int32
+	edgeDst      []int32
 
-	// Adjacency, CSR in both directions: the out-edges of node ordinal
-	// u are outList[outOff[u]:outOff[u+1]] (edge ordinals, ascending —
-	// i.e. ascending ppg.EdgeID, matching ppg.Graph.OutEdges order).
-	outOff  []int32
-	outList []int32
-	inOff   []int32
-	inList  []int32
+	// Adjacency: per node ordinal the out/in edge ordinals, ascending
+	// — i.e. ascending ppg.EdgeID, matching ppg.Graph.OutEdges order.
+	// Build slices one flat array with capacity-clipped subslices, so
+	// a later delta apply appending to a run reallocates that run
+	// instead of clobbering its neighbour.
+	outAdj [][]int32
+	inAdj  [][]int32
 
 	// Label interning: names sorted ascending, so label identifiers
 	// are deterministic for a given graph.
@@ -68,11 +83,15 @@ type Snapshot struct {
 	labelOf    map[string]int32
 
 	// Per-element label sets as CSR over interned identifiers, sorted
-	// within each element.
-	nodeLabelOff []int32
-	nodeLabelIDs []int32
-	edgeLabelOff []int32
-	edgeLabelIDs []int32
+	// within each element. Delta applies append runs for new elements;
+	// label changes to existing elements go to the patch maps (a run
+	// inside the CSR array cannot be resized in place).
+	nodeLabelOff   []int32
+	nodeLabelIDs   []int32
+	edgeLabelOff   []int32
+	edgeLabelIDs   []int32
+	nodeLabelPatch map[int32][]int32
+	edgeLabelPatch map[int32][]int32
 
 	// Per-label partitions: sorted ordinals of the elements carrying
 	// the label.
@@ -86,23 +105,41 @@ type Snapshot struct {
 	edgeCols map[string]*PropCol
 }
 
-// Of returns the snapshot of g at its current generation, building it
-// on first use and reusing the cached build until g mutates. Safe for
-// concurrent readers.
+// Of returns the snapshot of g at its current generation: the cached
+// build while the generation matches, a delta apply onto the previous
+// snapshot when the mutations since it were recorded and are
+// incrementalizable, and a full build otherwise. Safe for concurrent
+// readers.
 func Of(g *ppg.Graph) *Snapshot {
-	return g.Snapshot(func() any { return Build(g) }).(*Snapshot)
+	s, _ := OfCounted(g)
+	return s
 }
 
-// OfCounted is Of plus a reuse report: hit is true when the cached
-// generation was returned and false when this call (re)built the
-// snapshot, feeding the observability CSR-cache counters.
-func OfCounted(g *ppg.Graph) (snap *Snapshot, hit bool) {
-	built := false
-	s := g.Snapshot(func() any {
-		built = true
+// OfCounted is Of plus a report of how the snapshot was obtained
+// (reused, delta-applied, fallback, full build), feeding the
+// observability counters.
+func OfCounted(g *ppg.Graph) (*Snapshot, BuildInfo) {
+	info := BuildInfo{Kind: BuildReused}
+	var inc func(prev any, d *ppg.Delta) any
+	if !incrementalOff() {
+		inc = func(prev any, d *ppg.Delta) any {
+			ns, ok := applyDelta(prev.(*Snapshot), g, d, &info)
+			if !ok {
+				info.Kind = BuildFallback
+				return nil
+			}
+			info.Kind = BuildDelta
+			info.DeltaOps = d.Ops
+			return ns
+		}
+	}
+	s := g.SnapshotWith(func() any {
+		if info.Kind == BuildReused {
+			info.Kind = BuildFull
+		}
 		return Build(g)
-	}).(*Snapshot)
-	return s, !built
+	}, inc).(*Snapshot)
+	return s, info
 }
 
 // Build constructs a fresh snapshot of g, bypassing the cache.
@@ -188,32 +225,42 @@ func (s *Snapshot) internLabels() {
 	s.edgeLabelOff, s.edgeLabelIDs = encode(len(s.edges), func(i int) ppg.Labels { return s.edges[i].Labels })
 }
 
-// buildAdjacency fills the two CSR directions by counting degrees and
-// then appending edge ordinals in ascending order — each per-node run
-// therefore ascends by ppg.EdgeID, reproducing ppg adjacency order.
+// buildAdjacency fills both adjacency directions by counting degrees
+// into one flat array per direction and then appending edge ordinals
+// in ascending order — each per-node run therefore ascends by
+// ppg.EdgeID, reproducing ppg adjacency order. Runs are sliced with
+// their capacity clipped to their length (three-index slices), so an
+// append through a run never writes into the next node's run: a delta
+// apply extending a node's adjacency gets a fresh copy.
 func (s *Snapshot) buildAdjacency(n, m int) {
-	s.outOff = make([]int32, n+1)
-	s.inOff = make([]int32, n+1)
+	outOff := make([]int32, n+1)
+	inOff := make([]int32, n+1)
 	for e := 0; e < m; e++ {
-		s.outOff[s.edgeSrc[e]+1]++
-		s.inOff[s.edgeDst[e]+1]++
+		outOff[s.edgeSrc[e]+1]++
+		inOff[s.edgeDst[e]+1]++
 	}
 	for u := 0; u < n; u++ {
-		s.outOff[u+1] += s.outOff[u]
-		s.inOff[u+1] += s.inOff[u]
+		outOff[u+1] += outOff[u]
+		inOff[u+1] += inOff[u]
 	}
-	s.outList = make([]int32, m)
-	s.inList = make([]int32, m)
+	outList := make([]int32, m)
+	inList := make([]int32, m)
 	outNext := make([]int32, n)
 	inNext := make([]int32, n)
-	copy(outNext, s.outOff[:n])
-	copy(inNext, s.inOff[:n])
+	copy(outNext, outOff[:n])
+	copy(inNext, inOff[:n])
 	for e := 0; e < m; e++ {
 		u, v := s.edgeSrc[e], s.edgeDst[e]
-		s.outList[outNext[u]] = int32(e)
+		outList[outNext[u]] = int32(e)
 		outNext[u]++
-		s.inList[inNext[v]] = int32(e)
+		inList[inNext[v]] = int32(e)
 		inNext[v]++
+	}
+	s.outAdj = make([][]int32, n)
+	s.inAdj = make([][]int32, n)
+	for u := 0; u < n; u++ {
+		s.outAdj[u] = outList[outOff[u]:outOff[u+1]:outOff[u+1]]
+		s.inAdj[u] = inList[inOff[u]:inOff[u+1]:inOff[u+1]]
 	}
 }
 
@@ -248,8 +295,14 @@ func (s *Snapshot) NumLabels() int { return len(s.labelNames) }
 
 // Ord maps a node identifier to its dense ordinal.
 func (s *Snapshot) Ord(id ppg.NodeID) (int32, bool) {
-	u, ok := s.ord[id]
-	return u, ok
+	if u, ok := s.ord[id]; ok {
+		return u, true
+	}
+	if s.ordPatch != nil {
+		u, ok := s.ordPatch[id]
+		return u, ok
+	}
+	return 0, false
 }
 
 // NodeID maps a node ordinal back to its identifier.
@@ -267,8 +320,14 @@ func (s *Snapshot) EdgeID(e int32) ppg.EdgeID { return s.edgeIDs[e] }
 
 // EdgeOrd maps an edge identifier to its dense ordinal.
 func (s *Snapshot) EdgeOrd(id ppg.EdgeID) (int32, bool) {
-	e, ok := s.edgeOrd[id]
-	return e, ok
+	if e, ok := s.edgeOrd[id]; ok {
+		return e, true
+	}
+	if s.edgeOrdPatch != nil {
+		e, ok := s.edgeOrdPatch[id]
+		return e, ok
+	}
+	return 0, false
 }
 
 // Edge returns the edge at an ordinal (aliasing rules as with Node).
@@ -282,11 +341,11 @@ func (s *Snapshot) Dst(e int32) int32 { return s.edgeDst[e] }
 
 // Out returns the out-edge ordinals of node ordinal u, ascending by
 // edge identifier. The slice aliases the snapshot and is read-only.
-func (s *Snapshot) Out(u int32) []int32 { return s.outList[s.outOff[u]:s.outOff[u+1]] }
+func (s *Snapshot) Out(u int32) []int32 { return s.outAdj[u] }
 
 // In returns the in-edge ordinals of node ordinal u, ascending by edge
 // identifier, read-only.
-func (s *Snapshot) In(u int32) []int32 { return s.inList[s.inOff[u]:s.inOff[u+1]] }
+func (s *Snapshot) In(u int32) []int32 { return s.inAdj[u] }
 
 // LabelID resolves a label name to its interned identifier, or NoLabel
 // if no element of the snapshot carries it.
@@ -300,11 +359,33 @@ func (s *Snapshot) LabelID(name string) int32 {
 // LabelName resolves an interned identifier back to its name.
 func (s *Snapshot) LabelName(id int32) string { return s.labelNames[id] }
 
+// nodeLabelRun returns the sorted interned-label run of node ordinal
+// u, honouring delta-apply label overrides.
+func (s *Snapshot) nodeLabelRun(u int32) []int32 {
+	if s.nodeLabelPatch != nil {
+		if run, ok := s.nodeLabelPatch[u]; ok {
+			return run
+		}
+	}
+	return s.nodeLabelIDs[s.nodeLabelOff[u]:s.nodeLabelOff[u+1]]
+}
+
+// edgeLabelRun returns the sorted interned-label run of edge ordinal
+// e, honouring delta-apply label overrides.
+func (s *Snapshot) edgeLabelRun(e int32) []int32 {
+	if s.edgeLabelPatch != nil {
+		if run, ok := s.edgeLabelPatch[e]; ok {
+			return run
+		}
+	}
+	return s.edgeLabelIDs[s.edgeLabelOff[e]:s.edgeLabelOff[e+1]]
+}
+
 // NodeHasLabel reports whether the node at ordinal u carries the
 // interned label. Label runs are short sorted slices; a linear scan
 // with early exit beats binary search at these sizes.
 func (s *Snapshot) NodeHasLabel(u, lid int32) bool {
-	for _, l := range s.nodeLabelIDs[s.nodeLabelOff[u]:s.nodeLabelOff[u+1]] {
+	for _, l := range s.nodeLabelRun(u) {
 		if l == lid {
 			return true
 		}
@@ -318,7 +399,7 @@ func (s *Snapshot) NodeHasLabel(u, lid int32) bool {
 // EdgeHasLabel reports whether the edge at ordinal e carries the
 // interned label.
 func (s *Snapshot) EdgeHasLabel(e, lid int32) bool {
-	for _, l := range s.edgeLabelIDs[s.edgeLabelOff[e]:s.edgeLabelOff[e+1]] {
+	for _, l := range s.edgeLabelRun(e) {
 		if l == lid {
 			return true
 		}

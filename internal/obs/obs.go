@@ -126,6 +126,12 @@ type Collector struct {
 	nfaMisses    atomic.Int64
 	csrReuses    atomic.Int64
 	csrBuilds    atomic.Int64
+	snapFull     atomic.Int64
+	snapDeltas   atomic.Int64
+	snapFalls    atomic.Int64
+	snapDeltaOps atomic.Int64
+	snapShared   atomic.Int64
+	snapCopied   atomic.Int64
 	frontierUsed atomic.Int64
 	resultsUsed  atomic.Int64
 	propColHits  atomic.Int64
@@ -159,6 +165,12 @@ func (c *Collector) Reset(h TraceHandler) {
 	c.nfaMisses.Store(0)
 	c.csrReuses.Store(0)
 	c.csrBuilds.Store(0)
+	c.snapFull.Store(0)
+	c.snapDeltas.Store(0)
+	c.snapFalls.Store(0)
+	c.snapDeltaOps.Store(0)
+	c.snapShared.Store(0)
+	c.snapCopied.Store(0)
 	c.frontierUsed.Store(0)
 	c.resultsUsed.Store(0)
 	c.propColHits.Store(0)
@@ -235,6 +247,30 @@ func (c *Collector) CSREvent(hit bool) {
 		c.csrReuses.Add(1)
 	} else {
 		c.csrBuilds.Add(1)
+	}
+}
+
+// SnapshotBuild records one CSR snapshot acquisition that was NOT a
+// cache reuse (those go through CSREvent alone). Exactly one of the
+// three outcomes applies per call: a delta apply (delta=true, with its
+// op count and the approximate shared/copied byte split of the
+// resulting snapshot), a fallback (fallback=true: a delta existed but
+// was declined and a full build ran), or a plain full build (both
+// false: no previous snapshot or recording was off).
+func (c *Collector) SnapshotBuild(delta, fallback bool, deltaOps int, bytesShared, bytesCopied int64) {
+	if c == nil {
+		return
+	}
+	switch {
+	case delta:
+		c.snapDeltas.Add(1)
+		c.snapDeltaOps.Add(int64(deltaOps))
+		c.snapShared.Add(bytesShared)
+		c.snapCopied.Add(bytesCopied)
+	case fallback:
+		c.snapFalls.Add(1)
+	default:
+		c.snapFull.Add(1)
 	}
 }
 
@@ -377,6 +413,12 @@ type Mark struct {
 	nfaMisses int64
 	csrReuses int64
 	csrBuilds int64
+	snapFull  int64
+	snapDelta int64
+	snapFalls int64
+	snapOps   int64
+	snapShare int64
+	snapCopy  int64
 	frontier  int64
 	results   int64
 	propHits  int64
@@ -402,6 +444,12 @@ func (c *Collector) Mark() Mark {
 		nfaMisses:   c.nfaMisses.Load(),
 		csrReuses:   c.csrReuses.Load(),
 		csrBuilds:   c.csrBuilds.Load(),
+		snapFull:    c.snapFull.Load(),
+		snapDelta:   c.snapDeltas.Load(),
+		snapFalls:   c.snapFalls.Load(),
+		snapOps:     c.snapDeltaOps.Load(),
+		snapShare:   c.snapShared.Load(),
+		snapCopy:    c.snapCopied.Load(),
 		frontier:    c.frontierUsed.Load(),
 		results:     c.resultsUsed.Load(),
 		propHits:    c.propColHits.Load(),
@@ -441,11 +489,24 @@ type OpStat struct {
 type Stats struct {
 	Ops [numOps]OpStat
 
-	NFAHits          int64
-	NFAMisses        int64
-	CSRReuses        int64
-	CSRBuilds        int64
-	FrontierUsed     int64
+	NFAHits      int64
+	NFAMisses    int64
+	CSRReuses    int64
+	CSRBuilds    int64
+	FrontierUsed int64
+
+	// CSR snapshot maintenance: how non-reused snapshots were obtained
+	// (full build, incremental delta apply, declined-delta fallback),
+	// the mutation ops the applied deltas carried, and the approximate
+	// bytes the delta-applied snapshots share with vs. copied from
+	// their predecessors.
+	SnapshotFullBuilds   int64
+	SnapshotDeltaApplies int64
+	SnapshotFallbacks    int64
+	SnapshotDeltaOps     int64
+	SnapshotBytesShared  int64
+	SnapshotBytesCopied  int64
+
 	ResultsUsed      int64
 	PropColHits      int64
 	PropColFallbacks int64
@@ -483,6 +544,12 @@ func (c *Collector) Since(m Mark) Stats {
 	st.NFAMisses = c.nfaMisses.Load() - m.nfaMisses
 	st.CSRReuses = c.csrReuses.Load() - m.csrReuses
 	st.CSRBuilds = c.csrBuilds.Load() - m.csrBuilds
+	st.SnapshotFullBuilds = c.snapFull.Load() - m.snapFull
+	st.SnapshotDeltaApplies = c.snapDeltas.Load() - m.snapDelta
+	st.SnapshotFallbacks = c.snapFalls.Load() - m.snapFalls
+	st.SnapshotDeltaOps = c.snapDeltaOps.Load() - m.snapOps
+	st.SnapshotBytesShared = c.snapShared.Load() - m.snapShare
+	st.SnapshotBytesCopied = c.snapCopied.Load() - m.snapCopy
 	st.FrontierUsed = c.frontierUsed.Load() - m.frontier
 	st.ResultsUsed = c.resultsUsed.Load() - m.results
 	st.PropColHits = c.propColHits.Load() - m.propHits

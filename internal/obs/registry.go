@@ -18,6 +18,12 @@ type Registry struct {
 	nfaMisses    atomic.Int64
 	csrReuses    atomic.Int64
 	csrBuilds    atomic.Int64
+	snapFull     atomic.Int64
+	snapDeltas   atomic.Int64
+	snapFalls    atomic.Int64
+	snapDeltaOps atomic.Int64
+	snapShared   atomic.Int64
+	snapCopied   atomic.Int64
 	frontierUsed atomic.Int64
 	resultsUsed  atomic.Int64
 }
@@ -60,6 +66,12 @@ func (r *Registry) Observe(st Stats, err error) {
 	r.nfaMisses.Add(st.NFAMisses)
 	r.csrReuses.Add(st.CSRReuses)
 	r.csrBuilds.Add(st.CSRBuilds)
+	r.snapFull.Add(st.SnapshotFullBuilds)
+	r.snapDeltas.Add(st.SnapshotDeltaApplies)
+	r.snapFalls.Add(st.SnapshotFallbacks)
+	r.snapDeltaOps.Add(st.SnapshotDeltaOps)
+	r.snapShared.Add(st.SnapshotBytesShared)
+	r.snapCopied.Add(st.SnapshotBytesCopied)
 	r.frontierUsed.Add(st.FrontierUsed)
 	r.resultsUsed.Add(st.ResultsUsed)
 }
@@ -90,6 +102,17 @@ type Metrics struct {
 	FrontierUsed   int64 `json:"frontier_used"`
 	ResultsUsed    int64 `json:"results_used"`
 
+	// Incremental snapshot maintenance: of the csr_builds above, how
+	// many were full rebuilds vs. delta applies vs. declined-delta
+	// fallbacks, plus the applied deltas' op count and shared/copied
+	// byte split.
+	SnapshotFullBuilds   int64 `json:"snapshot_full_builds,omitempty"`
+	SnapshotDeltaApplies int64 `json:"snapshot_delta_applies,omitempty"`
+	SnapshotFallbacks    int64 `json:"snapshot_fallbacks,omitempty"`
+	SnapshotDeltaOps     int64 `json:"snapshot_delta_ops,omitempty"`
+	SnapshotBytesShared  int64 `json:"snapshot_bytes_shared,omitempty"`
+	SnapshotBytesCopied  int64 `json:"snapshot_bytes_copied,omitempty"`
+
 	// Plan-cache lifetime counters. These are not fed through Observe:
 	// the cache outlives statements, so the engine fills them from the
 	// cache's own counters when it snapshots.
@@ -103,6 +126,7 @@ type Metrics struct {
 	// from its log when it snapshots (zero on a non-durable engine).
 	WALAppends       int64 `json:"wal_appends,omitempty"`
 	WALAppendedBytes int64 `json:"wal_appended_bytes,omitempty"`
+	WALBatched       int64 `json:"wal_batched,omitempty"`
 	WALSyncs         int64 `json:"wal_syncs,omitempty"`
 	WALRolls         int64 `json:"wal_rolls,omitempty"`
 	WALCheckpoints   int64 `json:"wal_checkpoints,omitempty"`
@@ -141,6 +165,12 @@ func (r *Registry) Snapshot() Metrics {
 	m.NFACacheMisses = r.nfaMisses.Load()
 	m.CSRReuses = r.csrReuses.Load()
 	m.CSRBuilds = r.csrBuilds.Load()
+	m.SnapshotFullBuilds = r.snapFull.Load()
+	m.SnapshotDeltaApplies = r.snapDeltas.Load()
+	m.SnapshotFallbacks = r.snapFalls.Load()
+	m.SnapshotDeltaOps = r.snapDeltaOps.Load()
+	m.SnapshotBytesShared = r.snapShared.Load()
+	m.SnapshotBytesCopied = r.snapCopied.Load()
 	m.FrontierUsed = r.frontierUsed.Load()
 	m.ResultsUsed = r.resultsUsed.Load()
 	return m

@@ -265,6 +265,14 @@ type Graph struct {
 	snapGen uint64
 	snapVal any
 
+	// Delta recording for incremental snapshot maintenance (delta.go):
+	// while deltaOK, every tracked mutation appends the touched
+	// identifier to delta, letting SnapshotWith extend the cached
+	// snapshot instead of rebuilding. Guarded by the same discipline as
+	// gen: mutation is never concurrent with snapshot access.
+	deltaOK bool
+	delta   Delta
+
 	// hook, when set, observes every mutation before it is applied
 	// (the write-ahead boundary of the durability layer). A hook error
 	// rejects the mutation and leaves the graph untouched.
@@ -403,6 +411,7 @@ func (g *Graph) bump() { g.gen++ }
 // SetEdgeProps / SetPathProps, which are loggable and rejectable.
 func (g *Graph) TouchProps() {
 	_ = g.fireHook(Mutation{Op: MutTouchProps})
+	g.dropDelta()
 	g.bump()
 }
 
@@ -413,14 +422,7 @@ func (g *Graph) TouchProps() {
 // the generation and makes the cached value unreachable — a stale
 // snapshot is never served.
 func (g *Graph) Snapshot(build func() any) any {
-	g.snapMu.Lock()
-	defer g.snapMu.Unlock()
-	if g.snapVal != nil && g.snapGen == g.gen {
-		return g.snapVal
-	}
-	g.snapVal = build()
-	g.snapGen = g.gen
-	return g.snapVal
+	return g.SnapshotWith(build, nil)
 }
 
 // replace moves out's contents into g field by field, leaving g's
@@ -443,6 +445,7 @@ func (g *Graph) replace(out *Graph) error {
 	g.gen = out.gen
 	g.snapGen = 0
 	g.snapVal = nil
+	g.dropDelta()
 	return nil
 }
 
@@ -484,6 +487,7 @@ func (g *Graph) AddNode(n *Node) error {
 	for _, l := range n.Labels {
 		g.nodesByLabel[l] = insertSorted(g.nodesByLabel[l], n.ID)
 	}
+	g.noteAddNode(n.ID)
 	g.bump()
 	return nil
 }
@@ -512,6 +516,7 @@ func (g *Graph) AddEdge(e *Edge) error {
 	for _, l := range e.Labels {
 		g.edgesByLabel[l] = insertSorted(g.edgesByLabel[l], e.ID)
 	}
+	g.noteAddEdge(e.ID)
 	g.bump()
 	return nil
 }
@@ -538,6 +543,7 @@ func (g *Graph) SetNodeLabels(id NodeID, ls Labels) error {
 	for _, l := range n.Labels {
 		g.nodesByLabel[l] = insertSorted(g.nodesByLabel[l], id)
 	}
+	g.noteNodeLabels(id)
 	g.bump()
 	return nil
 }
@@ -562,6 +568,7 @@ func (g *Graph) SetEdgeLabels(id EdgeID, ls Labels) error {
 	for _, l := range e.Labels {
 		g.edgesByLabel[l] = insertSorted(g.edgesByLabel[l], id)
 	}
+	g.noteEdgeLabels(id)
 	g.bump()
 	return nil
 }
@@ -582,6 +589,7 @@ func (g *Graph) SetNodeProps(id NodeID, p Properties) error {
 		return err
 	}
 	n.Props = p
+	g.noteNodeProps(id)
 	g.bump()
 	return nil
 }
@@ -599,6 +607,7 @@ func (g *Graph) SetEdgeProps(id EdgeID, p Properties) error {
 		return err
 	}
 	e.Props = p
+	g.noteEdgeProps(id)
 	g.bump()
 	return nil
 }

@@ -1,0 +1,203 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gcore/internal/faultinject"
+)
+
+// Group commit must not change the durability contract: every Append
+// that returned nil is replayed, regardless of which goroutine's fsync
+// committed it.
+func TestGroupCommitConcurrentReplayAll(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Appends != writers*perWriter {
+		t.Fatalf("Appends = %d, want %d", st.Appends, writers*perWriter)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	if err := Replay(dir, Watermark{}, func(p []byte) error {
+		got[string(p)] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			if key := fmt.Sprintf("w%d-%d", w, i); !got[key] {
+				t.Fatalf("committed record %s missing from replay", key)
+			}
+		}
+	}
+}
+
+// With a linger window and concurrent writers, a single leader fsync
+// must be committing multiple records — strictly fewer fsyncs than
+// appends.
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways, GroupCommit: true, GroupWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const writers, perWriter = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Appends != writers*perWriter {
+		t.Fatalf("Appends = %d, want %d", st.Appends, writers*perWriter)
+	}
+	if st.Syncs >= st.Appends {
+		t.Fatalf("no batching: %d fsyncs for %d appends", st.Syncs, st.Appends)
+	}
+	if st.Batched == 0 {
+		t.Fatal("Batched = 0 with concurrent group commit")
+	}
+}
+
+// A single sequential writer under group commit leads every commit
+// itself: no batching, one fsync per append, same as plain SyncAlways.
+func TestGroupCommitSoloWriter(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Batched != 0 {
+		t.Fatalf("Batched = %d for a sequential writer", st.Batched)
+	}
+	if st.Syncs < n {
+		t.Fatalf("Syncs = %d, want at least %d (one per append)", st.Syncs, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	if err := Replay(dir, Watermark{}, func([]byte) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("replayed %d records, want %d", count, n)
+	}
+}
+
+// A failed group fsync must fail the waiting appends and leave no
+// uncommitted bytes for recovery to replay.
+func TestGroupCommitSyncFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const committed = 3
+	for i := 0; i < committed; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("ok%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faultinject.Arm()
+	faultinject.Set(faultinject.SiteWALSync, faultinject.Action{Err: fmt.Errorf("boom")})
+	if _, err := l.Append([]byte("doomed")); err == nil {
+		t.Fatal("append with failing fsync returned nil")
+	}
+	faultinject.Disarm()
+	l.Close()
+	var got []string
+	if err := Replay(dir, Watermark{}, func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != committed {
+		t.Fatalf("replayed %v, want exactly the %d committed records", got, committed)
+	}
+	for _, p := range got {
+		if p == "doomed" {
+			t.Fatal("failed append was replayed")
+		}
+	}
+}
+
+// BenchmarkWALGroupCommit measures committed-append throughput under
+// concurrent writers with per-record durability (SyncAlways): solo
+// fsyncs versus group commit sharing them.
+func BenchmarkWALGroupCommit(b *testing.B) {
+	for _, gc := range []bool{false, true} {
+		name := "solo-fsync"
+		if gc {
+			name = "group-commit"
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := b.TempDir()
+			l, err := Open(dir, Options{Policy: SyncAlways, SegmentSize: 1 << 30, GroupCommit: gc})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			payload := bytes.Repeat([]byte{'p'}, 128)
+			b.SetBytes(int64(len(payload) + recHeaderLen))
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := l.Append(payload); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
