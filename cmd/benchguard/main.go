@@ -39,7 +39,10 @@ func main() {
 	// incremental snapshot maintenance: the delta apply must stay
 	// O(delta)-allocating, not O(graph), or mixed read/write
 	// workloads silently fall back to rebuild-per-read costs.
-	guard := flag.String("guard", "BenchmarkJoin,BenchmarkParallelMatch,BenchmarkFilteredScan,BenchmarkRepeatedEval,BenchmarkPreparedEval,BenchmarkMutateThenRead,BenchmarkSnapshotDelta,BenchmarkWALAppend,BenchmarkWALGroupCommit", "comma-separated benchmark name prefixes to guard")
+	// BenchmarkConcurrentRead guards the reader path under the
+	// engine's read/write lock split: an allocation jump there means
+	// concurrent readers stopped sharing snapshots.
+	guard := flag.String("guard", "BenchmarkJoin,BenchmarkParallelMatch,BenchmarkFilteredScan,BenchmarkRepeatedEval,BenchmarkPreparedEval,BenchmarkMutateThenRead,BenchmarkConcurrentRead,BenchmarkSnapshotDelta,BenchmarkWALAppend,BenchmarkWALGroupCommit", "comma-separated benchmark name prefixes to guard")
 	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression (0.20 = 20%)")
 	flag.Parse()
 

@@ -109,6 +109,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	var eng *gcore.Engine
 	var dur *gcore.DurableEngine
+	var sess *gcore.Session
 	if *dataDir != "" {
 		var err error
 		dur, err = gcore.OpenDurable(*dataDir, gcore.WithEngineOptions(opts...))
@@ -117,9 +118,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		defer dur.Close()
 		eng = dur.Engine
+		sess = dur.NewSession()
 		fmt.Fprintf(stdout, "durable catalog at %s (%d graphs)\n", *dataDir, len(eng.GraphNames()))
 	} else {
 		eng = gcore.NewEngine(opts...)
+		sess = eng.NewSession()
 	}
 	publishMetrics(eng)
 	if *loadDir != "" {
@@ -172,7 +175,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "loaded table %s (%d rows)\n", name, tbl.Len())
 	}
 	if *defGraph != "" {
-		if err := eng.SetDefaultGraph(*defGraph); err != nil {
+		if err := sess.SetDefaultGraph(*defGraph); err != nil {
 			return err
 		}
 	}
@@ -215,7 +218,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	evalScript := func(src string) ([]*gcore.Result, error) {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		return eng.EvalScriptContext(ctx, src)
+		return sess.EvalScriptContext(ctx, src)
 	}
 
 	evalAll := func(src string) error {
@@ -245,7 +248,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 	default:
-		if err := repl(eng, dur, stdin, stdout, show, evalScript); err != nil {
+		if err := repl(eng, dur, sess, stdin, stdout, show, evalScript); err != nil {
 			return err
 		}
 	}
@@ -270,7 +273,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "saved catalog to %s\n", *saveDir)
 	}
 	if *metrics {
-		if err := printMetrics(stdout, eng, dur); err != nil {
+		if err := printMetrics(stdout, sess); err != nil {
 			return err
 		}
 	}
@@ -307,13 +310,9 @@ func (s *slowLogger) SpanEnd(sp gcore.Span) {
 }
 
 // printMetrics dumps the engine-lifetime metrics as indented JSON;
-// for a durable engine the snapshot includes the WAL counters.
-func printMetrics(w io.Writer, eng *gcore.Engine, dur *gcore.DurableEngine) error {
-	m := eng.Metrics()
-	if dur != nil {
-		m = dur.Metrics()
-	}
-	data, err := json.MarshalIndent(m, "", "  ")
+// a durable engine's session reports WAL counters too.
+func printMetrics(w io.Writer, sess *gcore.Session) error {
+	data, err := json.MarshalIndent(sess.Metrics(), "", "  ")
 	if err != nil {
 		return err
 	}
@@ -341,7 +340,7 @@ func publishMetrics(eng *gcore.Engine) {
 	})
 }
 
-func repl(eng *gcore.Engine, dur *gcore.DurableEngine, stdin io.Reader, stdout io.Writer, show func(*gcore.Result) error, evalScript func(string) ([]*gcore.Result, error)) error {
+func repl(eng *gcore.Engine, dur *gcore.DurableEngine, sess *gcore.Session, stdin io.Reader, stdout io.Writer, show func(*gcore.Result) error, evalScript func(string) ([]*gcore.Result, error)) error {
 	fmt.Fprintln(stdout, "G-CORE shell — statements end with ';', \\help for commands")
 	scanner := bufio.NewScanner(stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -358,7 +357,7 @@ func repl(eng *gcore.Engine, dur *gcore.DurableEngine, stdin io.Reader, stdout i
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if done := replCommand(eng, dur, stdout, trimmed); done {
+			if done := replCommand(eng, dur, sess, stdout, trimmed); done {
 				return nil
 			}
 			prompt()
@@ -387,7 +386,7 @@ func repl(eng *gcore.Engine, dur *gcore.DurableEngine, stdin io.Reader, stdout i
 
 // replCommand handles backslash commands; it reports whether the REPL
 // should exit.
-func replCommand(eng *gcore.Engine, dur *gcore.DurableEngine, stdout io.Writer, cmd string) bool {
+func replCommand(eng *gcore.Engine, dur *gcore.DurableEngine, sess *gcore.Session, stdout io.Writer, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\quit", "\\q":
@@ -400,6 +399,7 @@ func replCommand(eng *gcore.Engine, dur *gcore.DurableEngine, stdout io.Writer, 
   \explain <query>   print the evaluation plan of a query
                      (EXPLAIN ANALYZE <query>; runs it and annotates
                      the plan with observed rows and timings)
+  \default [graph]   set (or clear) this session's default graph
   \metrics           print engine metrics as JSON
   \cache             print plan-cache counters and live entries
   \checkpoint        write a durable checkpoint (requires -data)
@@ -424,14 +424,32 @@ func replCommand(eng *gcore.Engine, dur *gcore.DurableEngine, stdout io.Writer, 
 		fmt.Fprintln(stdout, stmt.String())
 	case "\\explain":
 		src := strings.TrimSpace(strings.TrimPrefix(cmd, "\\explain"))
-		plan, err := eng.Explain(src)
+		plan, err := sess.ExplainContext(context.Background(), src)
 		if err != nil {
 			fmt.Fprintln(stdout, "error:", err)
 			break
 		}
 		fmt.Fprint(stdout, plan)
+	case "\\default":
+		if len(fields) > 2 {
+			fmt.Fprintln(stdout, "usage: \\default [graph]")
+			break
+		}
+		name := ""
+		if len(fields) == 2 {
+			name = fields[1]
+		}
+		if err := sess.SetDefaultGraph(name); err != nil {
+			fmt.Fprintln(stdout, "error:", err)
+			break
+		}
+		if name == "" {
+			fmt.Fprintln(stdout, "default graph cleared")
+		} else {
+			fmt.Fprintf(stdout, "default graph set to %s\n", name)
+		}
 	case "\\metrics":
-		if err := printMetrics(stdout, eng, dur); err != nil {
+		if err := printMetrics(stdout, sess); err != nil {
 			fmt.Fprintln(stdout, "error:", err)
 		}
 	case "\\cache":

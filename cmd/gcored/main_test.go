@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSmoke boots the full daemon on a random port with a durable
+// data directory, runs a query, scrapes metrics, and shuts it down
+// gracefully with SIGINT — the whole lifecycle a deployment sees.
+func TestSmoke(t *testing.T) {
+	dataDir := t.TempDir()
+	addrCh := make(chan string, 1)
+	onListen = func(addr string) { addrCh <- addr }
+	defer func() { onListen = nil }()
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-sample",
+			"-data", dataDir,
+			"-slowlog", "0",
+			"-drain", "5s",
+		})
+	}()
+
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case err := <-errCh:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never started listening")
+	}
+
+	body, _ := json.Marshal(map[string]any{
+		"query": "CONSTRUCT (n) MATCH (n:Person) ON social_graph",
+	})
+	resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d: %v", resp.StatusCode, out)
+	}
+	if results := out["results"].([]any); len(results) != 1 {
+		t.Fatalf("results = %d, want 1", len(results))
+	}
+
+	// A view mutation must reach the write-ahead log on disk.
+	body, _ = json.Marshal(map[string]any{
+		"query": "GRAPH VIEW smoke_view AS (CONSTRUCT (n) MATCH (n:Person) ON social_graph)",
+	})
+	resp, err = http.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("view status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rs := m["read_statements"].(float64); rs < 1 {
+		t.Fatalf("read_statements = %v, want >= 1", rs)
+	}
+	if ws := m["write_statements"].(float64); ws < 1 {
+		t.Fatalf("write_statements = %v, want >= 1", ws)
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	// After shutdown the port must be closed and the WAL present.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) == 0 {
+		t.Fatal("durable data directory is empty after mutations")
+	}
+	found := false
+	for _, n := range names {
+		if strings.Contains(n, "wal") || strings.Contains(n, "log") ||
+			fileNonEmpty(filepath.Join(dataDir, n)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no durable state in %s: %v", dataDir, names)
+	}
+}
+
+func fileNonEmpty(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && !fi.IsDir() && fi.Size() > 0
+}
+
+// TestBadFlags keeps the flag surface honest: unknown flags must fail
+// fast rather than being swallowed.
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("expected error for unknown flag")
+	}
+}
+
+// TestBadGraphFile exercises the -graph load error path.
+func TestBadGraphFile(t *testing.T) {
+	if err := run([]string{"-graph", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Fatal("expected error for missing graph file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-graph", bad})
+	if err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Fatalf("err = %v, want mention of bad.json", err)
+	}
+}

@@ -1,6 +1,7 @@
 package gcore
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -565,11 +566,65 @@ func (d *DurableEngine) Eval(src string) (*Result, error) {
 	return res, err
 }
 
+// EvalContext parses and evaluates one statement under ctx (see
+// Engine.EvalContext).
+func (d *DurableEngine) EvalContext(ctx context.Context, src string) (*Result, error) {
+	res, err := d.Engine.EvalContext(ctx, src)
+	d.maybeCheckpoint()
+	return res, err
+}
+
+// EvalStatementContext evaluates an already-parsed statement under
+// ctx (see Engine.EvalStatementContext).
+func (d *DurableEngine) EvalStatementContext(ctx context.Context, stmt *Statement) (*Result, error) {
+	res, err := d.Engine.EvalStatementContext(ctx, stmt)
+	d.maybeCheckpoint()
+	return res, err
+}
+
+// ExplainAnalyzeContext executes the statement and renders the
+// annotated plan (see Engine.ExplainAnalyzeContext); its execution
+// leg is a statement like any other.
+func (d *DurableEngine) ExplainAnalyzeContext(ctx context.Context, src string) (string, error) {
+	plan, err := d.Engine.ExplainAnalyzeContext(ctx, src)
+	d.maybeCheckpoint()
+	return plan, err
+}
+
 // EvalScript evaluates a script (see Engine.EvalScript).
 func (d *DurableEngine) EvalScript(src string) ([]*Result, error) {
 	res, err := d.Engine.EvalScript(src)
 	d.maybeCheckpoint()
 	return res, err
+}
+
+// EvalScriptContext evaluates a script under ctx (see
+// Engine.EvalScriptContext).
+func (d *DurableEngine) EvalScriptContext(ctx context.Context, src string) ([]*Result, error) {
+	res, err := d.Engine.EvalScriptContext(ctx, src)
+	d.maybeCheckpoint()
+	return res, err
+}
+
+// Prepare validates one statement for repeated execution (see
+// Engine.Prepare); each execution drives automatic checkpoints at its
+// boundary.
+func (d *DurableEngine) Prepare(src string) (*Prepared, error) {
+	p, err := d.Engine.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	p.after = d.maybeCheckpoint
+	return p, nil
+}
+
+// MutateGraph mutates a registered graph under the writer lock (see
+// Engine.MutateGraph); every tracked mutation fn performs is logged
+// before it applies.
+func (d *DurableEngine) MutateGraph(name string, fn func(*Graph) error) error {
+	err := d.Engine.MutateGraph(name, fn)
+	d.maybeCheckpoint()
+	return err
 }
 
 // RegisterGraph registers a graph durably (see Engine.RegisterGraph).

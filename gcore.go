@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"gcore/internal/ast"
 	"gcore/internal/catalog"
@@ -233,12 +234,24 @@ const (
 func NewCollector() *Collector { return obs.NewCollector() }
 
 // Engine is a G-CORE engine: a catalog of named graphs, views and
-// tables plus the evaluator. Safe for concurrent use; statements are
-// serialised.
+// tables plus the evaluator. Safe for concurrent use, with a
+// read/write path split: statements are classified syntactically
+// (queries, EXPLAIN and prepared reads vs GRAPH VIEW registrations and
+// programmatic mutations), read-only statements execute concurrently
+// under a shared read lock against the current catalog version and the
+// graphs' generation-counted CSR snapshots, and mutating statements
+// take the exclusive writer lock. Readers therefore always observe a
+// consistent committed state — a write becomes visible atomically,
+// between statements, never inside one.
 type Engine struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	cat *catalog.Catalog
 	ev  *core.Evaluator
+
+	// readStmts / writeStmts count statements dispatched down each
+	// path; Metrics reports them (read_statements, write_statements).
+	readStmts  atomic.Int64
+	writeStmts atomic.Int64
 
 	// pendingDefault is a WithDefaultGraph name not yet registered; it
 	// is applied by RegisterGraph / LoadGraphJSON when the graph shows
@@ -342,75 +355,11 @@ func (e *Engine) RegisterTable(t *Table) error {
 	return e.cat.RegisterTable(t)
 }
 
-// SetMaxBindings bounds the size of intermediate binding tables per
-// statement: a query whose evaluation would exceed the bound fails
-// with a clear error instead of exhausting memory (useful when
-// evaluating untrusted queries — an adversarial cartesian product can
-// otherwise be made arbitrarily large). Zero (the default) means
-// unlimited.
-//
-// Deprecated: the bound is the MaxBindings field of Limits; set it
-// with WithLimits at construction (or SetLimits). This wrapper only
-// rewrites that one field, preserving the other limits.
-func (e *Engine) SetMaxBindings(n int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.ev.SetMaxBindings(n)
-}
-
-// SetLimits installs per-statement resource limits: intermediate
-// binding rows (MaxBindings — also settable via SetMaxBindings),
-// explored path-search product states (MaxPathFrontier), constructed
-// result elements (MaxResultElements) and wall-clock time (Timeout).
-// A zero field means unlimited for that resource. Exceeding a limit
-// fails the statement with a *QueryError of KindBudget (KindTimeout
-// for the deadline) naming the limit and the progress when it tripped;
-// the engine and its graphs are untouched.
-//
-// Deprecated: prefer WithLimits at construction; SetLimits remains
-// for reconfiguring a live engine.
-func (e *Engine) SetLimits(l Limits) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.ev.SetLimits(l)
-}
-
 // Limits returns the currently installed per-statement limits.
 func (e *Engine) Limits() Limits {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.ev.Limits()
-}
-
-// SetParallelism sets the worker count used for intra-query
-// parallelism (node scans, edge expansion, per-source path searches).
-// Zero (the default) uses runtime.GOMAXPROCS; one forces fully
-// sequential evaluation. Partition results are merged in input order,
-// so query results are identical for every setting — parallelism
-// never changes query semantics.
-//
-// Deprecated: prefer WithParallelism at construction; SetParallelism
-// remains for reconfiguring a live engine.
-func (e *Engine) SetParallelism(n int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.ev.SetParallelism(n)
-}
-
-// SetDefaultGraph selects the graph used when MATCH omits ON. The
-// graph must already be registered.
-//
-// Deprecated: prefer WithDefaultGraph at construction, which also
-// accepts a name registered later; SetDefaultGraph remains for
-// switching defaults on a live engine.
-func (e *Engine) SetDefaultGraph(name string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.cat.SetDefault(name); err != nil {
-		return err
-	}
-	e.pendingDefault = ""
-	return nil
 }
 
 // SetTraceHandler installs (or, with nil, detaches) the span hook on a
@@ -435,9 +384,12 @@ func (e *Engine) SetCollector(c *Collector) {
 // and CSR cache effectiveness, and consumed budgets. The snapshot is
 // a plain value; it marshals to JSON for export.
 func (e *Engine) Metrics() Metrics {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.ev.MetricsSnapshot()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	m := e.ev.MetricsSnapshot()
+	m.ReadStatements = e.readStmts.Load()
+	m.WriteStatements = e.writeStmts.Load()
+	return m
 }
 
 // PlanCacheStats reports the plan cache's lifetime effectiveness:
@@ -451,125 +403,123 @@ type PlanCacheEntry = plancache.EntryInfo
 
 // PlanCacheStats returns the plan cache's lifetime counters.
 func (e *Engine) PlanCacheStats() PlanCacheStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.ev.PlanCacheStats()
 }
 
 // PlanCacheEntries lists the live plan-cache entries, most recently
 // used first.
 func (e *Engine) PlanCacheEntries() []PlanCacheEntry {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.ev.PlanCacheEntries()
 }
 
 // Graph returns a registered graph (or materialised view) by name.
 func (e *Engine) Graph(name string) (*Graph, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.cat.Graph(name)
 }
 
 // GraphNames lists the registered graph and view names, sorted.
 func (e *Engine) GraphNames() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.cat.GraphNames()
 }
 
 // TableNames lists the registered table names, sorted.
 func (e *Engine) TableNames() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.cat.TableNames()
 }
 
 // Parse parses one statement without evaluating it.
 func Parse(src string) (*Statement, error) { return parser.Parse(src) }
 
-// Eval parses and evaluates one statement. GRAPH VIEW definitions
-// register their materialised graph in the engine's catalog.
-func (e *Engine) Eval(src string) (*Result, error) {
-	return e.EvalContext(context.Background(), src)
-}
+// ReadOnly reports how a statement classifies under the engine's
+// read/write path split: true means evaluating it cannot change engine
+// state (it runs under the shared read lock), false means it registers
+// a GRAPH VIEW — the one statement-level mutation — and takes the
+// exclusive writer lock. Plain EXPLAIN never executes and is always
+// read-only; EXPLAIN ANALYZE really runs and classifies by its body.
+func ReadOnly(stmt *Statement) bool { return core.ReadOnly(stmt) }
 
-// EvalContext parses and evaluates one statement under ctx: cancelling
-// the context (or hitting its deadline) aborts the evaluation at the
-// next checkpoint — including inside parallel workers and path-search
-// frontier loops — and returns a *QueryError of KindCanceled or
-// KindTimeout. A cancelled statement leaves the engine unmodified.
-func (e *Engine) EvalContext(ctx context.Context, src string) (*Result, error) {
+// evalSrc is the engine's statement gateway: compile under the shared
+// read lock, classify, then evaluate. Read-only statements stay under
+// the read lock — any number of them run concurrently, each against
+// the committed catalog version and graph generations it pinned at
+// dispatch. Mutating statements release the read lock, take the writer
+// lock and recompile (the catalog may have moved between the locks;
+// the plan cache makes the recompile a probe).
+func (e *Engine) evalSrc(ctx context.Context, src string, params map[string]Value, opts core.ExecOpts) (*Result, error) {
+	e.mu.RLock()
+	ex, err := e.ev.PrepareExec(src, params, opts)
+	if err == nil && ex.ReadOnly() {
+		defer e.mu.RUnlock()
+		e.readStmts.Add(1)
+		return e.ev.EvalExec(ctx, ex)
+	}
+	e.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.ev.EvalSrcContext(ctx, src, nil)
+	ex, err = e.ev.PrepareExec(src, params, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.writeStmts.Add(1)
+	return e.ev.EvalExec(ctx, ex)
 }
 
-// EvalStatement evaluates an already-parsed statement.
-func (e *Engine) EvalStatement(stmt *Statement) (*Result, error) {
-	return e.EvalStatementContext(context.Background(), stmt)
-}
-
-// EvalStatementContext evaluates an already-parsed statement under ctx.
-func (e *Engine) EvalStatementContext(ctx context.Context, stmt *Statement) (*Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.ev.EvalStatementContext(ctx, stmt)
-}
-
-// Explain returns the static evaluation plan of a statement: the
-// MATCH join tree with predicate-pushdown placement, path-search
-// strategies, OPTIONAL left-joins and CONSTRUCT grouping phases.
-// Nothing is evaluated. The same plan is available through Eval by
-// prefixing the statement with EXPLAIN; the Result carries it in Plan.
-func (e *Engine) Explain(src string) (string, error) {
-	return e.ExplainContext(context.Background(), src)
-}
-
-// ExplainContext is Explain under the caller's context. Planning is
-// governed like evaluation: a cancelled or expired context fails with
-// a *QueryError of KindCanceled or KindTimeout.
-func (e *Engine) ExplainContext(ctx context.Context, src string) (string, error) {
-	stmt, err := parser.Parse(src)
+// explainAnalyzeSrc is evalSrc for the string-returning EXPLAIN
+// ANALYZE entry point: the statement really executes, so it is
+// classified and locked exactly like evalSrc.
+func (e *Engine) explainAnalyzeSrc(ctx context.Context, src string, params map[string]Value, opts core.ExecOpts) (string, error) {
+	e.mu.RLock()
+	ex, err := e.ev.PrepareExec(src, params, opts)
+	if err == nil && ex.ReadOnly() {
+		defer e.mu.RUnlock()
+		e.readStmts.Add(1)
+		return e.ev.ExplainAnalyzeExec(ctx, ex)
+	}
+	e.mu.RUnlock()
 	if err != nil {
 		return "", err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.ev.ExplainContext(ctx, stmt)
+	ex, err = e.ev.PrepareExec(src, params, opts)
+	if err != nil {
+		return "", err
+	}
+	e.writeStmts.Add(1)
+	return e.ev.ExplainAnalyzeExec(ctx, ex)
 }
 
-// ExplainAnalyze executes the statement and returns its plan annotated
-// with observed per-operator row counts, timings and the index-vs-scan
-// decisions actually taken, followed by statement totals (path-kernel
-// frontier work, cache effectiveness, consumed budget). Like the
-// EXPLAIN ANALYZE of SQL engines the statement really runs: GRAPH VIEW
-// definitions it contains are committed on success. The same output is
-// available through Eval by prefixing a statement with EXPLAIN ANALYZE.
-func (e *Engine) ExplainAnalyze(src string) (string, error) {
-	return e.ExplainAnalyzeContext(context.Background(), src)
+// explainSrc renders the static plan under the read lock (nothing
+// ever executes, whatever the statement's body).
+func (e *Engine) explainSrc(ctx context.Context, src string, opts core.ExecOpts) (string, error) {
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ev.ExplainOptsContext(ctx, stmt, opts)
 }
 
-// ExplainAnalyzeContext is ExplainAnalyze under the caller's context;
-// the execution leg runs through the exact cancellation/budget/panic
-// containment path of EvalContext.
-func (e *Engine) ExplainAnalyzeContext(ctx context.Context, src string) (string, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.ev.ExplainAnalyzeSrcContext(ctx, src, nil)
-}
-
-// EvalScript evaluates a script of semicolon-separated statements and
-// returns one result per statement. A failing statement's error is
-// prefixed with its 1-based index and source position ("statement 2 at
-// 3:1: …"); the results of the statements before it are returned.
-func (e *Engine) EvalScript(src string) ([]*Result, error) {
-	return e.EvalScriptContext(context.Background(), src)
-}
-
-// EvalScriptContext evaluates a script under ctx; evaluation stops at
-// the first statement that fails (including by cancellation).
-func (e *Engine) EvalScriptContext(ctx context.Context, src string) ([]*Result, error) {
+// evalScript evaluates a semicolon-separated script. A script whose
+// statements are all read-only runs each under the read lock; a script
+// containing any mutating statement runs entirely under the writer
+// lock — later reads may depend on earlier writes, and no other
+// session may observe (or destroy) its intermediate states.
+func (e *Engine) evalScript(ctx context.Context, src string, opts core.ExecOpts) ([]*Result, error) {
 	pieces, err := parser.SplitStatements(src)
 	if err != nil {
 		return nil, err
@@ -578,20 +528,40 @@ func (e *Engine) EvalScriptContext(ctx context.Context, src string) ([]*Result, 
 	// script with a syntax error runs nothing; each piece keeps its
 	// original source positions. The parse here is throwaway — the
 	// evaluation below goes through the plan cache, so repeated
-	// scripts compile nothing at all.
+	// scripts compile nothing at all. Classification happens on the
+	// same pass.
 	poss := make([]lexer.Pos, len(pieces))
+	write := false
 	for i, piece := range pieces {
 		stmt, err := parser.Parse(piece)
 		if err != nil {
 			return nil, err
 		}
 		poss[i] = stmt.Pos()
+		if !core.ReadOnly(stmt) {
+			write = true
+		}
 	}
 	out := make([]*Result, 0, len(pieces))
-	for i, piece := range pieces {
+	if write {
 		e.mu.Lock()
-		res, err := e.ev.EvalSrcContext(ctx, piece, nil)
-		e.mu.Unlock()
+		defer e.mu.Unlock()
+		for i, piece := range pieces {
+			ex, err := e.ev.PrepareExec(piece, nil, opts)
+			if err != nil {
+				return out, fmt.Errorf("statement %d at %s: %w", i+1, poss[i], err)
+			}
+			e.writeStmts.Add(1)
+			res, err := e.ev.EvalExec(ctx, ex)
+			if err != nil {
+				return out, fmt.Errorf("statement %d at %s: %w", i+1, poss[i], err)
+			}
+			out = append(out, res)
+		}
+		return out, nil
+	}
+	for i, piece := range pieces {
+		res, err := e.evalSrc(ctx, piece, nil, opts)
 		if err != nil {
 			return out, fmt.Errorf("statement %d at %s: %w", i+1, poss[i], err)
 		}
@@ -600,27 +570,119 @@ func (e *Engine) EvalScriptContext(ctx context.Context, src string) ([]*Result, 
 	return out, nil
 }
 
+// EvalContext parses and evaluates one statement under ctx: cancelling
+// the context (or hitting its deadline) aborts the evaluation at the
+// next checkpoint — including inside parallel workers and path-search
+// frontier loops — and returns a *QueryError of KindCanceled or
+// KindTimeout. A cancelled statement leaves the engine unmodified.
+// GRAPH VIEW definitions register their materialised graph in the
+// engine's catalog.
+func (e *Engine) EvalContext(ctx context.Context, src string) (*Result, error) {
+	return e.evalSrc(ctx, src, nil, core.ExecOpts{})
+}
+
+// EvalStatementContext evaluates an already-parsed statement under
+// ctx. AST-level evaluation bypasses the plan cache; prefer the
+// source-level entry points for repeated traffic.
+func (e *Engine) EvalStatementContext(ctx context.Context, stmt *Statement) (*Result, error) {
+	if core.ReadOnly(stmt) {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		e.readStmts.Add(1)
+		return e.ev.EvalStatementContext(ctx, stmt)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.writeStmts.Add(1)
+	return e.ev.EvalStatementContext(ctx, stmt)
+}
+
+// ExplainContext renders the static evaluation plan of a statement
+// under the caller's context: the MATCH join tree with
+// predicate-pushdown placement, path-search strategies, OPTIONAL
+// left-joins and CONSTRUCT grouping phases. Nothing is evaluated.
+// Planning is governed like evaluation: a cancelled or expired context
+// fails with a *QueryError of KindCanceled or KindTimeout. The same
+// plan is available through EvalContext by prefixing the statement
+// with EXPLAIN; the Result carries it in Plan.
+func (e *Engine) ExplainContext(ctx context.Context, src string) (string, error) {
+	return e.explainSrc(ctx, src, core.ExecOpts{})
+}
+
+// ExplainAnalyzeContext executes the statement under the caller's
+// context and returns its plan annotated with observed per-operator
+// row counts, timings and the index-vs-scan decisions actually taken,
+// followed by statement totals (path-kernel frontier work, cache
+// effectiveness, consumed budget). Like the EXPLAIN ANALYZE of SQL
+// engines the statement really runs — GRAPH VIEW definitions it
+// contains are committed on success, and such statements take the
+// writer lock. The same output is available through EvalContext by
+// prefixing a statement with EXPLAIN ANALYZE.
+func (e *Engine) ExplainAnalyzeContext(ctx context.Context, src string) (string, error) {
+	return e.explainAnalyzeSrc(ctx, src, nil, core.ExecOpts{})
+}
+
+// EvalScriptContext evaluates a script of semicolon-separated
+// statements under ctx and returns one result per statement;
+// evaluation stops at the first statement that fails (including by
+// cancellation). A failing statement's error is prefixed with its
+// 1-based index and source position ("statement 2 at 3:1: …"); the
+// results of the statements before it are returned. A script
+// containing any mutating statement executes atomically under the
+// writer lock.
+func (e *Engine) EvalScriptContext(ctx context.Context, src string) ([]*Result, error) {
+	return e.evalScript(ctx, src, core.ExecOpts{})
+}
+
+// MutateGraph runs fn with exclusive writer access to the registered
+// graph named name: no read statement runs while fn does, so readers
+// never observe its intermediate states — the mutation becomes visible
+// atomically when MutateGraph returns. This is the programmatic write
+// path of the concurrent engine; on a DurableEngine every tracked
+// mutation fn performs is logged as usual.
+func (e *Engine) MutateGraph(name string, fn func(*Graph) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, ok := e.cat.Graph(name)
+	if !ok {
+		return fmt.Errorf("gcore: unknown graph %q", name)
+	}
+	e.writeStmts.Add(1)
+	return fn(g)
+}
+
 // Prepare validates one statement for repeated execution. The source
 // may reference $name parameters wherever a literal is allowed; each
 // Eval supplies their values. Preparation compiles the statement into
 // the plan cache (when enabled), so the first Eval already hits.
 func (e *Engine) Prepare(src string) (*Prepared, error) {
-	e.mu.Lock()
-	err := e.ev.CheckSrc(src)
-	e.mu.Unlock()
+	e.mu.RLock()
+	err := e.ev.CheckSrc(src, core.ExecOpts{})
+	e.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
 	return &Prepared{eng: e, src: src, names: parser.ParamNames(src)}, nil
 }
 
-// Prepared is a statement validated once by Engine.Prepare and
-// executed any number of times with per-execution parameter bindings.
-// Safe for concurrent use; executions are serialised by the engine.
+// Prepared is a statement validated once by Prepare (on an Engine, a
+// DurableEngine or a Session) and executed any number of times with
+// per-execution parameter bindings. Safe for concurrent use: read-only
+// executions run concurrently under the engine's read lock, mutating
+// ones — a prepared statement can define a GRAPH VIEW — take the
+// writer lock like any other write.
 type Prepared struct {
 	eng   *Engine
 	src   string
 	names []string
+
+	// optsFn supplies per-execution overrides (Session.Prepare wires
+	// the owning session's current default graph and limits); nil
+	// means engine defaults.
+	optsFn func() core.ExecOpts
+	// after runs at the statement boundary after each execution
+	// (durable engines drive automatic checkpoints here).
+	after func()
 }
 
 // Text returns the prepared source text.
@@ -629,6 +691,19 @@ func (p *Prepared) Text() string { return p.src }
 // Params lists the distinct $name parameters of the statement in
 // first-use order.
 func (p *Prepared) Params() []string { return append([]string(nil), p.names...) }
+
+func (p *Prepared) opts() core.ExecOpts {
+	if p.optsFn != nil {
+		return p.optsFn()
+	}
+	return core.ExecOpts{}
+}
+
+func (p *Prepared) boundary() {
+	if p.after != nil {
+		p.after()
+	}
+}
 
 // Eval executes the prepared statement with the given parameter
 // bindings (nil for a statement without parameters). An execution
@@ -640,9 +715,18 @@ func (p *Prepared) Eval(params map[string]Value) (*Result, error) {
 
 // EvalContext is Eval under the caller's context.
 func (p *Prepared) EvalContext(ctx context.Context, params map[string]Value) (*Result, error) {
-	p.eng.mu.Lock()
-	defer p.eng.mu.Unlock()
-	return p.eng.ev.EvalSrcContext(ctx, p.src, params)
+	res, err := p.eng.evalSrc(ctx, p.src, params, p.opts())
+	p.boundary()
+	return res, err
+}
+
+// ExplainAnalyzeContext executes the prepared statement with the given
+// bindings and renders the annotated plan (see
+// Engine.ExplainAnalyzeContext).
+func (p *Prepared) ExplainAnalyzeContext(ctx context.Context, params map[string]Value) (string, error) {
+	plan, err := p.eng.explainAnalyzeSrc(ctx, p.src, params, p.opts())
+	p.boundary()
+	return plan, err
 }
 
 // LoadGraphJSON reads a graph from its JSON interchange form and

@@ -7,17 +7,23 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"gcore/internal/ppg"
 	"gcore/internal/table"
 	"gcore/internal/value"
 )
 
-// Catalog is the name registry of an engine. It is not safe for
-// concurrent mutation; engines serialise access.
+// Catalog is the name registry of an engine. Mutations (registrations,
+// default changes) are not safe for concurrent use — engines serialise
+// them behind the writer lock — but lookups are safe to run from many
+// reader goroutines between mutations. The one lookup that populates
+// state lazily, TableAsGraph, guards its cache with an internal mutex
+// so concurrent readers over tables-as-graphs stay race-free.
 type Catalog struct {
 	graphs      map[string]*ppg.Graph
 	tables      map[string]*table.Table
+	tgMu        sync.Mutex            // guards tableGraphs
 	tableGraphs map[string]*ppg.Graph // tables-as-graphs cache (§5)
 	defaultName string
 	ids         *ppg.IDGen
@@ -119,7 +125,9 @@ func (c *Catalog) RegisterTable(t *table.Table) error {
 	}
 	c.tables[t.Name] = t
 	c.version++
+	c.tgMu.Lock()
 	delete(c.tableGraphs, t.Name)
+	c.tgMu.Unlock()
 	return nil
 }
 
@@ -184,6 +192,8 @@ func (c *Catalog) TableNames() []string {
 // The conversion is cached so node identities are stable across
 // queries of one engine.
 func (c *Catalog) TableAsGraph(name string) (*ppg.Graph, error) {
+	c.tgMu.Lock()
+	defer c.tgMu.Unlock()
 	if g, ok := c.tableGraphs[name]; ok {
 		return g, nil
 	}

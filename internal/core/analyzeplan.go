@@ -36,19 +36,21 @@ func (ev *Evaluator) ExplainAnalyze(stmt *ast.Statement) (string, error) {
 // the execution leg runs through the exact cancellation/budget/panic
 // containment path of EvalStatementContext.
 func (ev *Evaluator) ExplainAnalyzeContext(ctx context.Context, stmt *ast.Statement) (string, error) {
-	return ev.explainAnalyzeExec(ctx, exec{stmt: stmt})
+	return ev.ExplainAnalyzeExec(ctx, Exec{stmt: stmt})
 }
 
-// explainAnalyzeExec is the execution leg shared by the AST-level and
-// source-level (plan-cached) EXPLAIN ANALYZE entry points.
-func (ev *Evaluator) explainAnalyzeExec(ctx context.Context, ex exec) (string, error) {
+// ExplainAnalyzeExec is the execution leg shared by the AST-level and
+// source-level (plan-cached) EXPLAIN ANALYZE entry points. The
+// collector is fresh per call, so concurrent EXPLAIN ANALYZE runs
+// never share span state.
+func (ev *Evaluator) ExplainAnalyzeExec(ctx context.Context, ex Exec) (string, error) {
 	col := obs.NewCollector()
 	col.SetHandler(ev.trace)
 	if _, err := ev.evalGoverned(ctx, col, ex); err != nil {
 		return "", err
 	}
 	var sb strings.Builder
-	explainStatement(ev, &sb, ex.stmt, "", newPlanAnnotator(col.SpansSince(obs.Mark{})))
+	explainStatement(ev, ex.opts.DefaultGraph, &sb, ex.stmt, "", newPlanAnnotator(col.SpansSince(obs.Mark{})))
 	writeAnalyzeFooter(&sb, col.Stats())
 	return sb.String(), nil
 }

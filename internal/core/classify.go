@@ -1,0 +1,45 @@
+package core
+
+import "gcore/internal/ast"
+
+// ReadOnly reports whether evaluating stmt can change engine state —
+// the sole statement-level mutation in G-CORE is GRAPH VIEW, which
+// commits a materialised graph into the catalog. Everything else
+// (queries, query-local GRAPH clauses, plain EXPLAIN) only reads:
+// CONSTRUCT builds a fresh result graph from cloned elements, and
+// SET/REMOVE rewrite that copy, never the source.
+//
+// The classification is purely syntactic and errs on the side of
+// "write" only where execution really can mutate:
+//
+//   - EXPLAIN (plan-only) never executes, so it is read-only even
+//     over a GRAPH VIEW statement.
+//   - EXPLAIN ANALYZE executes for real — a view definition under it
+//     commits on success — so it classifies by its body.
+//   - Views nest: a GRAPH VIEW anywhere in the statement tree (for
+//     example inside another view's body) makes the whole statement a
+//     write.
+func ReadOnly(stmt *ast.Statement) bool {
+	if stmt == nil {
+		return true
+	}
+	if stmt.Explain == ast.ExplainPlan {
+		return true
+	}
+	return !definesView(stmt)
+}
+
+// definesView reports whether stmt registers a GRAPH VIEW at any
+// nesting depth. Query bodies need no recursion: a Query cannot
+// contain a GraphClause (ON subqueries are queries themselves).
+func definesView(stmt *ast.Statement) bool {
+	for _, gc := range stmt.Graphs {
+		if gc.View {
+			return true
+		}
+		if gc.Body != nil && definesView(gc.Body) {
+			return true
+		}
+	}
+	return false
+}

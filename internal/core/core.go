@@ -19,6 +19,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"gcore/internal/ast"
 	"gcore/internal/bindings"
@@ -42,28 +43,39 @@ type Evaluator struct {
 
 	registry *obs.Registry    // lifetime per-operator metrics
 	trace    obs.TraceHandler // user span hook; nil = no tracing
-	sink     *obs.Collector   // user-supplied collector; nil = scratch
-	scratch  *obs.Collector   // reusable metrics-only collector
+	sink     *obs.Collector   // user-supplied collector; nil = pooled
+
+	// scratchPool recycles metrics-only collectors for statements that
+	// run without a user sink. A pool rather than one shared scratch
+	// collector: read-only statements execute concurrently under the
+	// engine's read lock, and sharing one collector across them would
+	// interleave their spans.
+	scratchPool sync.Pool
 
 	// planCache holds compiled statements keyed on normalised source
 	// text (see prepared.go); nil disables source-level caching.
 	planCache *plancache.Cache
+	// memoMu guards the two memos below. Concurrent read-only
+	// statements share the evaluator, so the memos cannot rely on
+	// caller serialisation (configuration setters still do: the
+	// engine calls them under its exclusive lock).
+	memoMu sync.Mutex
 	// limitsFP memoizes the cache key's limits-and-knobs fingerprint.
 	limitsFP limitsFP
 	// normMemo remembers the last source→normalised-text mapping, so
-	// repeated traffic of one statement skips re-normalisation. Like
-	// limitsFP it relies on statement serialisation by the caller.
+	// repeated traffic of one statement skips re-normalisation.
 	normMemo struct{ src, text string }
 }
 
 // New creates an evaluator over the given catalog.
 func New(cat *catalog.Catalog) *Evaluator {
-	return &Evaluator{
+	ev := &Evaluator{
 		cat:       cat,
 		registry:  obs.NewRegistry(),
-		scratch:   obs.NewCollector(),
 		planCache: plancache.New(0),
 	}
+	ev.scratchPool.New = func() any { return obs.NewCollector() }
+	return ev
 }
 
 // Catalog returns the evaluator's catalog.
@@ -228,6 +240,10 @@ type evalCtx struct {
 	// params are this execution's $name bindings (prepared statements).
 	params map[string]value.Value
 
+	// defGraph is this execution's session default-graph override
+	// ("" = catalog default); see ExecOpts.DefaultGraph.
+	defGraph string
+
 	// cached is the plan-cache entry this execution runs under, or nil:
 	// compiledNFA and evalChainPlanned consult it before recomputing,
 	// and publish what they compile for later executions.
@@ -288,6 +304,27 @@ func (c *evalCtx) freshAnon() string {
 	return fmt.Sprintf("@anon%d", c.anonSeq)
 }
 
+// defaultGraph resolves the statement's implicit target: the session
+// override when set (resolved like ON <name>, so tables-as-graphs
+// work), the catalog default otherwise (nil when none is registered).
+func (c *evalCtx) defaultGraph() (*ppg.Graph, error) {
+	if c.defGraph == "" {
+		return c.ev.cat.Default(), nil
+	}
+	g, err := c.ev.cat.Resolve(c.defGraph)
+	if err != nil {
+		return nil, errf("session default graph: %v", err)
+	}
+	return g, nil
+}
+
+// defaultGraphOrNil is defaultGraph for contexts that fall back to no
+// graph rather than failing (expression environments).
+func (c *evalCtx) defaultGraphOrNil() *ppg.Graph {
+	g, _ := c.defaultGraph()
+	return g
+}
+
 // EvalStatement evaluates one statement: PATH and GRAPH definitions
 // first, then the query. A definition-only statement returns the last
 // defined graph (or an empty graph for pure PATH definitions).
@@ -315,37 +352,44 @@ func stmtText(stmt *ast.Statement) string {
 // GRAPH VIEW definitions reach the catalog only after the whole
 // statement has succeeded.
 func (ev *Evaluator) EvalStatementContext(ctx context.Context, stmt *ast.Statement) (*Result, error) {
-	return ev.evalStatementExec(ctx, exec{stmt: stmt})
+	return ev.EvalExec(ctx, Exec{stmt: stmt})
 }
 
-// evalStatementExec is EvalStatementContext with the execution extras
-// (parameter bindings, plan-cache entry and probe outcome) threaded
-// through; every source-level and AST-level entry point lands here.
-func (ev *Evaluator) evalStatementExec(ctx context.Context, ex exec) (*Result, error) {
+// EvalExec is EvalStatementContext with the execution extras
+// (parameter bindings, session overrides, plan-cache entry and probe
+// outcome) threaded through; every source-level and AST-level entry
+// point lands here.
+func (ev *Evaluator) EvalExec(ctx context.Context, ex Exec) (*Result, error) {
 	switch ex.stmt.Explain {
 	case ast.ExplainPlan:
-		plan, err := ev.ExplainContext(ctx, ex.stmt)
+		plan, err := ev.ExplainOptsContext(ctx, ex.stmt, ex.opts)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Plan: plan}, nil
 	case ast.ExplainAnalyze:
-		plan, err := ev.explainAnalyzeExec(ctx, ex)
+		plan, err := ev.ExplainAnalyzeExec(ctx, ex)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Plan: plan}, nil
 	}
 	col := ev.sink
+	var pooled *obs.Collector
 	if col != nil {
 		col.SetHandler(ev.trace)
 	} else {
-		// The scratch collector is reset per statement: metrics-only
+		// A pooled collector is reset per statement: metrics-only
 		// (no labels) unless a trace handler wants the events.
-		col = ev.scratch
-		col.Reset(ev.trace)
+		pooled = ev.scratchPool.Get().(*obs.Collector)
+		pooled.Reset(ev.trace)
+		col = pooled
 	}
-	return ev.evalGoverned(ctx, col, ex)
+	res, err := ev.evalGoverned(ctx, col, ex)
+	if pooled != nil {
+		ev.scratchPool.Put(pooled)
+	}
+	return res, err
 }
 
 // evalGoverned runs one statement under governance with col
@@ -353,7 +397,7 @@ func (ev *Evaluator) evalStatementExec(ctx context.Context, ex exec) (*Result, e
 // execution leg of EXPLAIN ANALYZE — goes through here, so all three
 // share one cancellation/budget/containment path. The statement's
 // aggregate stats are folded into the evaluator's registry.
-func (ev *Evaluator) evalGoverned(ctx context.Context, col *obs.Collector, ex exec) (res *Result, err error) {
+func (ev *Evaluator) evalGoverned(ctx context.Context, col *obs.Collector, ex Exec) (res *Result, err error) {
 	stmt := ex.stmt
 	if ex.cached == nil {
 		// Cached statements were analyzed once at compile time.
@@ -365,6 +409,9 @@ func (ev *Evaluator) evalGoverned(ctx context.Context, col *obs.Collector, ex ex
 		ctx = context.Background()
 	}
 	limits := ev.limits
+	if ex.opts.Limits != nil {
+		limits = *ex.opts.Limits
+	}
 	if limits.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, limits.Timeout)
@@ -374,6 +421,7 @@ func (ev *Evaluator) evalGoverned(ctx context.Context, col *obs.Collector, ex ex
 	c.col = col
 	c.params = ex.params
 	c.cached = ex.cached
+	c.defGraph = ex.opts.DefaultGraph
 	if ex.probe {
 		col.PlanCacheEvent(ex.hit, ex.compile)
 	}
@@ -566,7 +614,11 @@ func (c *evalCtx) resolveLocation(s *scope, lp *ast.LocatedPattern) (*ppg.Graph,
 	case lp.OnGraph != "":
 		return c.resolveGraphName(s, lp.OnGraph)
 	default:
-		if g := c.ev.cat.Default(); g != nil {
+		g, err := c.defaultGraph()
+		if err != nil {
+			return nil, err
+		}
+		if g != nil {
 			return g, nil
 		}
 		return nil, errf("no default graph: use ON or register a graph first")

@@ -34,6 +34,13 @@ func (ev *Evaluator) Explain(stmt *ast.Statement) (string, error) {
 // with the same KindCanceled/KindTimeout errors evaluation would,
 // keeping the governance surface uniform across entry points.
 func (ev *Evaluator) ExplainContext(ctx context.Context, stmt *ast.Statement) (string, error) {
+	return ev.ExplainOptsContext(ctx, stmt, ExecOpts{})
+}
+
+// ExplainOptsContext is ExplainContext with per-call overrides: the
+// plan is printed against the session's default graph (estimates and
+// scan directions can differ per graph) under the session's limits.
+func (ev *Evaluator) ExplainOptsContext(ctx context.Context, stmt *ast.Statement, opts ExecOpts) (string, error) {
 	if err := analyzeStatement(stmt); err != nil {
 		return "", err
 	}
@@ -41,6 +48,9 @@ func (ev *Evaluator) ExplainContext(ctx context.Context, stmt *ast.Statement) (s
 		ctx = context.Background()
 	}
 	limits := ev.limits
+	if opts.Limits != nil {
+		limits = *opts.Limits
+	}
 	if limits.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, limits.Timeout)
@@ -50,14 +60,15 @@ func (ev *Evaluator) ExplainContext(ctx context.Context, stmt *ast.Statement) (s
 		return "", err
 	}
 	var sb strings.Builder
-	explainStatement(ev, &sb, stmt, "", nil)
+	explainStatement(ev, opts.DefaultGraph, &sb, stmt, "", nil)
 	return sb.String(), nil
 }
 
 // staticGraph resolves the target graph of a located pattern from the
 // catalog alone, or nil when it is only known at run time (ON
-// subqueries, query-local views).
-func (ev *Evaluator) staticGraph(lp *ast.LocatedPattern) *ppg.Graph {
+// subqueries, query-local views). def is the session's default-graph
+// override ("" = catalog default).
+func (ev *Evaluator) staticGraph(def string, lp *ast.LocatedPattern) *ppg.Graph {
 	switch {
 	case lp.OnQuery != nil:
 		return nil
@@ -68,6 +79,13 @@ func (ev *Evaluator) staticGraph(lp *ast.LocatedPattern) *ppg.Graph {
 		}
 		return g
 	default:
+		if def != "" {
+			g, err := ev.cat.Resolve(def)
+			if err != nil {
+				return nil
+			}
+			return g
+		}
 		return ev.cat.Default()
 	}
 }
@@ -94,7 +112,7 @@ func selectLabel(sc *ast.SelectClause) string {
 	return fmt.Sprintf("SELECT %d column(s) → table", len(sc.Items))
 }
 
-func explainStatement(ev *Evaluator, sb *strings.Builder, stmt *ast.Statement, indent string, ann *planAnnotator) {
+func explainStatement(ev *Evaluator, def string, sb *strings.Builder, stmt *ast.Statement, indent string, ann *planAnnotator) {
 	for _, pc := range stmt.Paths {
 		fmt.Fprintf(sb, "%sPATH VIEW %s\n", indent, pc.Name)
 		fmt.Fprintf(sb, "%s  segment: %s", indent, pc.Patterns[0].String())
@@ -117,25 +135,25 @@ func explainStatement(ev *Evaluator, sb *strings.Builder, stmt *ast.Statement, i
 			kind = "GRAPH VIEW (registered in the catalog)"
 		}
 		fmt.Fprintf(sb, "%s%s %s\n", indent, kind, gc.Name)
-		explainStatement(ev, sb, gc.Body, indent+"  ", ann)
+		explainStatement(ev, def, sb, gc.Body, indent+"  ", ann)
 	}
 	if stmt.Query != nil {
-		explainQuery(ev, sb, stmt.Query, indent, ann)
+		explainQuery(ev, def, sb, stmt.Query, indent, ann)
 	}
 }
 
-func explainQuery(ev *Evaluator, sb *strings.Builder, q ast.Query, indent string, ann *planAnnotator) {
+func explainQuery(ev *Evaluator, def string, sb *strings.Builder, q ast.Query, indent string, ann *planAnnotator) {
 	switch x := q.(type) {
 	case *ast.SetQuery:
 		fmt.Fprintf(sb, "%sGRAPH %s (identity-wise, §A.5)\n", indent, x.Op)
-		explainQuery(ev, sb, x.Left, indent+"  ", ann)
-		explainQuery(ev, sb, x.Right, indent+"  ", ann)
+		explainQuery(ev, def, sb, x.Left, indent+"  ", ann)
+		explainQuery(ev, def, sb, x.Right, indent+"  ", ann)
 	case *ast.BasicQuery:
-		explainBasic(ev, sb, x, indent, ann)
+		explainBasic(ev, def, sb, x, indent, ann)
 	}
 }
 
-func explainBasic(ev *Evaluator, sb *strings.Builder, bq *ast.BasicQuery, indent string, ann *planAnnotator) {
+func explainBasic(ev *Evaluator, def string, sb *strings.Builder, bq *ast.BasicQuery, indent string, ann *planAnnotator) {
 	boundVars := map[string]bool{}
 	boundKnown := true
 	switch {
@@ -143,7 +161,7 @@ func explainBasic(ev *Evaluator, sb *strings.Builder, bq *ast.BasicQuery, indent
 		fmt.Fprintf(sb, "%sFROM %s (import binding table)\n", indent, bq.From)
 		boundKnown = false // columns are only known at run time
 	case bq.Match != nil:
-		explainMatch(ev, sb, bq.Match, indent, ann)
+		explainMatch(ev, def, sb, bq.Match, indent, ann)
 		for _, lp := range bq.Match.Patterns {
 			collectVars(lp.Pattern, boundVars)
 		}
@@ -175,14 +193,14 @@ func explainBasic(ev *Evaluator, sb *strings.Builder, bq *ast.BasicQuery, indent
 	}
 }
 
-func explainMatch(ev *Evaluator, sb *strings.Builder, mc *ast.MatchClause, indent string, ann *planAnnotator) {
+func explainMatch(ev *Evaluator, def string, sb *strings.Builder, mc *ast.MatchClause, indent string, ann *planAnnotator) {
 	fmt.Fprintf(sb, "%sMATCH\n", indent)
 	conjs := prepareConjuncts(mc.Where)
 	// Track which conjuncts each chain will absorb, mirroring
 	// applyReady's schema test as variables become bound. Each chain is
 	// walked in the direction the planner picks, so the step order —
 	// and therefore the pushdown points — match the evaluation.
-	ests := explainPatterns(ev, sb, mc.Patterns, conjs, indent, ann)
+	ests := explainPatterns(ev, def, sb, mc.Patterns, conjs, indent, ann)
 	explainJoinOrder(sb, ests, indent, ann)
 	var residual []string
 	for _, cj := range conjs {
@@ -204,7 +222,7 @@ func explainMatch(ev *Evaluator, sb *strings.Builder, mc *ast.MatchClause, inden
 		bConjs := prepareConjuncts(ob.Where)
 		bEsts := make([]int, len(ob.Patterns))
 		for i, lp := range ob.Patterns {
-			g := ev.staticGraph(lp)
+			g := ev.staticGraph(def, lp)
 			pl := planChain(lp.Pattern, g)
 			bEsts[i] = patternEstimate(lp, pl)
 			explainScanDirection(sb, pl, g, indent+"    ")
@@ -227,7 +245,7 @@ func explainMatch(ev *Evaluator, sb *strings.Builder, mc *ast.MatchClause, inden
 // explainPatterns prints each conjunct pattern of a MATCH with the
 // planner's scan decision, returning the per-pattern estimates that
 // drive the fold order.
-func explainPatterns(ev *Evaluator, sb *strings.Builder, pats []*ast.LocatedPattern, conjs []*conjunct, indent string, ann *planAnnotator) []int {
+func explainPatterns(ev *Evaluator, def string, sb *strings.Builder, pats []*ast.LocatedPattern, conjs []*conjunct, indent string, ann *planAnnotator) []int {
 	ests := make([]int, len(pats))
 	for pi, lp := range pats {
 		loc := "default graph"
@@ -242,7 +260,7 @@ func explainPatterns(ev *Evaluator, sb *strings.Builder, pats []*ast.LocatedPatt
 			joiner = "hash-join with"
 		}
 		fmt.Fprintf(sb, "%s  %s pattern %d (%s)\n", indent, joiner, pi+1, loc)
-		g := ev.staticGraph(lp)
+		g := ev.staticGraph(def, lp)
 		pl := planChain(lp.Pattern, g)
 		ests[pi] = patternEstimate(lp, pl)
 		explainScanDirection(sb, pl, g, indent+"    ")

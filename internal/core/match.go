@@ -120,7 +120,7 @@ func (c *evalCtx) evalMatch(s *scope, mc *ast.MatchClause, outer *bindings.Table
 		return nil, nil, err
 	}
 
-	patternGraph := c.ev.cat.Default()
+	patternGraph := c.defaultGraphOrNil()
 	if len(graphs) > 0 {
 		patternGraph = graphs[0]
 	}

@@ -126,17 +126,43 @@ func (cs *CachedStatement) storeChainPlan(gp *ast.GraphPattern, g *ppg.Graph, pl
 	cs.plans[gp] = cachedChainPlan{plan: pl, g: g, gen: g.Generation()}
 }
 
-// exec carries one execution's compiled statement and bindings plus
-// the cache-probe outcome (for the EXPLAIN ANALYZE footer and the
-// metrics counters).
-type exec struct {
+// ExecOpts carries per-execution overrides — the session surface: a
+// session's default graph and resource limits apply to one execution
+// without touching the engine-wide configuration (see gcore.Session).
+// The zero value means "engine defaults".
+type ExecOpts struct {
+	// DefaultGraph overrides the catalog default used by MATCH
+	// without ON ("" = catalog default). Resolved like ON <name>, so
+	// tables-as-graphs work. It participates in the plan-cache key.
+	DefaultGraph string
+	// Limits overrides the evaluator's per-statement resource limits
+	// for this execution (nil = evaluator limits).
+	Limits *gov.Limits
+}
+
+// Exec is one compiled execution: the statement, its parameter
+// bindings, the per-execution overrides and the plan-cache probe
+// outcome (for the EXPLAIN ANALYZE footer and the metrics counters).
+// PrepareExec builds Exec values; EvalExec and ExplainAnalyzeExec
+// consume them. The split lets the engine classify the compiled
+// statement (Exec.ReadOnly) before deciding which lock to evaluate
+// under.
+type Exec struct {
 	stmt    *ast.Statement
 	cached  *CachedStatement // nil on the uncached fallback path
 	params  map[string]value.Value
+	opts    ExecOpts
 	probe   bool // a plan-cache probe happened
 	hit     bool
 	compile time.Duration
 }
+
+// Statement returns the compiled statement.
+func (ex Exec) Statement() *ast.Statement { return ex.stmt }
+
+// ReadOnly reports whether this execution is classified read-only
+// (see the package-level ReadOnly).
+func (ex Exec) ReadOnly() bool { return ReadOnly(ex.stmt) }
 
 // SetPlanCacheCapacity resizes the evaluator's plan cache: n > 0
 // bounds it to n entries, n == 0 restores the default capacity, and
@@ -185,29 +211,40 @@ func (ev *Evaluator) PlanCacheEntries() []plancache.EntryInfo {
 
 // cacheKey builds the plan-cache key for normalised statement text:
 // the catalog version covers registrations, the default graph's
-// generation covers mutations of the implicit target, the limits
-// fingerprint and worker count cover execution configuration, and the
-// ablation knobs are folded in so flipping one never reuses a plan
-// compiled under another regime.
-func (ev *Evaluator) cacheKey(text string) plancache.Key {
+// generation covers mutations of the implicit target (the session
+// override when one is set), the limits fingerprint and worker count
+// cover execution configuration, and the ablation knobs are folded in
+// so flipping one never reuses a plan compiled under another regime.
+func (ev *Evaluator) cacheKey(text string, opts ExecOpts) plancache.Key {
+	var g *ppg.Graph
+	if opts.DefaultGraph != "" {
+		g, _ = ev.cat.Graph(opts.DefaultGraph)
+	} else {
+		g = ev.cat.Default()
+	}
 	var gen uint64
-	if g := ev.cat.Default(); g != nil {
+	if g != nil {
 		gen = g.Generation()
+	}
+	limits := ev.limits
+	if opts.Limits != nil {
+		limits = *opts.Limits
 	}
 	return plancache.Key{
 		Text:           text,
 		CatalogVersion: ev.cat.Version(),
 		Generation:     gen,
-		LimitsFP:       ev.limitsFingerprint(),
+		Default:        opts.DefaultGraph,
+		LimitsFP:       ev.limitsFingerprint(limits),
 		Workers:        ev.workers,
 	}
 }
 
 // limitsFP memoizes the rendered limits-and-knobs fingerprint: limits
 // and ablation knobs change rarely, while cacheKey runs on every
-// statement, so the string is rebuilt only when an input moves. Like
-// the rest of the evaluator's mutable state it relies on statement
-// serialisation by the caller.
+// statement, so the string is rebuilt only when an input moves. The
+// memo is guarded by memoMu: concurrent read-only statements share
+// the evaluator under the engine's read lock.
 type limitsFP struct {
 	limits                          gov.Limits
 	reorder, csr, propCols, incSnap bool
@@ -215,45 +252,62 @@ type limitsFP struct {
 	fp                              string
 }
 
-func (ev *Evaluator) limitsFingerprint() string {
+func renderLimitsFP(l gov.Limits) string {
+	return fmt.Sprintf("%d|%d|%d|%d|%t%t%t%t",
+		l.MaxBindings, l.MaxPathFrontier,
+		l.MaxResultElements, int64(l.Timeout),
+		DisableReorder, DisableCSR, DisablePropColumns, DisableIncrementalSnapshot)
+}
+
+func (ev *Evaluator) limitsFingerprint(l gov.Limits) string {
+	ev.memoMu.Lock()
+	defer ev.memoMu.Unlock()
 	m := &ev.limitsFP
-	if !m.havePlanFP || m.limits != ev.limits ||
+	if !m.havePlanFP || m.limits != l ||
 		m.reorder != DisableReorder || m.csr != DisableCSR ||
 		m.propCols != DisablePropColumns || m.incSnap != DisableIncrementalSnapshot {
 		m.limits, m.reorder, m.csr, m.propCols, m.incSnap =
-			ev.limits, DisableReorder, DisableCSR, DisablePropColumns, DisableIncrementalSnapshot
+			l, DisableReorder, DisableCSR, DisablePropColumns, DisableIncrementalSnapshot
 		m.havePlanFP = true
-		m.fp = fmt.Sprintf("%d|%d|%d|%d|%t%t%t%t",
-			ev.limits.MaxBindings, ev.limits.MaxPathFrontier,
-			ev.limits.MaxResultElements, int64(ev.limits.Timeout),
-			DisableReorder, DisableCSR, DisablePropColumns, DisableIncrementalSnapshot)
+		m.fp = renderLimitsFP(l)
 	}
 	return m.fp
 }
 
-// prepareExec compiles src for one execution. With caching enabled it
+// normalize canonicalises src for cache keying, remembering the last
+// mapping so repeated traffic of one statement skips re-normalisation.
+func (ev *Evaluator) normalize(src string) string {
+	ev.memoMu.Lock()
+	defer ev.memoMu.Unlock()
+	if ev.normMemo.src != src {
+		ev.normMemo.src, ev.normMemo.text = src, plancache.Normalize(src)
+	}
+	return ev.normMemo.text
+}
+
+// PrepareExec compiles src for one execution. With caching enabled it
 // probes the plan cache (singleflight on miss); otherwise it inlines
 // any parameters textually and parses fresh — the uncached fallback.
-func (ev *Evaluator) prepareExec(src string, params map[string]value.Value) (exec, error) {
+// It never evaluates and never mutates shared state beyond the plan
+// cache (which is internally synchronised), so it is safe under the
+// engine's read lock.
+func (ev *Evaluator) PrepareExec(src string, params map[string]value.Value, opts ExecOpts) (Exec, error) {
 	if ev.planCache == nil || DisablePlanCache {
 		text := src
 		if len(params) > 0 {
 			var err error
 			text, err = parser.InlineParams(src, params)
 			if err != nil {
-				return exec{}, errf("%v", err)
+				return Exec{}, errf("%v", err)
 			}
 		}
 		stmt, err := parser.Parse(text)
 		if err != nil {
-			return exec{}, err
+			return Exec{}, err
 		}
-		return exec{stmt: stmt, params: params}, nil
+		return Exec{stmt: stmt, params: params, opts: opts}, nil
 	}
-	if ev.normMemo.src != src {
-		ev.normMemo.src, ev.normMemo.text = src, plancache.Normalize(src)
-	}
-	key := ev.cacheKey(ev.normMemo.text)
+	key := ev.cacheKey(ev.normalize(src), opts)
 	v, d, hit, err := ev.planCache.GetOrCompile(key, func() (any, error) {
 		stmt, err := parser.Parse(src)
 		if err != nil {
@@ -265,16 +319,16 @@ func (ev *Evaluator) prepareExec(src string, params map[string]value.Value) (exe
 		return newCachedStatement(stmt), nil
 	})
 	if err != nil {
-		return exec{}, err
+		return Exec{}, err
 	}
 	cs := v.(*CachedStatement)
-	return exec{stmt: cs.stmt, cached: cs, params: params, probe: true, hit: hit, compile: d}, nil
+	return Exec{stmt: cs.stmt, cached: cs, params: params, opts: opts, probe: true, hit: hit, compile: d}, nil
 }
 
 // CheckSrc compiles src without evaluating it: parse and semantic
 // analysis, through the plan cache when enabled (so a subsequent Eval
 // of the same text hits). Parameters may remain unbound.
-func (ev *Evaluator) CheckSrc(src string) error {
+func (ev *Evaluator) CheckSrc(src string, opts ExecOpts) error {
 	if ev.planCache == nil || DisablePlanCache {
 		stmt, err := parser.Parse(src)
 		if err != nil {
@@ -282,7 +336,7 @@ func (ev *Evaluator) CheckSrc(src string) error {
 		}
 		return analyzeStatement(stmt)
 	}
-	_, err := ev.prepareExec(src, nil)
+	_, err := ev.PrepareExec(src, nil, opts)
 	return err
 }
 
@@ -297,19 +351,19 @@ func (ev *Evaluator) EvalSrc(src string, params map[string]value.Value) (*Result
 // (nil for statements without parameters); an execution that reaches
 // an unbound parameter fails.
 func (ev *Evaluator) EvalSrcContext(ctx context.Context, src string, params map[string]value.Value) (*Result, error) {
-	ex, err := ev.prepareExec(src, params)
+	ex, err := ev.PrepareExec(src, params, ExecOpts{})
 	if err != nil {
 		return nil, err
 	}
-	return ev.evalStatementExec(ctx, ex)
+	return ev.EvalExec(ctx, ex)
 }
 
 // ExplainAnalyzeSrcContext is ExplainAnalyzeContext from source text,
 // consulting the plan cache so the rendered footer reports the probe.
 func (ev *Evaluator) ExplainAnalyzeSrcContext(ctx context.Context, src string, params map[string]value.Value) (string, error) {
-	ex, err := ev.prepareExec(src, params)
+	ex, err := ev.PrepareExec(src, params, ExecOpts{})
 	if err != nil {
 		return "", err
 	}
-	return ev.explainAnalyzeExec(ctx, ex)
+	return ev.ExplainAnalyzeExec(ctx, ex)
 }

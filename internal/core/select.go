@@ -29,7 +29,7 @@ func (c *evalCtx) evalSelect(s *scope, sc *ast.SelectClause, tbl *bindings.Table
 		}
 	}
 	out := table.New("", cols...)
-	env := c.newEnv(s, graphs, firstGraph(graphs, c.ev.cat.Default()))
+	env := c.newEnv(s, graphs, firstGraph(graphs, c.defaultGraphOrNil()))
 	env.groupSchema = tbl.Vars()
 
 	// ORDER BY may reference select-list aliases (ORDER BY ln DESC).

@@ -93,6 +93,12 @@ type Metrics struct {
 	Queries int64 `json:"queries"`
 	Errors  int64 `json:"errors"`
 
+	// Read/write path split: statements executed under the shared read
+	// lock vs. the exclusive writer lock. Not fed through Observe — the
+	// engine counts them at dispatch and fills them when it snapshots.
+	ReadStatements  int64 `json:"read_statements"`
+	WriteStatements int64 `json:"write_statements"`
+
 	Operators map[string]OpMetrics `json:"operators"`
 
 	NFACacheHits   int64 `json:"nfa_cache_hits"`

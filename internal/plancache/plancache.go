@@ -36,6 +36,10 @@ type Key struct {
 	CatalogVersion uint64
 	// Generation is the default graph's mutation generation.
 	Generation uint64
+	// Default is the session's default-graph override ("" = the
+	// catalog default): plans compiled against different implicit
+	// graphs are different plans.
+	Default string
 	// LimitsFP fingerprints the per-statement resource limits.
 	LimitsFP string
 	// Workers is the parallelism setting the plan was compiled under.

@@ -1,0 +1,343 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gcore"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	eng := gcore.NewEngine()
+	if err := eng.RegisterGraph(gcore.SampleSocialGraph()); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterGraph(gcore.SampleCompanyGraph()); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func TestQuerySessionless(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"query": "CONSTRUCT (n) MATCH (n:Person) ON social_graph",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200: %v", resp.StatusCode, out)
+	}
+	results := out["results"].([]any)
+	if len(results) != 1 {
+		t.Fatalf("results = %d, want 1", len(results))
+	}
+	graph := results[0].(map[string]any)["graph"].(map[string]any)
+	if nodes := graph["nodes"].([]any); len(nodes) == 0 {
+		t.Fatal("result graph has no nodes")
+	}
+}
+
+func TestQueryDefaultGraphOverride(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// company_graph is not the engine default; the request override
+	// targets it without ON.
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"query": "CONSTRUCT (c) MATCH (c:Company)",
+		"graph": "company_graph",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200: %v", resp.StatusCode, out)
+	}
+	graph := out["results"].([]any)[0].(map[string]any)["graph"].(map[string]any)
+	if nodes := graph["nodes"].([]any); len(nodes) != 4 {
+		t.Fatalf("company nodes = %d, want 4", len(graph["nodes"].([]any)))
+	}
+}
+
+func TestQueryUnknownGraph(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := postJSON(t, ts.URL+"/query", map[string]any{
+		"query": "CONSTRUCT (c) MATCH (c)",
+		"graph": "no_such_graph",
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestQueryEvalError(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"query": "CONSTRUCT (n) MATCH (n:Person ON social_graph",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400: %v", resp.StatusCode, out)
+	}
+	if out["error"] == "" {
+		t.Fatal("missing error message")
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, out := postJSON(t, ts.URL+"/session", map[string]any{"graph": "company_graph"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session create = %d: %v", resp.StatusCode, out)
+	}
+	sid := out["session"].(string)
+
+	// The session default graph applies to ON-less matches.
+	resp, out = postJSON(t, ts.URL+"/query", map[string]any{
+		"query":   "CONSTRUCT (c) MATCH (c:Company)",
+		"session": sid,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query = %d: %v", resp.StatusCode, out)
+	}
+	if got := out["session"]; got != sid {
+		t.Fatalf("response session = %v, want %s", got, sid)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/session/"+sid, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete = %d, want 204", dresp.StatusCode)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/query", map[string]any{
+		"query":   "CONSTRUCT (c) MATCH (c:Company)",
+		"session": sid,
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("query on closed session = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPrepareExec(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, out := postJSON(t, ts.URL+"/session", map[string]any{})
+	sid := out["session"].(string)
+
+	resp, out := postJSON(t, ts.URL+"/prepare", map[string]any{
+		"session": sid,
+		"query":   "SELECT n.firstName MATCH (n:Person) ON social_graph WHERE n.employer = $emp",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prepare = %d: %v", resp.StatusCode, out)
+	}
+	handle := out["handle"].(string)
+	params := out["params"].([]any)
+	if len(params) != 1 || params[0] != "emp" {
+		t.Fatalf("params = %v, want [emp]", params)
+	}
+
+	resp, out = postJSON(t, ts.URL+"/exec", map[string]any{
+		"session": sid,
+		"handle":  handle,
+		"params":  map[string]any{"emp": "Acme"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exec = %d: %v", resp.StatusCode, out)
+	}
+	table := out["results"].([]any)[0].(map[string]any)["table"].(map[string]any)
+	if rows := table["rows"].([]any); len(rows) == 0 {
+		t.Fatal("exec returned no rows")
+	}
+
+	// Unknown handle and unknown session are 404s.
+	resp, _ = postJSON(t, ts.URL+"/exec", map[string]any{"session": sid, "handle": "p999"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown handle = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/exec", map[string]any{"session": "s999", "handle": handle})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestExplainModes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, mode := range []string{"plan", "analyze"} {
+		resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+			"query":   "CONSTRUCT (n) MATCH (n:Person) ON social_graph",
+			"explain": mode,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("explain %s = %d: %v", mode, resp.StatusCode, out)
+		}
+		plan := out["results"].([]any)[0].(map[string]any)["plan"].(string)
+		if !strings.Contains(plan, "MATCH") {
+			t.Fatalf("explain %s plan missing MATCH:\n%s", mode, plan)
+		}
+		if mode == "analyze" && !strings.Contains(plan, "executed:") {
+			t.Fatalf("explain analyze missing totals:\n%s", plan)
+		}
+	}
+}
+
+func TestTimeoutMapped(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxTimeout: time.Nanosecond})
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"query": "CONSTRUCT (n) MATCH (n:Person)-[:knows]->(m:Person) ON social_graph",
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %v", resp.StatusCode, out)
+	}
+	if kind := out["kind"]; kind != "timeout" {
+		t.Fatalf("kind = %v, want timeout", kind)
+	}
+}
+
+func TestAdmissionLimits(t *testing.T) {
+	_, ts := newTestServer(t, Config{Limits: gcore.Limits{MaxBindings: 1}})
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"query": "CONSTRUCT (n) MATCH (n:Person)-[:knows]->(m:Person) ON social_graph",
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422: %v", resp.StatusCode, out)
+	}
+	if kind := out["kind"]; kind != "budget" {
+		t.Fatalf("kind = %v, want budget", kind)
+	}
+}
+
+func TestMetricsAndHealth(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if _, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"query": "CONSTRUCT (n) MATCH (n:Person) ON social_graph",
+	}); out["error"] != nil {
+		t.Fatalf("query failed: %v", out["error"])
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if q := m["queries"].(float64); q < 1 {
+		t.Fatalf("metrics queries = %v, want >= 1", q)
+	}
+	if rs := m["read_statements"].(float64); rs < 1 {
+		t.Fatalf("metrics read_statements = %v, want >= 1", rs)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h["status"] != "ok" {
+		t.Fatalf("healthz = %v", h)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/vars = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestSessionIdleExpiry(t *testing.T) {
+	srv, ts := newTestServer(t, Config{SessionIdle: 10 * time.Millisecond})
+	_, out := postJSON(t, ts.URL+"/session", map[string]any{})
+	sid := out["session"].(string)
+
+	// Expire manually (the janitor's floor tick is 1s — too slow for a
+	// unit test).
+	time.Sleep(20 * time.Millisecond)
+	srv.sessions.expire(time.Now().Add(-10 * time.Millisecond))
+
+	resp, _ := postJSON(t, ts.URL+"/query", map[string]any{
+		"query":   "CONSTRUCT (n) MATCH (n:Person) ON social_graph",
+		"session": sid,
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("expired session = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestScriptMutationVisibleAcrossSessions(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"query": "GRAPH VIEW acme_people AS (CONSTRUCT (n) MATCH (n:Person) ON social_graph WHERE n.employer = 'Acme')",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("view = %d: %v", resp.StatusCode, out)
+	}
+	resp, out = postJSON(t, ts.URL+"/query", map[string]any{
+		"query": "CONSTRUCT (n) MATCH (n) ON acme_people",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("view query = %d: %v", resp.StatusCode, out)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+				"query": "CONSTRUCT (n) MATCH (n:Person) ON social_graph",
+			})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %v", resp.StatusCode, out)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

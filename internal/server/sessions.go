@@ -1,0 +1,146 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gcore"
+)
+
+// liveSession is one network client's state: the engine session plus
+// the server-side bookkeeping the engine doesn't know about — the
+// prepared-statement handle table and the idle clock.
+type liveSession struct {
+	sess *gcore.Session
+
+	mu         sync.Mutex
+	prepared   map[string]*gcore.Prepared
+	nextHandle int
+	lastUsed   time.Time
+}
+
+func (ls *liveSession) touch() {
+	ls.mu.Lock()
+	ls.lastUsed = time.Now()
+	ls.mu.Unlock()
+}
+
+func (ls *liveSession) idleSince() time.Time {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.lastUsed
+}
+
+func (ls *liveSession) addPrepared(p *gcore.Prepared) string {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.nextHandle++
+	h := fmt.Sprintf("p%d", ls.nextHandle)
+	ls.prepared[h] = p
+	return h
+}
+
+func (ls *liveSession) getPrepared(handle string) *gcore.Prepared {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.prepared[handle]
+}
+
+// registry tracks live sessions by id and expires idle ones. A
+// janitor goroutine sweeps at half the idle interval; stop kills it
+// (goroutine-leak checks in the torture suite rely on that).
+type registry struct {
+	idle time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*liveSession
+	nextID   int
+
+	done chan struct{}
+	once sync.Once
+}
+
+func newRegistry(idle time.Duration) *registry {
+	r := &registry{
+		idle:     idle,
+		sessions: map[string]*liveSession{},
+		done:     make(chan struct{}),
+	}
+	if idle > 0 {
+		go r.janitor()
+	}
+	return r
+}
+
+func (r *registry) janitor() {
+	period := r.idle / 2
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+			r.expire(time.Now().Add(-r.idle))
+		}
+	}
+}
+
+func (r *registry) expire(cutoff time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, ls := range r.sessions {
+		if ls.idleSince().Before(cutoff) {
+			delete(r.sessions, id)
+		}
+	}
+}
+
+func (r *registry) stop() {
+	r.once.Do(func() { close(r.done) })
+}
+
+func (r *registry) add(sess *gcore.Session) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	id := fmt.Sprintf("s%d", r.nextID)
+	r.sessions[id] = &liveSession{
+		sess:     sess,
+		prepared: map[string]*gcore.Prepared{},
+		lastUsed: time.Now(),
+	}
+	return id
+}
+
+// get returns the live session for id (touching its idle clock), or
+// nil when unknown or expired.
+func (r *registry) get(id string) *liveSession {
+	r.mu.Lock()
+	ls := r.sessions[id]
+	r.mu.Unlock()
+	if ls != nil {
+		ls.touch()
+	}
+	return ls
+}
+
+func (r *registry) remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[id]; !ok {
+		return false
+	}
+	delete(r.sessions, id)
+	return true
+}
+
+func (r *registry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
